@@ -1,0 +1,19 @@
+"""Ablation: BE* leaf capacity (DESIGN.md section 5)."""
+
+import pytest
+
+from conftest import BENCH_N, EVENT_POOL, MatcherBench, build_bench
+
+
+@pytest.mark.parametrize("leaf_capacity", [4, 16, 128])
+def test_ablation_betree_leaf(benchmark, micro_workload, leaf_capacity):
+    bench = build_bench(
+        "be-star",
+        micro_workload,
+        k=max(1, BENCH_N // 100),
+        leaf_capacity=leaf_capacity,
+    )
+    benchmark(bench.match_one)
+    benchmark.extra_info.update(
+        {"ablation": "betree-leaf", "leaf_capacity": leaf_capacity}
+    )

@@ -1,0 +1,32 @@
+"""Ablation: FX-TM's interval-tree index vs a linear scan (DESIGN.md 5)."""
+
+import pytest
+
+from conftest import BENCH_N, MatcherBench, EVENT_POOL
+from repro.bench.ablations import FXTMLinearIndexMatcher
+from repro.bench.harness import load_subscriptions
+from repro.core.matcher import FXTMMatcher
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_WORKLOAD = {}
+
+
+def low_selectivity_workload():
+    if "w" not in _WORKLOAD:
+        _WORKLOAD["w"] = MicroWorkload(
+            MicroWorkloadConfig(n=BENCH_N * 2, selectivity=0.05)
+        )
+    return _WORKLOAD["w"]
+
+
+@pytest.mark.parametrize(
+    "variant", [("interval-tree", FXTMMatcher), ("linear-scan", FXTMLinearIndexMatcher)]
+)
+def test_ablation_index(benchmark, variant):
+    label, matcher_cls = variant
+    workload = low_selectivity_workload()
+    matcher = matcher_cls(prorate=True)
+    load_subscriptions(matcher, workload.subscriptions())
+    bench = MatcherBench(matcher, workload.events(EVENT_POOL), k=max(1, BENCH_N // 100))
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"ablation": "index", "variant": label})

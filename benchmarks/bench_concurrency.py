@@ -1,0 +1,55 @@
+"""Concurrency wrappers: what the locking and fan-out actually cost.
+
+The paper kept its evaluation single-threaded for fairness (section 4.2)
+but argues the per-attribute partitioning parallelises naturally; these
+benchmarks quantify the wrapper overheads on CPython so deployments can
+decide with numbers: the RW lock's per-match cost, and the thread-pool
+fan-out's fixed overhead versus the serial hot loop (GIL-bound here, a
+true win only on free-threaded runtimes).
+"""
+
+import pytest
+
+from conftest import BENCH_N, EVENT_POOL, MatcherBench
+from repro.bench.harness import load_subscriptions
+from repro.core.concurrent import ParallelFXTMMatcher, ThreadSafeMatcher
+from repro.core.matcher import FXTMMatcher
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_STATE = {}
+
+
+def workload():
+    if "w" not in _STATE:
+        _STATE["w"] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
+    return _STATE["w"]
+
+
+def test_serial_fxtm_reference(benchmark):
+    base = workload()
+    matcher = FXTMMatcher(prorate=True)
+    load_subscriptions(matcher, base.subscriptions())
+    bench = MatcherBench(matcher, base.events(EVENT_POOL), k=max(1, BENCH_N // 100))
+    benchmark(bench.match_one)
+    benchmark.extra_info["variant"] = "serial"
+
+
+def test_thread_safe_wrapper_overhead(benchmark):
+    base = workload()
+    safe = ThreadSafeMatcher(FXTMMatcher(prorate=True))
+    for subscription in base.subscriptions():
+        safe.add_subscription(subscription)
+    bench = MatcherBench(safe, base.events(EVENT_POOL), k=max(1, BENCH_N // 100))
+    benchmark(bench.match_one)
+    benchmark.extra_info["variant"] = "rw-locked"
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_attribute_search(benchmark, workers):
+    base = workload()
+    matcher = ParallelFXTMMatcher(max_workers=workers, prorate=True)
+    load_subscriptions(matcher, base.subscriptions())
+    bench = MatcherBench(matcher, base.events(EVENT_POOL), k=max(1, BENCH_N // 100))
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"variant": "parallel", "workers": workers})
+    matcher.close()

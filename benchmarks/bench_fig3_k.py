@@ -1,0 +1,19 @@
+"""Figure 3(a): matching time versus k on generated data.
+
+Endpoints of the paper's sweep (k = 1% and 10% of N) for all four
+algorithms; the full curve comes from ``repro.bench.fig3.fig3a_k_sweep``.
+"""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import FIGURE_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+@pytest.mark.parametrize("k_percent", [1, 10])
+def test_fig3a_match(benchmark, micro_workload, algorithm, k_percent):
+    k = max(1, BENCH_N * k_percent // 100)
+    bench = build_bench(algorithm, micro_workload, k)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "3a", "N": BENCH_N, "k": k})

@@ -1,0 +1,24 @@
+"""Figures 3(d)/(e): matching time versus M (attributes per record)."""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import FIGURE_ALGORITHMS
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_WORKLOADS = {}
+
+
+def workload_with_m(m):
+    if m not in _WORKLOADS:
+        _WORKLOADS[m] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N, m=m))
+    return _WORKLOADS[m]
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+@pytest.mark.parametrize("m", [5, 40])
+def test_fig3de_match(benchmark, algorithm, m):
+    k = max(1, BENCH_N // 100)
+    bench = build_bench(algorithm, workload_with_m(m), k)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "3d/3e", "M": m, "k": k})

@@ -1,0 +1,30 @@
+"""Figures 3(b)/(c): matching time versus N on generated data.
+
+Endpoints of the paper's N sweep (0.5x and 2x the default) at k = 1% and
+2% of N.
+"""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import FIGURE_ALGORITHMS
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_WORKLOADS = {}
+
+
+def workload_of_size(n):
+    if n not in _WORKLOADS:
+        _WORKLOADS[n] = MicroWorkload(MicroWorkloadConfig(n=n))
+    return _WORKLOADS[n]
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+@pytest.mark.parametrize("n_factor", [0.5, 2.0])
+@pytest.mark.parametrize("k_percent", [1, 2])
+def test_fig3bc_match(benchmark, algorithm, n_factor, k_percent):
+    n = max(10, int(BENCH_N * n_factor))
+    k = max(1, n * k_percent // 100)
+    bench = build_bench(algorithm, workload_of_size(n), k)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "3b/3c", "N": n, "k": k})

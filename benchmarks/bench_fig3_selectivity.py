@@ -1,0 +1,26 @@
+"""Figure 3(f): matching time versus selectivity (S/N)."""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import FIGURE_ALGORITHMS
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_WORKLOADS = {}
+
+
+def workload_with_selectivity(selectivity):
+    if selectivity not in _WORKLOADS:
+        _WORKLOADS[selectivity] = MicroWorkload(
+            MicroWorkloadConfig(n=BENCH_N, selectivity=selectivity)
+        )
+    return _WORKLOADS[selectivity]
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_ALGORITHMS)
+@pytest.mark.parametrize("selectivity", [0.05, 0.5])
+def test_fig3f_match(benchmark, algorithm, selectivity):
+    k = max(1, BENCH_N // 100)
+    bench = build_bench(algorithm, workload_with_selectivity(selectivity), k)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "3f", "selectivity": selectivity, "k": k})

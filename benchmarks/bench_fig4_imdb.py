@@ -1,0 +1,15 @@
+"""Figures 4(a)-(c): real-world-like IMDB data (M = 3, selectivity 0.14)."""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import REALWORLD_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", REALWORLD_ALGORITHMS)
+@pytest.mark.parametrize("k_percent", [1, 10])
+def test_fig4_imdb_match(benchmark, imdb_workload, algorithm, k_percent):
+    k = max(1, BENCH_N * k_percent // 100)
+    bench = build_bench(algorithm, imdb_workload, k)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "4a-c", "dataset": "imdb-like", "k": k})

@@ -1,0 +1,15 @@
+"""Figures 4(d)-(f): Yahoo!-Music-like data (M ~ 5.4, discrete attrs)."""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import REALWORLD_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", REALWORLD_ALGORITHMS)
+@pytest.mark.parametrize("k_percent", [1, 10])
+def test_fig4_yahoo_match(benchmark, yahoo_workload, algorithm, k_percent):
+    k = max(1, BENCH_N * k_percent // 100)
+    bench = build_bench(algorithm, yahoo_workload, k)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "4d-f", "dataset": "yahoo-like", "k": k})

@@ -1,0 +1,40 @@
+"""Figure 5: memory usage.
+
+pytest-benchmark measures time, so each test times the *measurement walk*
+and reports the actual byte counts — the figure's metric — via
+``extra_info``.  Trend assertions live in the test suite; the full sweeps
+come from ``repro.bench.fig5``.
+"""
+
+import pytest
+
+from conftest import BENCH_N, build_bench
+from repro.bench.harness import REALWORLD_ALGORITHMS
+from repro.bench.memory import matching_peak_bytes, storage_bytes
+
+
+@pytest.mark.parametrize("algorithm", REALWORLD_ALGORITHMS)
+def test_fig5_storage_bytes(benchmark, micro_workload, algorithm):
+    """Figures 5(a)-(d): subscription storage footprint."""
+    bench = build_bench(algorithm, micro_workload, k=max(1, BENCH_N // 100))
+    size = benchmark(lambda: storage_bytes(bench.matcher))
+    benchmark.extra_info.update(
+        {"figure": "5a-d", "N": BENCH_N, "storage_bytes": size}
+    )
+
+
+@pytest.mark.parametrize("algorithm", REALWORLD_ALGORITHMS)
+def test_fig5_matching_peak_bytes(benchmark, imdb_workload, algorithm):
+    """Figures 5(e)-(h): transient matching memory."""
+    k = max(1, BENCH_N // 50)
+    bench = build_bench(algorithm, imdb_workload, k)
+    events = imdb_workload.events(3)
+
+    def measure():
+        mean_peak, _max_peak = matching_peak_bytes(bench.matcher, events, k)
+        return mean_peak
+
+    mean_peak = benchmark(measure)
+    benchmark.extra_info.update(
+        {"figure": "5e-h", "k": k, "matching_peak_bytes": mean_peak}
+    )

@@ -1,0 +1,46 @@
+"""Figure 6: budget-window mechanism overhead on IMDB-like data.
+
+Bar groups: each algorithm without the mechanism, with synchronous
+updates, and (BE* only) with the asynchronous propagation refresh.
+"""
+
+import pytest
+
+from conftest import BENCH_N, EVENT_POOL, MatcherBench
+from repro.bench.fig6 import with_budget_windows
+from repro.bench.harness import load_subscriptions, make_matcher
+
+
+def budget_bench(workload, algorithm, with_budget, k, **extra):
+    matcher = make_matcher(
+        algorithm,
+        schema=workload.schema(),
+        prorate=True,
+        with_budget=with_budget,
+        **extra,
+    )
+    subs = workload.subscriptions()
+    if with_budget:
+        subs = with_budget_windows(subs)
+    load_subscriptions(matcher, subs)
+    return MatcherBench(matcher, workload.events(EVENT_POOL), k)
+
+
+@pytest.mark.parametrize("algorithm", ["fx-tm", "fagin", "be-star"])
+@pytest.mark.parametrize("budget", ["off", "on"])
+def test_fig6_budget_overhead(benchmark, imdb_workload, algorithm, budget):
+    k = max(1, BENCH_N // 50)
+    extra = {"budget_mode": "sync"} if algorithm == "be-star" else {}
+    bench = budget_bench(imdb_workload, algorithm, budget == "on", k, **extra)
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "6a", "budget": budget, "k": k})
+
+
+def test_fig6_bestar_async(benchmark, imdb_workload):
+    """The paper's separate-update-thread BE* variant."""
+    k = max(1, BENCH_N // 50)
+    bench = budget_bench(
+        imdb_workload, "be-star", True, k, budget_mode="async", refresh_interval=16
+    )
+    benchmark(bench.match_one)
+    benchmark.extra_info.update({"figure": "6a", "budget": "async", "k": k})

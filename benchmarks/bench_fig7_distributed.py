@@ -1,0 +1,57 @@
+"""Figure 7: distributed matching over the LOOM-style overlay.
+
+pytest-benchmark times one full distributed match (all leaves matched
+sequentially in-process); the figure's metric — the *simulated* parallel
+end-to-end latency — is reported via ``extra_info``.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import BENCH_N
+from repro.bench.harness import make_matcher
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_STATE = {}
+
+
+def system_for(algorithm, node_count):
+    key = (algorithm, node_count)
+    if key not in _STATE:
+        workload = _STATE.setdefault(
+            "workload", MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
+        )
+        system = DistributedTopKSystem(
+            lambda: make_matcher(algorithm, prorate=True), node_count=node_count
+        )
+        system.add_subscriptions(workload.subscriptions())
+        for node in system.nodes:
+            ensure_built = getattr(node.matcher, "ensure_built", None)
+            if callable(ensure_built):
+                ensure_built()
+        _STATE[key] = (system, itertools.cycle(workload.events(10)))
+    return _STATE[key]
+
+
+@pytest.mark.parametrize("algorithm", ["fx-tm", "be-star"])
+@pytest.mark.parametrize("node_count", [3, 9, 27])
+def test_fig7_distributed_match(benchmark, algorithm, node_count):
+    system, events = system_for(algorithm, node_count)
+    k = max(1, BENCH_N // 100)
+    outcomes = []
+
+    def run():
+        outcomes.append(system.match(next(events), k))
+
+    benchmark(run)
+    last = outcomes[-1]
+    benchmark.extra_info.update(
+        {
+            "figure": "7",
+            "nodes": node_count,
+            "simulated_total_ms": round(last.total_seconds * 1e3, 4),
+            "mean_local_ms": round(last.mean_local_seconds * 1e3, 4),
+        }
+    )

@@ -1,0 +1,103 @@
+"""Theorems 1-2: add-subscription / cancel-subscription in O(M log N).
+
+Not a paper figure, but the complexity analysis the paper proves for the
+maintenance path; benchmarked so regressions in the index structures show
+up here before they distort the matching figures.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import BENCH_N
+from repro.bench.harness import load_subscriptions, make_matcher
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+_STATE = {}
+
+
+def workload():
+    if "w" not in _STATE:
+        _STATE["w"] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
+    return _STATE["w"]
+
+
+@pytest.mark.parametrize("algorithm", ["fx-tm", "fagin"])
+def test_add_cancel_round_trip(benchmark, algorithm):
+    """One add + one cancel at steady-state N (2 x O(M log N))."""
+    base = workload()
+    matcher = make_matcher(algorithm, prorate=True)
+    load_subscriptions(matcher, base.subscriptions())
+    extras = itertools.cycle(base.subscriptions(count=200, sid_offset=10_000_000))
+
+    def add_then_cancel():
+        subscription = next(extras)
+        matcher.add_subscription(subscription)
+        matcher.cancel_subscription(subscription.sid)
+
+    benchmark(add_then_cancel)
+    benchmark.extra_info.update({"theorem": "1-2", "N": BENCH_N})
+
+
+def test_betree_rebuild(benchmark):
+    """The static BE* variant's maintenance story: a full rebuild."""
+    base = workload()
+    matcher = make_matcher("be-star", prorate=True)
+    load_subscriptions(matcher, base.subscriptions())
+
+    def rebuild():
+        matcher.build()
+
+    benchmark(rebuild)
+    benchmark.extra_info.update({"N": BENCH_N, "note": "paper 7.1: adds require rebuild"})
+
+
+def test_betree_dynamic_add_cancel(benchmark):
+    """The dynamic BE* extension: incremental insert + remove.
+
+    Contrast with test_betree_rebuild — the whole point of the dynamic
+    mode is turning a per-change O(N log N) rebuild into a tree descent.
+    """
+    base = workload()
+    matcher = make_matcher("be-star", prorate=True, dynamic=True)
+    load_subscriptions(matcher, base.subscriptions())
+    extras = itertools.cycle(base.subscriptions(count=200, sid_offset=20_000_000))
+
+    def add_then_cancel():
+        subscription = next(extras)
+        matcher.add_subscription(subscription)
+        matcher.cancel_subscription(subscription.sid)
+
+    benchmark(add_then_cancel)
+    benchmark.extra_info.update({"N": BENCH_N, "mode": "dynamic"})
+
+
+def test_fxtm_bulk_load_vs_incremental(benchmark):
+    """bulk_load's balanced builds vs N incremental adds."""
+    base = workload()
+    subs = base.subscriptions()
+
+    def bulk():
+        matcher = make_matcher("fx-tm", prorate=True)
+        matcher.bulk_load(subs)
+        return matcher
+
+    matcher = benchmark(bulk)
+    assert len(matcher) == BENCH_N
+    benchmark.extra_info.update({"N": BENCH_N, "mode": "bulk"})
+
+
+def test_fxtm_incremental_load(benchmark):
+    """The Algorithm 1 path bulk_load is measured against."""
+    base = workload()
+    subs = base.subscriptions()
+
+    def incremental():
+        matcher = make_matcher("fx-tm", prorate=True)
+        for subscription in subs:
+            matcher.add_subscription(subscription)
+        return matcher
+
+    matcher = benchmark(incremental)
+    assert len(matcher) == BENCH_N
+    benchmark.extra_info.update({"N": BENCH_N, "mode": "incremental"})

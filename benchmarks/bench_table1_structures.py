@@ -1,0 +1,105 @@
+"""Table 1: per-operation cost of the substrate data structures."""
+
+import random
+
+import pytest
+
+from conftest import BENCH_N
+from repro.structures.interval_tree import IntervalTree
+from repro.structures.treeset import BoundedTopK, ScoredTreeSet
+
+
+@pytest.fixture
+def interval_tree():
+    rng = random.Random(1)
+    tree = IntervalTree()
+    for sid in range(BENCH_N):
+        low = rng.uniform(0, 1000)
+        tree.insert(low, low + rng.uniform(1, 30), sid, 1.0)
+    return tree
+
+
+@pytest.fixture
+def scored_treeset():
+    rng = random.Random(2)
+    treeset = ScoredTreeSet()
+    for sid in range(BENCH_N):
+        treeset.add(sid, rng.random())
+    return treeset
+
+
+def test_interval_tree_insert_delete(benchmark, interval_tree):
+    """tree-insert + tree-delete: O(log n) round trip."""
+    counter = [BENCH_N]
+
+    def insert_then_delete():
+        sid = counter[0]
+        counter[0] += 1
+        interval_tree.insert(500.0, 510.0, sid, 1.0)
+        interval_tree.delete(500.0, 510.0, sid)
+
+    benchmark(insert_then_delete)
+
+
+def test_interval_tree_stab(benchmark, interval_tree):
+    """get-matching-intervals: O(log n + s)."""
+    rng = random.Random(3)
+
+    def stab():
+        low = rng.uniform(0, 990)
+        return interval_tree.stab(low, low + 10.0)
+
+    matches = benchmark(stab)
+    benchmark.extra_info["matches_returned"] = len(matches)
+
+
+def test_treeset_add_remove_id(benchmark, scored_treeset):
+    """treeset-add + treeset-remove-id: O(log n) round trip."""
+    counter = [BENCH_N]
+
+    def add_then_remove():
+        sid = counter[0]
+        counter[0] += 1
+        scored_treeset.add(sid, 0.5)
+        scored_treeset.remove_id(sid)
+
+    benchmark(add_then_remove)
+
+
+def test_treeset_find_min(benchmark, scored_treeset):
+    """treeset-find-min: O(log n)."""
+    benchmark(scored_treeset.find_min)
+
+
+def test_treeset_remove_min_reinsert(benchmark, scored_treeset):
+    """treeset-remove-min: O(log n) (re-inserting to keep size stable)."""
+
+    def remove_then_readd():
+        sid, score = scored_treeset.remove_min()
+        scored_treeset.add(sid, score)
+
+    benchmark(remove_then_readd)
+
+
+def test_bounded_topk_offer(benchmark):
+    """The O(log k) offer driving the S log k matching term."""
+    rng = random.Random(4)
+    topk = BoundedTopK(max(1, BENCH_N // 100))
+    counter = [0]
+
+    def offer():
+        counter[0] += 1
+        topk.offer(counter[0], rng.random())
+
+    benchmark(offer)
+
+
+def test_hashmap_get(benchmark):
+    """hmap-get: O(1) — the master-index access on every attribute."""
+    table = {f"a{index}": index for index in range(BENCH_N)}
+    rng = random.Random(5)
+
+    def get():
+        return table.get(f"a{rng.randrange(BENCH_N)}")
+
+    benchmark(get)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper at
+benchmark-suite scale: the parameter *sweep* is reduced to its endpoints
+(the full sweeps live in ``python -m repro.bench.run_all``), but the code
+under measurement is exactly the harness code the figures use.
+
+``REPRO_BENCH_N`` (default 1000) sets the subscription count.
+"""
+
+import itertools
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from repro.bench.harness import load_subscriptions, make_matcher
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+from repro.workloads.yahoo import YahooWorkload, YahooWorkloadConfig
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "1000"))
+EVENT_POOL = 20
+
+
+@pytest.fixture(scope="session")
+def micro_workload():
+    return MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
+
+
+@pytest.fixture(scope="session")
+def imdb_workload():
+    return IMDBWorkload(IMDBWorkloadConfig(n=BENCH_N))
+
+
+@pytest.fixture(scope="session")
+def yahoo_workload():
+    return YahooWorkload(YahooWorkloadConfig(n=BENCH_N))
+
+
+class MatcherBench:
+    """A loaded matcher plus an endless event stream to match against."""
+
+    def __init__(self, matcher, events, k):
+        self.matcher = matcher
+        self.k = k
+        self._events = itertools.cycle(events)
+
+    def match_one(self):
+        return self.matcher.match(next(self._events), self.k)
+
+
+def build_bench(algorithm, workload, k, schema=None, event_pool=EVENT_POOL, **extra):
+    """Load a matcher with the workload and wrap it for benchmarking."""
+    if schema is None:
+        schema_fn = getattr(workload, "schema", None)
+        schema = schema_fn() if callable(schema_fn) else None
+    matcher = make_matcher(algorithm, schema=schema, prorate=True, **extra)
+    load_subscriptions(matcher, workload.subscriptions())
+    events = workload.events(event_pool)
+    return MatcherBench(matcher, events, k)

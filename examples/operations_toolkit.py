@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Operational tooling around the matcher: explain, snapshot, stats.
+
+Run with::
+
+    python examples/operations_toolkit.py
+
+A tour of the features a production deployment leans on day to day:
+
+1. **Instrumentation** — per-matcher counters and latency aggregates;
+2. **Explanations** — the per-constraint answer to "why did campaign X
+   (not) serve on this event?";
+3. **Snapshots** — persist the subscription set and restore it into a
+   fresh matcher (a process restart, here in one process);
+4. **Update in place** — the advertiser changes their weights, the
+   matcher swaps the subscription atomically.
+"""
+
+import os
+import tempfile
+
+from repro import (
+    Constraint,
+    Event,
+    FXTMMatcher,
+    InstrumentedMatcher,
+    Interval,
+    Subscription,
+    explain,
+    load_matcher,
+    save_matcher,
+)
+
+
+def main() -> None:
+    matcher = FXTMMatcher(prorate=True)
+    wrapped = InstrumentedMatcher(matcher)
+
+    wrapped.add_subscription(
+        Subscription(
+            "ski-trip",
+            [
+                Constraint("age", Interval(18, 30), weight=1.5),
+                Constraint("state", {"Colorado", "Utah"}, weight=2.0),
+                Constraint("age_minor", Interval(0, 17), weight=-3.0),
+            ],
+        )
+    )
+    wrapped.add_subscription(
+        Subscription(
+            "campus-meal-plan",
+            [
+                Constraint("age", Interval(17, 23), weight=2.0),
+                Constraint("student", "yes", weight=1.0),
+            ],
+        )
+    )
+
+    # --- 1. instrumented matching ------------------------------------
+    events = [
+        Event({"age": Interval(19, 21), "state": "Colorado", "student": "yes"}),
+        Event({"age": Interval(40, 45), "state": "Texas"}),
+        Event({"age": Interval(20, 25), "student": "yes"}),
+    ]
+    for event in events:
+        wrapped.match(event, k=2)
+    print("== instrumentation snapshot ==")
+    for key, value in sorted(wrapped.stats.snapshot().items()):
+        print(f"  {key}: {value}")
+
+    # --- 2. explanations -----------------------------------------------
+    print("\n== why did ski-trip score what it scored on event 1? ==")
+    print(explain(matcher, events[0], "ski-trip").render())
+    print("\n== and why did it miss on event 3? ==")
+    print(explain(matcher, events[2], "ski-trip").render())
+
+    # --- 3. snapshot / restore ------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "exchange.jsonl")
+        count = save_matcher(matcher, path)
+        print(f"\n== snapshot == wrote {count} subscriptions to {os.path.basename(path)}")
+        restored = load_matcher(path)
+        same = restored.match(events[0], 2) == matcher.match(events[0], 2)
+        print(f"restored matcher returns identical results: {same}")
+
+    # --- 4. update in place ------------------------------------------------
+    print("\n== advertiser raises the ski-trip age weight ==")
+    before = matcher.match(events[0], 1)[0]
+    matcher.update_subscription(
+        Subscription(
+            "ski-trip",
+            [
+                Constraint("age", Interval(18, 30), weight=4.0),
+                Constraint("state", {"Colorado", "Utah"}, weight=2.0),
+            ],
+        )
+    )
+    after = matcher.match(events[0], 1)[0]
+    print(f"score before {before.score:.2f} -> after {after.score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: the FX-TM public API in two minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers: building a matcher, adding weighted subscriptions (including
+negative weights and set constraints), matching events with intervals and
+UNKNOWN values, prorated scoring, and cancelling subscriptions.
+"""
+
+from repro import UNKNOWN, Constraint, Event, FXTMMatcher, Interval, Subscription
+
+
+def main() -> None:
+    # A matcher with prorated interval scoring (paper Definition 2).
+    matcher = FXTMMatcher(prorate=True)
+
+    # -- subscriptions -------------------------------------------------
+    # An advertiser for spring-break airfares (the paper's intro example):
+    # target 18-24 year olds in the tri-state area, age mattering twice
+    # as much as location.
+    matcher.add_subscription(
+        Subscription(
+            "spring-break-airfare",
+            [
+                Constraint("age", Interval(18, 24), weight=2.0),
+                Constraint("state", {"Indiana", "Illinois", "Wisconsin"}, weight=1.0),
+            ],
+        )
+    )
+    # A political campaign that must avoid under-voting-age consumers:
+    # negative weights express undesirable attribute values.
+    matcher.add_subscription(
+        Subscription(
+            "get-out-the-vote",
+            [
+                Constraint("income", Interval.at_least(40_000), weight=1.0),
+                Constraint("age", Interval(0, 17), weight=-2.0),
+                Constraint("state", "Indiana", weight=0.5),
+            ],
+        )
+    )
+    # A catch-all local ad with a small weight.
+    matcher.add_subscription(
+        Subscription("local-pizza", [Constraint("state", "Indiana", weight=0.3)])
+    )
+
+    # -- events ----------------------------------------------------------
+    # A consumer arrival: age known only as an interval, last name unknown.
+    consumer = Event(
+        {
+            "fName": "Jack",
+            "lName": UNKNOWN,
+            "age": Interval(18, 29),
+            "income": 55_000,
+            "state": "Indiana",
+        }
+    )
+
+    print("Top-2 ads for", consumer)
+    for rank, result in enumerate(matcher.match(consumer, k=2), start=1):
+        print(f"  {rank}. {result.sid:<24} score={result.score:.3f}")
+    # The airfare ad wins: its age target overlaps 6 of the consumer's 11
+    # possible ages (prorated 2.0 x 6/11) plus the state match.
+
+    # A minor triggers the campaign's negative weight and drops out.
+    minor = Event({"age": Interval(15, 16), "income": 60_000, "state": "Indiana"})
+    print("\nTop-3 ads for a 15-16 year old:")
+    for result in matcher.match(minor, k=3):
+        print(f"  - {result.sid:<24} score={result.score:.3f}")
+
+    # -- lifecycle ---------------------------------------------------------
+    matcher.cancel_subscription("local-pizza")
+    print("\nAfter cancelling local-pizza:", len(matcher), "subscriptions remain")
+
+    # The textual grammar offers the same API in the paper's notation.
+    from repro import parse_event, parse_subscription
+
+    matcher.add_subscription(
+        parse_subscription("concert", "age in [16, 30] : 1.5 and state in {Indiana} : 0.5")
+    )
+    results = matcher.match(parse_event("age: [20 .. 22], state: Indiana"), k=3)
+    print("\nVia the textual grammar:")
+    for result in results:
+        print(f"  - {result.sid:<24} score={result.score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

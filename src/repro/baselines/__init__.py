@@ -1,0 +1,20 @@
+"""Baseline matchers the paper compares against (paper section 7.1).
+
+* :mod:`repro.baselines.naive` — linear-scan oracle (correctness reference).
+* :mod:`repro.baselines.fagin` — Fagin's algorithm with max() aggregation.
+* :mod:`repro.baselines.fagin_augmented` — Fagin upgraded to mixed-sign
+  summation via per-attribute score shifting.
+* :mod:`repro.baselines.betree` — statically bulk-built BE* tree.
+"""
+
+from repro.baselines.betree import BEStarTreeMatcher
+from repro.baselines.fagin import FaginMatcher
+from repro.baselines.fagin_augmented import AugmentedFaginMatcher
+from repro.baselines.naive import NaiveMatcher
+
+__all__ = [
+    "AugmentedFaginMatcher",
+    "BEStarTreeMatcher",
+    "FaginMatcher",
+    "NaiveMatcher",
+]

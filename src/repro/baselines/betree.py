@@ -1,0 +1,740 @@
+"""Static BE* tree baseline (paper section 7.1; Sadoghi & Jacobsen [17]).
+
+The paper compares FX-TM against a BE* tree variant rebuilt statically:
+
+    "Rather than dynamically maintaining the structure as new
+    subscriptions are added, we add all subscriptions to a temporary
+    structure and then build the tree for all subscriptions. ...  In
+    addition to the subtrees in a node for intervals which are left,
+    right, and overlapping the partition value, we also have a subtree
+    for subscriptions which do not include the partitioning attribute."
+
+Each internal node partitions the subscriptions on their constraint for
+one attribute — chosen greedily as the *most divergent* dimension (the
+BE*-tree's "alternating clustering and dimension partitioning strategy",
+approximated for the static case) — into four buckets relative to a pivot
+value: entirely left of it, entirely right of it, overlapping it, and
+lacking the attribute altogether.  Leaves hold compiled subscriptions
+evaluated directly against the event.
+
+Because matching is *partial*, a non-overlapping constraint does not
+disqualify a subscription — it merely contributes nothing — so buckets can
+only be pruned through **score upper bounds**: every node carries the
+maximum achievable positive score of its subtree, both with and without
+the partition attribute's contribution, and a bucket is skipped only when
+that bound (scaled by the largest budget multiplier in the subtree) cannot
+beat the current k-th best score.  This is exactly why the structure
+degrades as M grows or selectivity drops (paper Figures 3(d)–(f)).
+
+Budget windows require the multiplier bounds to be "propagated up the tree
+to inform pruning decisions" (paper section 7.7).  Two modes reproduce the
+paper's Figure 6 variants:
+
+* ``budget_mode="sync"`` — recompute and propagate before every match
+  (the paper's single-threaded bars; correct but expensive);
+* ``budget_mode="async"`` — refresh the propagated bounds only every
+  ``refresh_interval`` matches, emulating the paper's separate update
+  thread: cheaper, but "pruning uses the current information at each
+  level, which may be inconsistent", so results can deviate while bounds
+  are stale.
+
+Additions/cancellations after the initial build mark the tree dirty; the
+next match triggers a full rebuild (the paper's stated cost model for the
+static variant).
+
+``dynamic=True`` goes beyond the paper's static variant and maintains the
+tree incrementally, the way the original BE*-tree does: an insert descends
+to the appropriate bucket, raising score bounds on the way down, and
+splits any leaf that overflows its capacity; a cancel removes the
+subscription from its leaf without tightening ancestor bounds (stale
+*larger* bounds remain sound upper bounds, merely less sharp — a standard
+lazy-maintenance trade documented here rather than hidden).  The
+equivalence tests hold for both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.results import MatchResult, sort_results
+from repro.core.scoring import SUM, infer_kind
+from repro.core.subscriptions import Subscription
+from repro.errors import MatcherStateError
+from repro.structures.treeset import BoundedTopK
+
+__all__ = ["BEStarTreeMatcher"]
+
+
+class _CompiledConstraint:
+    """One constraint flattened for fast leaf evaluation."""
+
+    __slots__ = ("attribute", "is_ranged", "low", "high", "value", "weight", "constant")
+
+    def __init__(
+        self,
+        attribute: str,
+        is_ranged: bool,
+        low: float,
+        high: float,
+        value: Any,
+        weight: float,
+        constant: int,
+    ) -> None:
+        self.attribute = attribute
+        self.is_ranged = is_ranged
+        self.low = low
+        self.high = high
+        self.value = value
+        self.weight = weight
+        self.constant = constant
+
+
+class _CompiledSub:
+    """A subscription flattened for fast leaf evaluation and bounding."""
+
+    __slots__ = ("sid", "constraints", "max_positive", "positive_by_attr")
+
+    def __init__(self, sid: Any, constraints: List[_CompiledConstraint]) -> None:
+        self.sid = sid
+        self.constraints = constraints
+        self.max_positive = sum(c.weight for c in constraints if c.weight > 0)
+        self.positive_by_attr = {
+            c.attribute: (c.weight if c.weight > 0 else 0.0) for c in constraints
+        }
+
+    def bound_excluding(self, attribute: str) -> float:
+        """Best achievable score when ``attribute`` cannot match."""
+        return self.max_positive - self.positive_by_attr.get(attribute, 0.0)
+
+
+def _pivot_key(value: Any) -> Any:
+    """Total order over heterogeneous discrete values."""
+    if isinstance(value, (int, float)):
+        return ("", value)
+    return (type(value).__name__, repr(value))
+
+
+class _BENode:
+    """One BE* tree node: either an internal partition or a leaf."""
+
+    __slots__ = (
+        "attribute",
+        "pivot",
+        "is_discrete_split",
+        "left",
+        "right",
+        "overlap",
+        "absent",
+        "subs",
+        "bound_full",
+        "bound_excl",
+        "mult_bound",
+    )
+
+    def __init__(self) -> None:
+        self.attribute: Optional[str] = None
+        self.pivot: Any = None
+        self.is_discrete_split = False
+        self.left: Optional[_BENode] = None
+        self.right: Optional[_BENode] = None
+        self.overlap: Optional[_BENode] = None
+        self.absent: Optional[_BENode] = None
+        self.subs: List[_CompiledSub] = []
+        #: Max achievable positive score over the subtree.
+        self.bound_full = 0.0
+        #: Same, excluding the *parent's* partition attribute's positive
+        #: contribution — the applicable bound when the event provably
+        #: cannot match that attribute anywhere in this bucket.  Set by the
+        #: parent at build time; equals bound_full at the root and for
+        #: "absent" buckets.
+        self.bound_excl = 0.0
+        #: Max budget multiplier over the subtree (propagated; 1.0 if off).
+        self.mult_bound = 1.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.attribute is None
+
+    def children(self) -> Tuple[Optional["_BENode"], ...]:
+        return (self.left, self.right, self.overlap, self.absent)
+
+
+class BEStarTreeMatcher(TopKMatcher):
+    """Statically bulk-built BE* tree with score-bound pruning.
+
+    ``leaf_capacity`` controls when partitioning stops; ``budget_mode``
+    selects the multiplier propagation strategy (see module docstring).
+    """
+
+    name = "be-star"
+
+    def __init__(
+        self,
+        leaf_capacity: int = 16,
+        budget_mode: str = "sync",
+        refresh_interval: int = 16,
+        dynamic: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        if kwargs.get("aggregation", SUM) is not SUM:
+            raise ValueError("the BE* baseline implements summation aggregation only")
+        if budget_mode not in ("sync", "async"):
+            raise ValueError(f"budget_mode must be 'sync' or 'async', got {budget_mode!r}")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        if refresh_interval < 1:
+            raise ValueError(f"refresh_interval must be >= 1, got {refresh_interval}")
+        super().__init__(**kwargs)
+        self.leaf_capacity = leaf_capacity
+        self.budget_mode = budget_mode
+        self.refresh_interval = refresh_interval
+        #: Incremental maintenance instead of the paper's full rebuilds.
+        self.dynamic = dynamic
+        self._root: Optional[_BENode] = None
+        self._dirty = False
+        self._matches_since_refresh = 0
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def _index_subscription(self, subscription: Subscription) -> None:
+        # Resolve kinds eagerly so schema conflicts surface at add time.
+        for constraint in subscription.constraints:
+            kind = self.schema.kind_of(constraint.attribute)
+            if kind is None:
+                self.schema.resolve(constraint.attribute, infer_kind(constraint))
+        if self.dynamic and self._root is not None and not self._dirty:
+            self._root = self._insert_dynamic(self._root, self._compile(subscription))
+        else:
+            self._dirty = True
+
+    def _deindex_subscription(self, subscription: Subscription) -> None:
+        if self.dynamic and self._root is not None and not self._dirty:
+            self._remove_dynamic(subscription)
+        else:
+            self._dirty = True
+
+    def build(self) -> None:
+        """Bulk-(re)build the tree from the registered subscriptions.
+
+        Called automatically by :meth:`match` when the subscription set has
+        changed — "additions and removals after the initial setup ...
+        require a complete rebuild of the tree" (paper section 7.1).
+        """
+        compiled = [self._compile(sub) for sub in self.subscriptions.values()]
+        self._root = self._build_node(compiled, used_attributes=frozenset()) if compiled else None
+        self._dirty = False
+        self._matches_since_refresh = 0
+        self._propagate_multipliers()
+
+    def _compile(self, subscription: Subscription) -> _CompiledSub:
+        constraints = []
+        for constraint in subscription.constraints:
+            kind = self.schema.kind_of(constraint.attribute) or infer_kind(constraint)
+            if kind.is_ranged:
+                interval = constraint.interval()
+                constraints.append(
+                    _CompiledConstraint(
+                        constraint.attribute,
+                        True,
+                        interval.low,
+                        interval.high,
+                        None,
+                        constraint.weight,
+                        kind.proration_constant,
+                    )
+                )
+            else:
+                constraints.append(
+                    _CompiledConstraint(
+                        constraint.attribute,
+                        False,
+                        0.0,
+                        0.0,
+                        constraint.value,
+                        constraint.weight,
+                        0,
+                    )
+                )
+        return _CompiledSub(subscription.sid, constraints)
+
+    def _build_node(
+        self, subs: List[_CompiledSub], used_attributes: frozenset
+    ) -> _BENode:
+        node = _BENode()
+        node.bound_full = max((s.max_positive for s in subs), default=0.0)
+        if len(subs) <= self.leaf_capacity:
+            node.subs = subs
+            node.bound_excl = node.bound_full
+            return node
+        split = self._choose_split(subs, used_attributes)
+        if split is None:
+            node.subs = subs
+            node.bound_excl = node.bound_full
+            return node
+        attribute, pivot, is_discrete = split
+        left: List[_CompiledSub] = []
+        right: List[_CompiledSub] = []
+        overlap: List[_CompiledSub] = []
+        absent: List[_CompiledSub] = []
+        for sub in subs:
+            constraint = self._constraint_of(sub, attribute)
+            if constraint is None:
+                absent.append(sub)
+            elif is_discrete and isinstance(constraint.value, frozenset):
+                # Set-membership constraints have no single pivot position;
+                # route them with the unpartitionable subscriptions, whose
+                # bucket is always searched under its full bound.
+                absent.append(sub)
+            elif is_discrete:
+                key = _pivot_key(constraint.value)
+                if key < pivot:
+                    left.append(sub)
+                elif pivot < key:
+                    right.append(sub)
+                else:
+                    overlap.append(sub)
+            else:
+                if constraint.high < pivot:
+                    left.append(sub)
+                elif constraint.low > pivot:
+                    right.append(sub)
+                else:
+                    overlap.append(sub)
+        if len(absent) == len(subs) or max(len(left), len(right), len(overlap)) == len(subs):
+            # Degenerate split: try again excluding this attribute.
+            return self._build_node(subs, used_attributes | {attribute})
+        node.attribute = attribute
+        node.pivot = pivot
+        node.is_discrete_split = is_discrete
+        children_used = used_attributes | {attribute}
+        node.left = self._build_node(left, children_used) if left else None
+        node.right = self._build_node(right, children_used) if right else None
+        node.overlap = self._build_node(overlap, children_used) if overlap else None
+        node.absent = self._build_node(absent, used_attributes) if absent else None
+        # Each constrained bucket's fallback bound excludes *this* node's
+        # attribute; the absent bucket never constrains it to begin with.
+        for child, bucket in ((node.left, left), (node.right, right), (node.overlap, overlap)):
+            if child is not None:
+                child.bound_excl = max(s.bound_excluding(attribute) for s in bucket)
+        if node.absent is not None:
+            node.absent.bound_excl = node.absent.bound_full
+        # Default until (unless) a parent overwrites it — correct for the
+        # root, which is always searched with its full bound.
+        node.bound_excl = node.bound_full
+        return node
+
+    def _constraint_of(self, sub: _CompiledSub, attribute: str) -> Optional[_CompiledConstraint]:
+        for constraint in sub.constraints:
+            if constraint.attribute == attribute:
+                return constraint
+        return None
+
+    def _choose_split(
+        self, subs: List[_CompiledSub], used_attributes: frozenset
+    ) -> Optional[Tuple[str, Any, bool]]:
+        """Pick the most divergent unused attribute and a median pivot.
+
+        Divergence here is (presence count, distinct pivot keys): an
+        attribute most subscriptions constrain, with spread-out values,
+        partitions the set most evenly — the static analogue of BE*'s
+        clustering/partitioning choice.
+        """
+        presence: Dict[str, List[_CompiledConstraint]] = {}
+        for sub in subs:
+            for constraint in sub.constraints:
+                if constraint.attribute in used_attributes:
+                    continue
+                if isinstance(constraint.value, frozenset):
+                    # Set constraints cannot anchor a pivot (no canonical
+                    # position) and would make the pivot nondeterministic.
+                    continue
+                presence.setdefault(constraint.attribute, []).append(constraint)
+        best: Optional[Tuple[int, int, str]] = None
+        for attribute, constraints in presence.items():
+            if len(constraints) < 2:
+                continue
+            sample = constraints if len(constraints) <= 64 else constraints[:: len(constraints) // 64]
+            if sample[0].is_ranged:
+                distinct = len({(c.low + c.high) for c in sample})
+            else:
+                distinct = len({_pivot_key(c.value) for c in sample})
+            if distinct < 2:
+                continue
+            candidate = (len(constraints), distinct, attribute)
+            if best is None or candidate > best:
+                best = candidate
+        if best is None:
+            return None
+        attribute = best[2]
+        constraints = presence[attribute]
+        if constraints[0].is_ranged:
+            midpoints = sorted((c.low + c.high) / 2.0 for c in constraints)
+            pivot = midpoints[len(midpoints) // 2]
+            return attribute, pivot, False
+        keys = sorted(_pivot_key(c.value) for c in constraints)
+        pivot = keys[len(keys) // 2]
+        return attribute, pivot, True
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (beyond the paper's static variant)
+    # ------------------------------------------------------------------
+    def _route_bucket(self, node: _BENode, sub: _CompiledSub) -> str:
+        """Which of an internal node's buckets this subscription belongs in.
+
+        Mirrors :meth:`_build_node`'s partitioning exactly, so dynamic
+        inserts and bulk builds place subscriptions identically.
+        """
+        assert node.attribute is not None
+        constraint = self._constraint_of(sub, node.attribute)
+        if constraint is None:
+            return "absent"
+        if node.is_discrete_split:
+            if isinstance(constraint.value, frozenset):
+                return "absent"
+            key = _pivot_key(constraint.value)
+            if key < node.pivot:
+                return "left"
+            if node.pivot < key:
+                return "right"
+            return "overlap"
+        if constraint.high < node.pivot:
+            return "left"
+        if constraint.low > node.pivot:
+            return "right"
+        return "overlap"
+
+    def _insert_dynamic(self, node: _BENode, sub: _CompiledSub) -> _BENode:
+        """Insert one compiled subscription, returning the (possibly
+        replaced) subtree root.
+
+        Bounds along the descent path are raised so pruning stays sound;
+        an overflowing leaf is re-partitioned in place with the same bulk
+        machinery the initial build uses.
+        """
+        if node.is_leaf:
+            node.subs.append(sub)
+            if sub.max_positive > node.bound_full:
+                node.bound_full = sub.max_positive
+            if len(node.subs) > self.leaf_capacity:
+                rebuilt = self._build_node(node.subs, frozenset())
+                # bound_excl is relative to the parent's attribute, which
+                # this subtree cannot see; inheriting the old value is
+                # sound (the caller raises it for the new subscription).
+                rebuilt.bound_excl = node.bound_excl
+                rebuilt.mult_bound = max(node.mult_bound, rebuilt.mult_bound)
+                return rebuilt
+            return node
+        if sub.max_positive > node.bound_full:
+            node.bound_full = sub.max_positive
+        bucket = self._route_bucket(node, sub)
+        child = getattr(node, bucket)
+        if child is None:
+            child = _BENode()
+            child.subs = [sub]
+            child.bound_full = sub.max_positive
+            setattr(node, bucket, child)
+        else:
+            setattr(node, bucket, self._insert_dynamic(child, sub))
+            child = getattr(node, bucket)
+        # Refresh the child's parent-relative fallback bound.
+        if bucket == "absent":
+            child.bound_excl = max(child.bound_excl, child.bound_full)
+        else:
+            assert node.attribute is not None
+            child.bound_excl = max(
+                child.bound_excl, sub.bound_excluding(node.attribute)
+            )
+        return node
+
+    def _remove_dynamic(self, subscription: Subscription) -> None:
+        """Remove a subscription from its leaf.
+
+        Routing is deterministic, so re-descending with the compiled form
+        finds the same leaf the insert used.  Ancestor bounds are left
+        as-is: a stale *larger* upper bound is still an upper bound, so
+        pruning remains sound (just less sharp until the next rebuild).
+        """
+        sub = self._compile(subscription)
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            bucket = self._route_bucket(node, sub)
+            child = getattr(node, bucket)
+            if child is None:
+                raise MatcherStateError(
+                    f"subscription {subscription.sid!r} not found in the tree"
+                )
+            node = child
+        for index, candidate in enumerate(node.subs):
+            if candidate.sid == subscription.sid:
+                del node.subs[index]
+                return
+        raise MatcherStateError(
+            f"subscription {subscription.sid!r} not found in its leaf"
+        )
+
+    # ------------------------------------------------------------------
+    # Budget multiplier propagation (paper section 7.7)
+    # ------------------------------------------------------------------
+    def _propagate_multipliers(self) -> None:
+        """Recompute every node's max-multiplier bound bottom-up.
+
+        ``O(N)`` per invocation — in sync mode this runs before *every*
+        match, which is precisely the overhead Figure 6 measures.
+        """
+        if self._root is None:
+            return
+        tracker = self.budget_tracker
+        if tracker is None or not len(tracker):
+            self._reset_multipliers(self._root)
+            return
+        now = tracker.clock.now()
+        states = tracker.states
+        self._propagate_node(self._root, states, now)
+
+    def _reset_multipliers(self, node: _BENode) -> None:
+        node.mult_bound = 1.0
+        for child in node.children():
+            if child is not None:
+                self._reset_multipliers(child)
+
+    def _propagate_node(self, node: _BENode, states: Dict[Any, Any], now: float) -> float:
+        deactivate = (
+            self.budget_tracker is not None and self.budget_tracker.deactivate_expired
+        )
+        if node.is_leaf:
+            bound = 1.0
+            for sub in node.subs:
+                state = states.get(sub.sid)
+                if state is not None and not (deactivate and state.expired(now)):
+                    multiplier = state.multiplier(now)
+                    if multiplier > bound:
+                        bound = multiplier
+            node.mult_bound = bound
+            return bound
+        bound = 0.0
+        for child in node.children():
+            if child is not None:
+                child_bound = self._propagate_node(child, states, now)
+                if child_bound > bound:
+                    bound = child_bound
+        node.mult_bound = bound if bound > 0.0 else 1.0
+        return node.mult_bound
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _match_topk(self, event: Event, k: int) -> List[MatchResult]:
+        if self._dirty:
+            self.build()
+        if self._root is None:
+            return []
+        if self.budget_tracker is not None and len(self.budget_tracker):
+            if self.budget_mode == "sync":
+                self._propagate_multipliers()
+            else:
+                self._matches_since_refresh += 1
+                if self._matches_since_refresh >= self.refresh_interval:
+                    self._propagate_multipliers()
+                    self._matches_since_refresh = 0
+
+        # Flatten the event once for leaf evaluation.
+        ranged_view: Dict[str, Tuple[float, float]] = {}
+        discrete_view: Dict[str, Any] = {}
+        for attribute, value in event.known_items():
+            kind = self.schema.kind_of(attribute)
+            if isinstance(value, Interval) or (
+                kind is not None and kind.is_ranged and isinstance(value, (int, float))
+            ):
+                interval = event.interval_of(attribute)
+                ranged_view[attribute] = (interval.low, interval.high)
+            else:
+                discrete_view[attribute] = value
+
+        topk = BoundedTopK(k)
+        self._search(self._root, event, ranged_view, discrete_view, topk)
+        return sort_results(
+            [MatchResult(sid, score) for sid, score in topk.results_descending()]
+        )
+
+    def _search(
+        self,
+        node: _BENode,
+        event: Event,
+        ranged_view: Dict[str, Tuple[float, float]],
+        discrete_view: Dict[str, Any],
+        topk: BoundedTopK,
+    ) -> None:
+        stack: List[Tuple[_BENode, bool]] = [(node, True)]
+        prorate = self.prorate
+        use_event_weights = event.has_weights
+        tracker = self.budget_tracker
+        now = tracker.clock.now() if tracker is not None else 0.0
+        states = tracker.states if tracker is not None else None
+        include_nonpositive = self.include_nonpositive
+        # Score bounds derive from *subscription* weights; when the event
+        # overrides weights (Algorithm 2 line 33) those bounds are unsound
+        # and pruning must be disabled for this match.
+        may_prune = not include_nonpositive and not use_event_weights
+
+        while stack:
+            current, attr_can_match = stack.pop()
+            bar = topk.threshold()
+            bound = current.bound_full if attr_can_match else current.bound_excl
+            if may_prune and bar is not None and bound * current.mult_bound <= bar:
+                continue
+            if current.is_leaf:
+                self._score_leaf(
+                    current,
+                    event,
+                    ranged_view,
+                    discrete_view,
+                    topk,
+                    prorate,
+                    use_event_weights,
+                    states,
+                    now,
+                )
+                continue
+            attribute = current.attribute
+            assert attribute is not None
+            if current.is_discrete_split:
+                value = discrete_view.get(attribute)
+                has_value = value is not None or attribute in discrete_view
+                key = _pivot_key(value) if has_value else None
+                if current.left is not None:
+                    stack.append((current.left, has_value and key < current.pivot))
+                if current.right is not None:
+                    stack.append((current.right, has_value and current.pivot < key))
+                if current.overlap is not None:
+                    stack.append((current.overlap, has_value and key == current.pivot))
+            else:
+                span = ranged_view.get(attribute)
+                if current.left is not None:
+                    # Left holds constraints entirely below the pivot; the
+                    # event can reach them only if it extends below it.
+                    stack.append((current.left, span is not None and span[0] < current.pivot))
+                if current.right is not None:
+                    stack.append((current.right, span is not None and span[1] > current.pivot))
+                if current.overlap is not None:
+                    stack.append((current.overlap, span is not None))
+            if current.absent is not None:
+                # These subscriptions lack the attribute entirely; their
+                # full bound applies regardless of the event.
+                stack.append((current.absent, True))
+
+    def _score_leaf(
+        self,
+        leaf: _BENode,
+        event: Event,
+        ranged_view: Dict[str, Tuple[float, float]],
+        discrete_view: Dict[str, Any],
+        topk: BoundedTopK,
+        prorate: bool,
+        use_event_weights: bool,
+        states: Optional[Dict[Any, Any]],
+        now: float,
+    ) -> None:
+        include_nonpositive = self.include_nonpositive
+        may_prune = not include_nonpositive and not use_event_weights
+        deactivate = (
+            self.budget_tracker is not None and self.budget_tracker.deactivate_expired
+        )
+        for sub in leaf.subs:
+            multiplier = 1.0
+            if states is not None:
+                state = states.get(sub.sid)
+                if state is not None:
+                    if deactivate and state.expired(now):
+                        multiplier = 0.0
+                    else:
+                        multiplier = state.multiplier(now)
+            if may_prune:
+                bar = topk.threshold()
+                if bar is not None and sub.max_positive * multiplier <= bar:
+                    continue
+            score = 0.0
+            matched = False
+            for constraint in sub.constraints:
+                if constraint.is_ranged:
+                    span = ranged_view.get(constraint.attribute)
+                    if span is None:
+                        continue
+                    qlo, qhi = span
+                    if constraint.low > qhi or constraint.high < qlo:
+                        continue
+                    matched = True
+                    weight = constraint.weight
+                    if use_event_weights:
+                        override = event.weight_for(constraint.attribute)
+                        weight = override if override is not None else 0.0
+                    if prorate:
+                        constant = constraint.constant
+                        event_width = qhi - qlo + constant
+                        overlap = min(qhi, constraint.high) - max(qlo, constraint.low) + constant
+                        fraction = overlap / event_width if event_width > 0 else 1.0
+                        weight *= min(fraction, 1.0)
+                    score += weight
+                else:
+                    if constraint.attribute not in discrete_view:
+                        continue
+                    value = discrete_view[constraint.attribute]
+                    if isinstance(constraint.value, frozenset):
+                        if value not in constraint.value:
+                            continue
+                    elif value != constraint.value:
+                        continue
+                    matched = True
+                    weight = constraint.weight
+                    if use_event_weights:
+                        override = event.weight_for(constraint.attribute)
+                        weight = override if override is not None else 0.0
+                    score += weight
+            if not matched:
+                continue
+            score *= multiplier
+            if score > 0.0 or include_nonpositive:
+                topk.offer(sub.sid, score)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and benchmarks)
+    # ------------------------------------------------------------------
+    def tree_depth(self) -> int:
+        """The maximum depth of the built tree (0 for empty)."""
+        if self._dirty:
+            self.build()
+        if self._root is None:
+            return 0
+
+        def depth(node: _BENode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(child) for child in node.children() if child is not None)
+
+        return depth(self._root)
+
+    def node_count(self) -> int:
+        """Total node count of the built tree."""
+        if self._dirty:
+            self.build()
+        if self._root is None:
+            return 0
+
+        def count(node: _BENode) -> int:
+            return 1 + sum(count(child) for child in node.children() if child is not None)
+
+        return count(self._root)
+
+    def ensure_built(self) -> None:
+        """Force a rebuild now if the subscription set changed.
+
+        Benchmarks call this so build cost is not charged to match time.
+        """
+        if self._dirty:
+            self.build()
+        if self._root is None and self.subscriptions:
+            raise MatcherStateError("build produced no tree despite subscriptions")

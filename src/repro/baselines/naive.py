@@ -1,0 +1,65 @@
+"""Naive linear-scan matcher: the correctness oracle.
+
+Not part of the paper's evaluation — this matcher exists so the test suite
+has an obviously-correct reference: it scores *every* registered
+subscription with the reference scoring functions of
+:mod:`repro.core.scoring` (Definitions 1, 2 and 4 applied directly) and
+sorts.  ``O(N M)`` per match; every other matcher must return exactly the
+same top-k sets on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.results import MatchResult, sort_results
+from repro.core.scoring import constraint_matches, resolve_kind, score_subscription
+from repro.core.subscriptions import Subscription
+
+__all__ = ["NaiveMatcher"]
+
+
+class NaiveMatcher(TopKMatcher):
+    """Exhaustive reference implementation of the paper's model."""
+
+    name = "naive"
+
+    def _index_subscription(self, subscription: Subscription) -> None:
+        # The subscription dict kept by the base class is the only index,
+        # but kinds are still resolved so schema consistency is enforced
+        # identically to the indexed matchers.
+        for constraint in subscription.constraints:
+            resolve_kind(self.schema, constraint)
+
+    def _deindex_subscription(self, subscription: Subscription) -> None:
+        pass
+
+    def _match_topk(self, event: Event, k: int) -> List[MatchResult]:
+        scored: List[MatchResult] = []
+        for sid, subscription in self.subscriptions.items():
+            if not self._matches_at_all(subscription, event):
+                # Partial matching: a subscription with no satisfied
+                # constraint is not a match at all, even when
+                # include_nonpositive admits zero scores.
+                continue
+            score = score_subscription(
+                subscription,
+                event,
+                self.schema,
+                prorate=self.prorate,
+                aggregation=self.aggregation,
+            )
+            score *= self.budget_multiplier(sid)
+            if score > 0.0 or self.include_nonpositive:
+                scored.append(MatchResult(sid, score))
+        return sort_results(scored)[:k]
+
+    def _matches_at_all(self, subscription: Subscription, event: Event) -> bool:
+        """Whether at least one constraint of the subscription matches."""
+        for constraint in subscription.constraints:
+            kind = resolve_kind(self.schema, constraint)
+            if constraint_matches(constraint, event, kind):
+                return True
+        return False

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every figure and table of the paper.
+
+Entry point: ``python -m repro.bench.run_all`` (see DESIGN.md section 4
+for the experiment-to-module index).  Sizing scales with ``REPRO_SCALE``.
+"""
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    FIGURE_ALGORITHMS,
+    REALWORLD_ALGORITHMS,
+    FigureResult,
+    Series,
+    TimingStats,
+    load_subscriptions,
+    make_matcher,
+    measure_matching,
+)
+from repro.bench.memory import deep_sizeof, matching_peak_bytes, storage_bytes
+from repro.bench.scale import events_per_point, scale_factor, scaled
+
+__all__ = [
+    "ALGORITHMS",
+    "FIGURE_ALGORITHMS",
+    "REALWORLD_ALGORITHMS",
+    "FigureResult",
+    "Series",
+    "TimingStats",
+    "deep_sizeof",
+    "events_per_point",
+    "load_subscriptions",
+    "make_matcher",
+    "matching_peak_bytes",
+    "measure_matching",
+    "scale_factor",
+    "scaled",
+    "storage_bytes",
+]

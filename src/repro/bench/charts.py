@@ -1,0 +1,104 @@
+"""ASCII charts for figure results.
+
+The paper presents Figures 3, 4 and 7 as (log-scale) line charts; this
+module renders a :class:`~repro.bench.harness.FigureResult` as a terminal
+chart so ``run_all``'s output can be eyeballed the way the paper's
+figures are — who is on top, where lines cross — without leaving the
+shell or adding a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import FigureResult, Series
+
+__all__ = ["render_ascii_chart"]
+
+#: Plot glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _log_position(value: float, low: float, high: float, extent: int) -> int:
+    """Map ``value`` into [0, extent) on a log scale."""
+    if value <= 0 or low <= 0:
+        return 0
+    span = math.log(high / low) if high > low else 1.0
+    fraction = math.log(value / low) / span if span else 0.0
+    return min(extent - 1, max(0, int(round(fraction * (extent - 1)))))
+
+
+def _linear_position(value: float, low: float, high: float, extent: int) -> int:
+    span = high - low
+    fraction = (value - low) / span if span else 0.0
+    return min(extent - 1, max(0, int(round(fraction * (extent - 1)))))
+
+
+def render_ascii_chart(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+    series_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the figure as an ASCII line chart.
+
+    ``log_y=True`` mirrors the paper's logarithmic y-axes.  Series whose
+    values include non-positives fall back to a linear y-axis
+    automatically.  Returns a multi-line string.
+    """
+    if width < 16 or height < 4:
+        raise ValueError(f"chart needs width >= 16 and height >= 4, got {width}x{height}")
+    series_list: List[Series] = list(result.series)
+    if series_labels is not None:
+        series_list = [result.series_by_label(label) for label in series_labels]
+    points = [
+        (series, x, y)
+        for series in series_list
+        for x, y in zip(series.x_values, series.y_values)
+    ]
+    if not points:
+        return f"{result.figure}: (no data)"
+
+    ys = [y for _s, _x, y in points]
+    xs = [x for _s, x, y in points]
+    if log_y and min(ys) <= 0:
+        log_y = False
+    y_low, y_high = min(ys), max(ys)
+    x_low, x_high = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(series.x_values, series.y_values):
+            column = _linear_position(x, x_low, x_high, width)
+            if log_y:
+                row = _log_position(y, y_low, y_high, height)
+            else:
+                row = _linear_position(y, y_low, y_high, height)
+            grid[height - 1 - row][column] = marker
+
+    def format_tick(value: float) -> str:
+        return f"{value:.3g}"
+
+    lines = [f"{result.figure}: {result.title}"]
+    top_label = format_tick(y_high).rjust(10)
+    bottom_label = format_tick(y_low).rjust(10)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = " " * 10
+        lines.append(f"{prefix} |{''.join(row)}|")
+    axis = f"{format_tick(x_low)} .. {format_tick(x_high)}  ({result.x_label})"
+    lines.append(" " * 11 + axis.center(width))
+    scale = "log" if log_y else "linear"
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {series.label}"
+        for index, series in enumerate(series_list)
+    )
+    lines.append(f"{' ' * 11}y: {result.y_label} ({scale})   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""The paper's headline claims as executable checks.
+
+EXPERIMENTS.md records the paper-vs-measured comparison prose; this
+module encodes the *checkable core* of each claim as a predicate over
+the regenerated :class:`~repro.bench.harness.FigureResult` objects, so a
+full reproduction run can end with a machine-produced verdict table
+(``python -m repro.bench.run_all --validate``) instead of relying on a
+human reading the numbers.
+
+Each claim names the figure it consumes, quotes the paper, and checks an
+*ordering or trend* — never an absolute time — with margins wide enough
+to survive machine noise (the quantitative detail stays in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.harness import FigureResult
+
+__all__ = ["Claim", "ClaimVerdict", "PAPER_CLAIMS", "evaluate_claims", "render_verdicts"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable paper claim."""
+
+    claim_id: str
+    figure: str
+    statement: str
+    check: Callable[[FigureResult], bool]
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    claim_id: str
+    figure: str
+    statement: str
+    #: True = held, False = failed, None = figure not available.
+    held: Optional[bool]
+
+
+def _first(series) -> float:
+    return series.y_values[0]
+
+
+def _last(series) -> float:
+    return series.y_values[-1]
+
+
+def _ratio_series(result: FigureResult, numerator: str, denominator: str) -> List[float]:
+    top = result.series_by_label(numerator)
+    bottom = result.series_by_label(denominator)
+    return [a / b for a, b in zip(top.y_values, bottom.y_values) if b > 0]
+
+
+# ----------------------------------------------------------------------
+# The claims
+# ----------------------------------------------------------------------
+def _fig3a_fxtm_scales_with_k(result: FigureResult) -> bool:
+    """FX-TM 'scales very well' with k: growth well below k's growth."""
+    series = result.series_by_label("fx-tm")
+    k_growth = series.x_values[-1] / series.x_values[0]
+    return _last(series) / _first(series) < k_growth / 2
+
+
+def _fig3a_fagin_degrades_with_k(result: FigureResult) -> bool:
+    """Fagin's k-dependence: competitive at 1%, clearly worse at 20%."""
+    ratios = _ratio_series(result, "fagin", "fx-tm")
+    return ratios[0] < 2.0 and ratios[-1] > ratios[0]
+
+
+def _fig3a_augmented_order_slower(result: FigureResult) -> bool:
+    """Upgraded Fagin pays for expressiveness at every k."""
+    return all(r > 2.0 for r in _ratio_series(result, "fagin-augmented", "fx-tm"))
+
+
+def _fig3bc_linear_in_n(result: FigureResult) -> bool:
+    """Every algorithm grows with N (S grows at fixed S/N)."""
+    for label in ("fx-tm", "be-star", "fagin-augmented"):
+        series = result.series_by_label(label)
+        if _last(series) <= _first(series):
+            return False
+    return True
+
+
+def _fig3de_fxtm_flat_bestar_grows(result: FigureResult) -> bool:
+    """'Almost no perceivable difference' for FX-TM; BE* M-sensitive."""
+    fxtm = result.series_by_label("fx-tm")
+    bestar = result.series_by_label("be-star")
+    m_growth = fxtm.x_values[-1] / fxtm.x_values[0]
+    fxtm_growth = _last(fxtm) / _first(fxtm)
+    bestar_growth = _last(bestar) / _first(bestar)
+    return fxtm_growth < m_growth / 2 and bestar_growth > fxtm_growth
+
+
+def _fig3f_fxtm_output_sensitive(result: FigureResult) -> bool:
+    """FX-TM cost grows appreciably with selectivity."""
+    series = result.series_by_label("fx-tm")
+    return _last(series) > 2.0 * _first(series)
+
+
+def _fig3f_bestar_gap_narrows(result: FigureResult) -> bool:
+    """BE* 'adds over 1000%' at low S/N but converges as S/N -> 1."""
+    ratios = _ratio_series(result, "be-star", "fx-tm")
+    return ratios[0] > 4.0 and ratios[-1] < ratios[0] / 2
+
+
+def _fig3f_augmented_flat(result: FigureResult) -> bool:
+    """Augmented Fagin's effective S/N is pinned at 1: no strong trend."""
+    series = result.series_by_label("fagin-augmented")
+    return _last(series) < 4.0 * _first(series)
+
+
+def _fig4_bestar_slower(result: FigureResult) -> bool:
+    """BE* trails FX-TM on the real-world-like data at every point."""
+    return all(r > 1.0 for r in _ratio_series(result, "be-star", "fx-tm"))
+
+
+def _fig4_fagin_crossover_in_k(result: FigureResult) -> bool:
+    """Fagin's edge at low k erodes as k grows."""
+    ratios = _ratio_series(result, "fagin", "fx-tm")
+    return ratios[-1] > ratios[0]
+
+
+def _fig5_storage_linear(result: FigureResult) -> bool:
+    """Storage grows ~linearly in the swept variable for every matcher."""
+    for series in result.series:
+        x_growth = series.x_values[-1] / series.x_values[0]
+        y_growth = _last(series) / _first(series)
+        if not (x_growth / 2.5 < y_growth < x_growth * 2.5):
+            return False
+    return True
+
+
+def _fig5_fxtm_equals_fagin_storage(result: FigureResult) -> bool:
+    """'The memory required ... is the same for FX-TM and Fagin's.'"""
+    fxtm = result.series_by_label("fx-tm")
+    fagin = result.series_by_label("fagin")
+    return all(
+        abs(a - b) / a < 0.05 for a, b in zip(fxtm.y_values, fagin.y_values)
+    )
+
+
+def _fig6_overhead_modest_for_fxtm_fagin(result: FigureResult) -> bool:
+    """FX-TM/Fagin pay a bounded premium for the budget mechanism."""
+    off = result.series_by_label("no-budget")
+    on = result.series_by_label("budget-sync")
+    for index in (0, 1):  # fx-tm, fagin
+        if on.y_values[index] > 3.0 * off.y_values[index]:
+            return False
+    return True
+
+
+def _fig6_fxtm_still_beats_fagin(result: FigureResult) -> bool:
+    """'The overall time taken for FX-TM still being less than ... Fagin.'"""
+    on = result.series_by_label("budget-sync")
+    return on.y_values[0] < on.y_values[1] * 1.2  # fx-tm vs fagin, with slack
+
+
+def _fig7_local_falls(result: FigureResult) -> bool:
+    """Local time decreases as leaves are added."""
+    for label in ("fx-tm local", "be-star local"):
+        series = result.series_by_label(label)
+        if _last(series) > _first(series) / 2:
+            return False
+    return True
+
+
+def _fig7_distribution_helps(result: FigureResult) -> bool:
+    """The total-time optimum beats the single-node time."""
+    for label in ("fx-tm total", "be-star total"):
+        series = result.series_by_label(label)
+        if min(series.y_values) >= series.at(series.x_values[0]):
+            return False
+    return True
+
+
+def _fig7_bestar_slower_locally(result: FigureResult) -> bool:
+    """'The BE* tree takes 330% as long as FX-TM at the local nodes.'"""
+    ratios = _ratio_series(result, "be-star local", "fx-tm local")
+    return all(r > 1.5 for r in ratios)
+
+
+PAPER_CLAIMS: List[Claim] = [
+    Claim("3a-fxtm-k", "fig3a", "FX-TM scales very well with k (log k term)", _fig3a_fxtm_scales_with_k),
+    Claim("3a-fagin-k", "fig3a", "Fagin competitive at k=1%, degrading as k grows", _fig3a_fagin_degrades_with_k),
+    Claim("3a-augmented", "fig3a", "augmented Fagin never close to FX-TM", _fig3a_augmented_order_slower),
+    Claim("3bc-linear-n", "fig3c", "matching time grows with N for all algorithms", _fig3bc_linear_in_n),
+    Claim("3de-m-shape", "fig3e", "FX-TM flat in M; BE* pruning loses potency with M", _fig3de_fxtm_flat_bestar_grows),
+    Claim("3f-fxtm-s", "fig3f", "FX-TM output-sensitive in selectivity", _fig3f_fxtm_output_sensitive),
+    Claim("3f-bestar-s", "fig3f", "BE* >1000% worse at low S/N, converging as S/N rises", _fig3f_bestar_gap_narrows),
+    Claim("3f-augmented-flat", "fig3f", "augmented Fagin shows no real selectivity trend", _fig3f_augmented_flat),
+    Claim("4a-bestar", "fig4a", "BE* slower than FX-TM on IMDB-like data", _fig4_bestar_slower),
+    Claim("4a-fagin-k", "fig4a", "Fagin's low-k edge erodes as k grows (IMDB-like)", _fig4_fagin_crossover_in_k),
+    Claim("4d-bestar", "fig4d", "BE* slower than FX-TM on Yahoo!-like data", _fig4_bestar_slower),
+    Claim("5a-linear", "fig5a", "subscription storage linear in N", _fig5_storage_linear),
+    Claim("5a-same-storage", "fig5a", "FX-TM and Fagin storage identical (same structures)", _fig5_fxtm_equals_fagin_storage),
+    Claim("5b-linear", "fig5b", "subscription storage linear in M", _fig5_storage_linear),
+    Claim("6a-modest", "fig6a", "budget overhead modest for FX-TM and Fagin", _fig6_overhead_modest_for_fxtm_fagin),
+    Claim("6a-order", "fig6a", "FX-TM with budgets still at or below Fagin", _fig6_fxtm_still_beats_fagin),
+    Claim("7-local", "fig7", "local time falls as leaves are added", _fig7_local_falls),
+    Claim("7-optimum", "fig7", "distribution beats the single node despite aggregation", _fig7_distribution_helps),
+    Claim("7-bestar-local", "fig7", "BE* markedly slower than FX-TM at the leaves", _fig7_bestar_slower_locally),
+]
+
+
+def evaluate_claims(
+    results: Dict[str, FigureResult],
+    claims: Optional[List[Claim]] = None,
+) -> List[ClaimVerdict]:
+    """Check every claim whose figure is present in ``results``."""
+    verdicts = []
+    for claim in claims if claims is not None else PAPER_CLAIMS:
+        result = results.get(claim.figure)
+        if result is None:
+            verdicts.append(ClaimVerdict(claim.claim_id, claim.figure, claim.statement, None))
+            continue
+        try:
+            held = bool(claim.check(result))
+        except (KeyError, IndexError, ZeroDivisionError):
+            held = False
+        verdicts.append(ClaimVerdict(claim.claim_id, claim.figure, claim.statement, held))
+    return verdicts
+
+
+def render_verdicts(verdicts: List[ClaimVerdict]) -> str:
+    """A verdict table: HELD / FAILED / SKIPPED per claim."""
+    lines = ["== paper claim validation =="]
+    held = failed = skipped = 0
+    for verdict in verdicts:
+        if verdict.held is None:
+            status = "SKIPPED"
+            skipped += 1
+        elif verdict.held:
+            status = "HELD"
+            held += 1
+        else:
+            status = "FAILED"
+            failed += 1
+        lines.append(
+            f"  [{status:^7}] {verdict.claim_id:<18} ({verdict.figure}) {verdict.statement}"
+        )
+    lines.append(f"  {held} held, {failed} failed, {skipped} skipped")
+    return "\n".join(lines)

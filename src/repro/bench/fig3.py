@@ -1,0 +1,174 @@
+"""Figure 3 regeneration: micro-benchmarks (paper section 7.3).
+
+Six panels, each sweeping one variable with the others at Table 2
+defaults, comparing FX-TM, BE*, Fagin, and augmented Fagin:
+
+* (a) k as a % of N;
+* (b), (c) N at k = 1% and 2% of N;
+* (d), (e) M at k = 1% and 2% of N;
+* (f) selectivity S/N.
+
+Every algorithm sees the identical subscription and event lists.  Paper
+sizes are scaled by ``REPRO_SCALE`` (see :mod:`repro.bench.scale`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    FIGURE_ALGORITHMS,
+    FigureResult,
+    Series,
+    load_subscriptions,
+    make_matcher,
+    measure_matching,
+)
+from repro.bench.scale import events_per_point, scaled
+from repro.workloads.defaults import GENERATED_N
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+__all__ = [
+    "K_PERCENT_SWEEP",
+    "N_MULTIPLIER_SWEEP",
+    "M_SWEEP",
+    "SELECTIVITY_SWEEP",
+    "fig3a_k_sweep",
+    "fig3bc_n_sweep",
+    "fig3de_m_sweep",
+    "fig3f_selectivity_sweep",
+]
+
+#: Paper sweeps k from 1% to 20% of N (Figure 3(a)).
+K_PERCENT_SWEEP: Tuple[float, ...] = (1.0, 2.5, 5.0, 10.0, 15.0, 20.0)
+#: Paper sweeps N from 50k to 250k, i.e. 0.5x..2.5x the default.
+N_MULTIPLIER_SWEEP: Tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5)
+#: Paper sweeps M from 5 to 40 attributes (Figures 3(d), 3(e)).
+M_SWEEP: Tuple[int, ...] = (5, 12, 20, 30, 40)
+#: Paper sweeps selectivity over (0, 1) (Figure 3(f)).
+SELECTIVITY_SWEEP: Tuple[float, ...] = (0.05, 0.15, 0.22, 0.35, 0.5, 0.7, 0.85)
+
+
+def _measure_point(
+    workload: MicroWorkload,
+    k: int,
+    algorithms: Sequence[str],
+    result: FigureResult,
+    x: float,
+    event_count: int,
+) -> None:
+    """Time every algorithm on this workload/k and append to its series."""
+    subscriptions = workload.subscriptions()
+    events = workload.events(event_count)
+    for name in algorithms:
+        matcher = make_matcher(name, prorate=True)
+        load_subscriptions(matcher, subscriptions)
+        stats = measure_matching(matcher, events, k)
+        result.series_by_label(name).add(x, stats.mean_ms, stats.std_ms)
+
+
+def _new_result(figure: str, title: str, x_label: str, algorithms: Sequence[str]) -> FigureResult:
+    result = FigureResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label="matching time (ms)",
+    )
+    result.series = [Series(label=name) for name in algorithms]
+    return result
+
+
+def fig3a_k_sweep(
+    n: Optional[int] = None,
+    k_percents: Sequence[float] = K_PERCENT_SWEEP,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    event_count: Optional[int] = None,
+) -> FigureResult:
+    """Figure 3(a): k as a % of N versus matching time."""
+    n = n if n is not None else scaled(GENERATED_N)
+    event_count = event_count if event_count is not None else events_per_point()
+    result = _new_result("fig3a", "k vs matching time (generated data)", "k (% of N)", algorithms)
+    result.notes.update({"N": n, "events_per_point": event_count})
+    workload = MicroWorkload(MicroWorkloadConfig(n=n))
+    subscriptions = workload.subscriptions()
+    events = workload.events(event_count)
+    loaded = {}
+    for name in algorithms:
+        matcher = make_matcher(name, prorate=True)
+        load_subscriptions(matcher, subscriptions)
+        loaded[name] = matcher
+    for k_percent in k_percents:
+        k = max(1, int(n * k_percent / 100.0))
+        for name in algorithms:
+            stats = measure_matching(loaded[name], events, k)
+            result.series_by_label(name).add(k_percent, stats.mean_ms, stats.std_ms)
+    return result
+
+
+def fig3bc_n_sweep(
+    k_percent: float,
+    base_n: Optional[int] = None,
+    multipliers: Sequence[float] = N_MULTIPLIER_SWEEP,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    event_count: Optional[int] = None,
+) -> FigureResult:
+    """Figures 3(b)/(c): N versus matching time at k = ``k_percent``% of N."""
+    base_n = base_n if base_n is not None else scaled(GENERATED_N)
+    event_count = event_count if event_count is not None else events_per_point()
+    figure = "fig3b" if k_percent <= 1.0 else "fig3c"
+    result = _new_result(
+        figure, f"N vs matching time, k={k_percent:g}% (generated data)", "N", algorithms
+    )
+    result.notes.update({"k_percent": k_percent, "events_per_point": event_count})
+    for multiplier in multipliers:
+        n = max(10, int(base_n * multiplier))
+        workload = MicroWorkload(MicroWorkloadConfig(n=n))
+        k = max(1, int(n * k_percent / 100.0))
+        _measure_point(workload, k, algorithms, result, float(n), event_count)
+    return result
+
+
+def fig3de_m_sweep(
+    k_percent: float,
+    n: Optional[int] = None,
+    m_values: Sequence[int] = M_SWEEP,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    event_count: Optional[int] = None,
+) -> FigureResult:
+    """Figures 3(d)/(e): M versus matching time at k = ``k_percent``% of N.
+
+    Selectivity is re-calibrated at each M so it stays at the Table 2
+    default — the paper varies variables independently.
+    """
+    n = n if n is not None else scaled(GENERATED_N)
+    event_count = event_count if event_count is not None else events_per_point()
+    figure = "fig3d" if k_percent <= 1.0 else "fig3e"
+    result = _new_result(
+        figure, f"M vs matching time, k={k_percent:g}% (generated data)", "M", algorithms
+    )
+    result.notes.update({"N": n, "k_percent": k_percent, "events_per_point": event_count})
+    k = max(1, int(n * k_percent / 100.0))
+    for m in m_values:
+        workload = MicroWorkload(MicroWorkloadConfig(n=n, m=m))
+        _measure_point(workload, k, algorithms, result, float(m), event_count)
+    return result
+
+
+def fig3f_selectivity_sweep(
+    n: Optional[int] = None,
+    selectivities: Sequence[float] = SELECTIVITY_SWEEP,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    event_count: Optional[int] = None,
+) -> FigureResult:
+    """Figure 3(f): selectivity S/N versus matching time."""
+    n = n if n is not None else scaled(GENERATED_N)
+    event_count = event_count if event_count is not None else events_per_point()
+    result = _new_result(
+        "fig3f", "selectivity vs matching time (generated data)", "S/N", algorithms
+    )
+    result.notes.update({"N": n, "events_per_point": event_count})
+    k = max(1, int(n * 0.01))
+    for selectivity in selectivities:
+        workload = MicroWorkload(MicroWorkloadConfig(n=n, selectivity=selectivity))
+        _measure_point(workload, k, algorithms, result, selectivity, event_count)
+    return result

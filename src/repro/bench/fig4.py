@@ -1,0 +1,122 @@
+"""Figure 4 regeneration: real-world-data benchmarks (paper section 7.5).
+
+Six panels over the IMDB-like and Yahoo!-like datasets (the paper omits
+augmented Fagin here "so the differences among the other algorithms is
+clearer"):
+
+* (a) IMDB, k sweep;  (b), (c) IMDB, N sweep at k = 1% / 2%;
+* (d) Yahoo!, k sweep;  (e), (f) Yahoo!, N sweep at k = 1% / 2%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.bench.harness import (
+    REALWORLD_ALGORITHMS,
+    FigureResult,
+    Series,
+    load_subscriptions,
+    make_matcher,
+    measure_matching,
+)
+from repro.bench.scale import events_per_point, scaled
+from repro.workloads.defaults import IMDB_N, YAHOO_N
+from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+from repro.workloads.yahoo import YahooWorkload, YahooWorkloadConfig
+
+__all__ = [
+    "REALWORLD_K_SWEEP",
+    "REALWORLD_N_MULTIPLIERS",
+    "fig4_k_sweep",
+    "fig4_n_sweep",
+]
+
+#: Paper sweeps k up to 10% of N on the real-world data.
+REALWORLD_K_SWEEP = (1.0, 2.0, 4.0, 7.0, 10.0)
+#: N sweep multipliers (paper: 50k..250k around the 100k default).
+REALWORLD_N_MULTIPLIERS = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+_Workload = Union[IMDBWorkload, YahooWorkload]
+
+
+def _build_workload(dataset: str, n: int) -> _Workload:
+    if dataset == "imdb":
+        return IMDBWorkload(IMDBWorkloadConfig(n=n))
+    if dataset == "yahoo":
+        return YahooWorkload(YahooWorkloadConfig(n=n))
+    raise ValueError(f"dataset must be 'imdb' or 'yahoo', got {dataset!r}")
+
+
+def _paper_default_n(dataset: str) -> int:
+    return scaled(IMDB_N if dataset == "imdb" else YAHOO_N)
+
+
+def fig4_k_sweep(
+    dataset: str,
+    n: Optional[int] = None,
+    k_percents: Sequence[float] = REALWORLD_K_SWEEP,
+    algorithms: Sequence[str] = REALWORLD_ALGORITHMS,
+    event_count: Optional[int] = None,
+) -> FigureResult:
+    """Figures 4(a)/(d): k sweep on a real-world-like dataset."""
+    n = n if n is not None else _paper_default_n(dataset)
+    event_count = event_count if event_count is not None else events_per_point()
+    figure = "fig4a" if dataset == "imdb" else "fig4d"
+    result = FigureResult(
+        figure=figure,
+        title=f"k vs matching time ({dataset.upper()}-like data)",
+        x_label="k (% of N)",
+        y_label="matching time (ms)",
+    )
+    result.series = [Series(label=name) for name in algorithms]
+    result.notes.update({"N": n, "dataset": dataset, "events_per_point": event_count})
+    workload = _build_workload(dataset, n)
+    subscriptions = workload.subscriptions()
+    events = workload.events(event_count)
+    loaded = {}
+    for name in algorithms:
+        matcher = make_matcher(name, schema=workload.schema(), prorate=True)
+        load_subscriptions(matcher, subscriptions)
+        loaded[name] = matcher
+    for k_percent in k_percents:
+        k = max(1, int(n * k_percent / 100.0))
+        for name in algorithms:
+            stats = measure_matching(loaded[name], events, k)
+            result.series_by_label(name).add(k_percent, stats.mean_ms, stats.std_ms)
+    return result
+
+
+def fig4_n_sweep(
+    dataset: str,
+    k_percent: float,
+    base_n: Optional[int] = None,
+    multipliers: Sequence[float] = REALWORLD_N_MULTIPLIERS,
+    algorithms: Sequence[str] = REALWORLD_ALGORITHMS,
+    event_count: Optional[int] = None,
+) -> FigureResult:
+    """Figures 4(b)/(c)/(e)/(f): N sweep at fixed k percentage."""
+    base_n = base_n if base_n is not None else _paper_default_n(dataset)
+    event_count = event_count if event_count is not None else events_per_point()
+    panel = {"imdb": {1.0: "fig4b", 2.0: "fig4c"}, "yahoo": {1.0: "fig4e", 2.0: "fig4f"}}
+    figure = panel.get(dataset, {}).get(k_percent, f"fig4-{dataset}-k{k_percent:g}")
+    result = FigureResult(
+        figure=figure,
+        title=f"N vs matching time, k={k_percent:g}% ({dataset.upper()}-like data)",
+        x_label="N",
+        y_label="matching time (ms)",
+    )
+    result.series = [Series(label=name) for name in algorithms]
+    result.notes.update({"dataset": dataset, "k_percent": k_percent, "events_per_point": event_count})
+    for multiplier in multipliers:
+        n = max(10, int(base_n * multiplier))
+        workload = _build_workload(dataset, n)
+        subscriptions = workload.subscriptions()
+        events = workload.events(event_count)
+        k = max(1, int(n * k_percent / 100.0))
+        for name in algorithms:
+            matcher = make_matcher(name, schema=workload.schema(), prorate=True)
+            load_subscriptions(matcher, subscriptions)
+            stats = measure_matching(matcher, events, k)
+            result.series_by_label(name).add(float(n), stats.mean_ms, stats.std_ms)
+    return result

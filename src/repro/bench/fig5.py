@@ -1,0 +1,198 @@
+"""Figure 5 regeneration: memory usage (paper section 7.6).
+
+Eight panels; storage memory (deep structure size after loading) and
+matching memory (tracemalloc peak during a match):
+
+* (a) N vs storage (generated);       (b) M vs storage (generated);
+* (c) N vs storage (IMDB-like);       (d) N vs storage (Yahoo!-like);
+* (e) k vs matching RAM (IMDB-like);  (g) k vs matching RAM (Yahoo!-like);
+* (f) N vs matching RAM (IMDB-like);  (h) N vs matching RAM (Yahoo!-like).
+
+Per the paper, absolute values are implementation artefacts; the claims
+to reproduce are the *trends* — linear storage in N and M, matching
+memory insensitive to k, growing with N (through S), and an
+order-of-magnitude gap between matching and storage memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import (
+    REALWORLD_ALGORITHMS,
+    FigureResult,
+    Series,
+    load_subscriptions,
+    make_matcher,
+)
+from repro.bench.memory import matching_peak_bytes, storage_bytes
+from repro.bench.scale import scaled
+from repro.workloads.defaults import GENERATED_N, IMDB_N, YAHOO_N
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+from repro.workloads.yahoo import YahooWorkload, YahooWorkloadConfig
+
+__all__ = [
+    "fig5a_storage_vs_n",
+    "fig5b_storage_vs_m",
+    "fig5cd_storage_realworld",
+    "fig5eg_matching_vs_k",
+    "fig5fh_matching_vs_n",
+]
+
+_MEM_ALGORITHMS = REALWORLD_ALGORITHMS  # fx-tm, be-star, fagin
+
+_N_MULTIPLIERS = (0.5, 1.0, 1.5, 2.0, 2.5)
+_M_SWEEP = (5, 12, 20, 30, 40)
+_K_SWEEP = (1.0, 2.0, 4.0, 7.0, 10.0)
+
+
+def _workload_for(dataset: str, n: int):
+    if dataset == "generated":
+        return MicroWorkload(MicroWorkloadConfig(n=n))
+    if dataset == "imdb":
+        return IMDBWorkload(IMDBWorkloadConfig(n=n))
+    if dataset == "yahoo":
+        return YahooWorkload(YahooWorkloadConfig(n=n))
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def _schema_for(workload) -> Optional[object]:
+    schema_fn = getattr(workload, "schema", None)
+    return schema_fn() if callable(schema_fn) else None
+
+
+def _default_n(dataset: str) -> int:
+    paper = {"generated": GENERATED_N, "imdb": IMDB_N, "yahoo": YAHOO_N}[dataset]
+    return scaled(paper)
+
+
+def _storage_result(figure: str, title: str, x_label: str) -> FigureResult:
+    result = FigureResult(figure=figure, title=title, x_label=x_label, y_label="storage (bytes)")
+    result.series = [Series(label=name) for name in _MEM_ALGORITHMS]
+    return result
+
+
+def fig5a_storage_vs_n(
+    base_n: Optional[int] = None,
+    multipliers: Sequence[float] = _N_MULTIPLIERS,
+) -> FigureResult:
+    """Figure 5(a): N versus subscription-storage memory (generated)."""
+    base_n = base_n if base_n is not None else _default_n("generated")
+    result = _storage_result("fig5a", "N vs storage memory (generated data)", "N")
+    for multiplier in multipliers:
+        n = max(10, int(base_n * multiplier))
+        workload = _workload_for("generated", n)
+        subscriptions = workload.subscriptions()
+        for name in _MEM_ALGORITHMS:
+            matcher = make_matcher(name, prorate=True)
+            load_subscriptions(matcher, subscriptions)
+            result.series_by_label(name).add(float(n), float(storage_bytes(matcher)))
+    return result
+
+
+def fig5b_storage_vs_m(
+    n: Optional[int] = None,
+    m_values: Sequence[int] = _M_SWEEP,
+) -> FigureResult:
+    """Figure 5(b): M versus subscription-storage memory (generated)."""
+    n = n if n is not None else _default_n("generated")
+    result = _storage_result("fig5b", "M vs storage memory (generated data)", "M")
+    result.notes["N"] = n
+    for m in m_values:
+        workload = MicroWorkload(MicroWorkloadConfig(n=n, m=m))
+        subscriptions = workload.subscriptions()
+        for name in _MEM_ALGORITHMS:
+            matcher = make_matcher(name, prorate=True)
+            load_subscriptions(matcher, subscriptions)
+            result.series_by_label(name).add(float(m), float(storage_bytes(matcher)))
+    return result
+
+
+def fig5cd_storage_realworld(
+    dataset: str,
+    base_n: Optional[int] = None,
+    multipliers: Sequence[float] = _N_MULTIPLIERS,
+) -> FigureResult:
+    """Figures 5(c)/(d): N versus storage on IMDB-like / Yahoo!-like data."""
+    base_n = base_n if base_n is not None else _default_n(dataset)
+    figure = "fig5c" if dataset == "imdb" else "fig5d"
+    result = _storage_result(figure, f"N vs storage memory ({dataset.upper()}-like)", "N")
+    result.notes["dataset"] = dataset
+    for multiplier in multipliers:
+        n = max(10, int(base_n * multiplier))
+        workload = _workload_for(dataset, n)
+        subscriptions = workload.subscriptions()
+        schema = _schema_for(workload)
+        for name in _MEM_ALGORITHMS:
+            matcher = make_matcher(name, schema=schema, prorate=True)
+            load_subscriptions(matcher, subscriptions)
+            result.series_by_label(name).add(float(n), float(storage_bytes(matcher)))
+    return result
+
+
+def fig5eg_matching_vs_k(
+    dataset: str,
+    n: Optional[int] = None,
+    k_percents: Sequence[float] = _K_SWEEP,
+    event_count: int = 8,
+) -> FigureResult:
+    """Figures 5(e)/(g): k versus matching memory (peak bytes per match)."""
+    n = n if n is not None else _default_n(dataset)
+    figure = "fig5e" if dataset == "imdb" else "fig5g"
+    result = FigureResult(
+        figure=figure,
+        title=f"k vs matching memory ({dataset.upper()}-like)",
+        x_label="k (% of N)",
+        y_label="matching peak (bytes)",
+    )
+    result.series = [Series(label=name) for name in _MEM_ALGORITHMS]
+    result.notes.update({"dataset": dataset, "N": n})
+    workload = _workload_for(dataset, n)
+    subscriptions = workload.subscriptions()
+    events = workload.events(event_count)
+    schema = _schema_for(workload)
+    loaded = {}
+    for name in _MEM_ALGORITHMS:
+        matcher = make_matcher(name, schema=schema, prorate=True)
+        load_subscriptions(matcher, subscriptions)
+        loaded[name] = matcher
+    for k_percent in k_percents:
+        k = max(1, int(n * k_percent / 100.0))
+        for name in _MEM_ALGORITHMS:
+            mean_peak, _max_peak = matching_peak_bytes(loaded[name], events, k)
+            result.series_by_label(name).add(k_percent, mean_peak)
+    return result
+
+
+def fig5fh_matching_vs_n(
+    dataset: str,
+    base_n: Optional[int] = None,
+    multipliers: Sequence[float] = _N_MULTIPLIERS,
+    k_percent: float = 2.0,
+    event_count: int = 8,
+) -> FigureResult:
+    """Figures 5(f)/(h): N versus matching memory at k = 2% of N."""
+    base_n = base_n if base_n is not None else _default_n(dataset)
+    figure = "fig5f" if dataset == "imdb" else "fig5h"
+    result = FigureResult(
+        figure=figure,
+        title=f"N vs matching memory ({dataset.upper()}-like)",
+        x_label="N",
+        y_label="matching peak (bytes)",
+    )
+    result.series = [Series(label=name) for name in _MEM_ALGORITHMS]
+    result.notes.update({"dataset": dataset, "k_percent": k_percent})
+    for multiplier in multipliers:
+        n = max(10, int(base_n * multiplier))
+        workload = _workload_for(dataset, n)
+        subscriptions = workload.subscriptions()
+        events = workload.events(event_count)
+        schema = _schema_for(workload)
+        k = max(1, int(n * k_percent / 100.0))
+        for name in _MEM_ALGORITHMS:
+            matcher = make_matcher(name, schema=schema, prorate=True)
+            load_subscriptions(matcher, subscriptions)
+            mean_peak, _max_peak = matching_peak_bytes(matcher, events, k)
+            result.series_by_label(name).add(float(n), mean_peak)
+    return result

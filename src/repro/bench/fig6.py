@@ -1,0 +1,139 @@
+"""Figure 6 regeneration: budget-window overhead (paper section 7.7).
+
+For each real-world-like dataset at the default N and k = 2%, each bar
+group compares an algorithm's matching time:
+
+* without the budget-window mechanism;
+* with it, updated synchronously ("within the same thread");
+* (BE* only) with the propagation refreshed asynchronously — the paper's
+  separate-update-thread variant, emulated here by refreshing every
+  ``refresh_interval`` matches.
+
+The paper's setup: "each subscription is added a time window of
+[1000000, 10000000] units and a budget of [10000, 100000] matches.  Every
+g(t) is set to 1 ...  A time unit is the time taken by a single iteration
+of the matching algorithm."  :func:`with_budget_windows` applies exactly
+that configuration (uniform draws per subscription, deterministic per seed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import (
+    FigureResult,
+    Series,
+    load_subscriptions,
+    make_matcher,
+    measure_matching,
+)
+from repro.bench.scale import events_per_point, scaled
+from repro.core.budget import BudgetWindowSpec
+from repro.core.subscriptions import Subscription
+from repro.workloads.defaults import IMDB_N, YAHOO_N
+from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+from repro.workloads.yahoo import YahooWorkload, YahooWorkloadConfig
+
+__all__ = ["with_budget_windows", "fig6_budget_overhead"]
+
+#: The paper's budget window parameter ranges.
+WINDOW_RANGE = (1_000_000.0, 10_000_000.0)
+BUDGET_RANGE = (10_000.0, 100_000.0)
+
+
+def with_budget_windows(
+    subscriptions: Sequence[Subscription],
+    seed: int = 42,
+    window_range: Sequence[float] = WINDOW_RANGE,
+    budget_range: Sequence[float] = BUDGET_RANGE,
+) -> List[Subscription]:
+    """Copies of the subscriptions with paper-style budget windows attached."""
+    rng = random.Random(f"budget-windows:{seed}")
+    out = []
+    for subscription in subscriptions:
+        spec = BudgetWindowSpec(
+            budget=rng.uniform(*budget_range),
+            window_length=rng.uniform(*window_range),
+        )
+        out.append(Subscription(subscription.sid, subscription.constraints, budget=spec))
+    return out
+
+
+def fig6_budget_overhead(
+    dataset: str,
+    n: Optional[int] = None,
+    k_percent: float = 2.0,
+    event_count: Optional[int] = None,
+    refresh_interval: int = 16,
+) -> FigureResult:
+    """Figure 6(a) (IMDB-like) or 6(b) (Yahoo!-like): overhead bars.
+
+    The result has one series per variant ("no-budget", "budget-sync",
+    "budget-async"); x enumerates the algorithms in
+    ``result.notes["algorithms"]`` order.  Missing bars (async only exists
+    for BE*) are recorded as NaN-free absent points, so each series may
+    have fewer x values.
+    """
+    if dataset == "imdb":
+        n = n if n is not None else scaled(IMDB_N)
+        workload = IMDBWorkload(IMDBWorkloadConfig(n=n))
+        figure = "fig6a"
+    elif dataset == "yahoo":
+        n = n if n is not None else scaled(YAHOO_N)
+        workload = YahooWorkload(YahooWorkloadConfig(n=n))
+        figure = "fig6b"
+    else:
+        raise ValueError(f"dataset must be 'imdb' or 'yahoo', got {dataset!r}")
+    event_count = event_count if event_count is not None else events_per_point()
+    k = max(1, int(n * k_percent / 100.0))
+
+    algorithms = ("fx-tm", "fagin", "be-star")
+    result = FigureResult(
+        figure=figure,
+        title=f"budget window overhead ({dataset.upper()}-like)",
+        x_label="algorithm index",
+        y_label="matching time (ms)",
+    )
+    result.series = [
+        Series(label="no-budget"),
+        Series(label="budget-sync"),
+        Series(label="budget-async"),
+    ]
+    result.notes.update(
+        {"algorithms": list(algorithms), "N": n, "k": k, "dataset": dataset}
+    )
+
+    plain_subs = workload.subscriptions()
+    budget_subs = with_budget_windows(plain_subs)
+    events = workload.events(event_count)
+    schema = workload.schema()
+
+    for index, name in enumerate(algorithms):
+        # Bar 1: mechanism off.
+        matcher = make_matcher(name, schema=schema, prorate=True)
+        load_subscriptions(matcher, plain_subs)
+        stats = measure_matching(matcher, events, k)
+        result.series_by_label("no-budget").add(float(index), stats.mean_ms, stats.std_ms)
+
+        # Bar 2: mechanism on, synchronous updates.
+        extra = {"budget_mode": "sync"} if name == "be-star" else {}
+        matcher = make_matcher(name, schema=schema, prorate=True, with_budget=True, **extra)
+        load_subscriptions(matcher, budget_subs)
+        stats = measure_matching(matcher, events, k)
+        result.series_by_label("budget-sync").add(float(index), stats.mean_ms, stats.std_ms)
+
+        # Bar 3 (BE* only): asynchronous propagation refresh.
+        if name == "be-star":
+            matcher = make_matcher(
+                name,
+                schema=schema,
+                prorate=True,
+                with_budget=True,
+                budget_mode="async",
+                refresh_interval=refresh_interval,
+            )
+            load_subscriptions(matcher, budget_subs)
+            stats = measure_matching(matcher, events, k)
+            result.series_by_label("budget-async").add(float(index), stats.mean_ms, stats.std_ms)
+    return result

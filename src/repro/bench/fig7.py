@@ -1,0 +1,103 @@
+"""Figure 7 regeneration: distributed setup (paper section 7.8).
+
+The paper spreads 500,000 generated subscriptions (5x the micro-benchmark
+default) across varying numbers of leaves, matched by FX-TM and BE* under
+a fanout-3 LOOM overlay, reporting for each leaf count the average *local*
+matching time and the *total* system time.  The reproduced trends:
+
+* local time falls as leaves are added (smaller partitions);
+* total time is U-shaped — aggregation levels grow at every power of 3,
+  so past the optimum more leaves cost more than they save;
+* BE* is slower locally and, through its higher local variance, also
+  aggregates slightly slower (the hierarchy waits for the slowest leaf).
+
+Local matching and merge computation are real measured time; network hops
+follow the calibrated :class:`~repro.distributed.network.LatencyModel`
+(see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Optional, Sequence
+
+from repro.bench.harness import FigureResult, Series, make_matcher
+from repro.bench.scale import events_per_point, scaled
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.network import LatencyModel
+from repro.workloads.defaults import GENERATED_N
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+__all__ = ["NODE_COUNT_SWEEP", "fig7_distributed"]
+
+#: Leaf counts bracketing the powers of 3 the paper's thresholds sit at.
+NODE_COUNT_SWEEP = (1, 3, 6, 9, 12, 18, 27, 40, 54, 81)
+
+_ALGORITHMS = ("fx-tm", "be-star")
+
+
+def fig7_distributed(
+    n: Optional[int] = None,
+    node_counts: Sequence[int] = NODE_COUNT_SWEEP,
+    k: Optional[int] = None,
+    event_count: Optional[int] = None,
+    latency: Optional[LatencyModel] = None,
+    algorithms: Sequence[str] = _ALGORITHMS,
+) -> FigureResult:
+    """Leaf count versus local and total latency for FX-TM and BE*.
+
+    Returns four series: ``<algo> local`` (mean leaf seconds, in ms) and
+    ``<algo> total`` (simulated end-to-end ms) per algorithm.
+    """
+    # Paper: 500,000 subscriptions = 5x the generated-data default.
+    n = n if n is not None else scaled(GENERATED_N * 5)
+    k = k if k is not None else max(1, n // 100)
+    event_count = event_count if event_count is not None else max(5, events_per_point() // 2)
+    latency = latency or LatencyModel()
+
+    result = FigureResult(
+        figure="fig7",
+        title="distributed matching with a LOOM-style overlay",
+        x_label="leaf nodes",
+        y_label="time (ms)",
+    )
+    for name in algorithms:
+        result.series.append(Series(label=f"{name} local"))
+        result.series.append(Series(label=f"{name} total"))
+    result.notes.update({"N": n, "k": k, "events_per_point": event_count, "fanout": 3})
+
+    workload = MicroWorkload(MicroWorkloadConfig(n=n))
+    subscriptions = workload.subscriptions()
+    events = workload.events(event_count)
+
+    for node_count in node_counts:
+        for name in algorithms:
+            system = DistributedTopKSystem(
+                lambda name=name: make_matcher(name, prorate=True),
+                node_count=node_count,
+                fanout=3,
+                latency=latency,
+            )
+            system.add_subscriptions(subscriptions)
+            for node in system.nodes:
+                ensure_built = getattr(node.matcher, "ensure_built", None)
+                if callable(ensure_built):
+                    ensure_built()
+            # One warmup event absorbs lazy initialisation.
+            system.match(events[0], k)
+            local_ms = []
+            total_ms = []
+            for event in events:
+                outcome = system.match(event, k)
+                local_ms.append(outcome.mean_local_seconds * 1e3)
+                total_ms.append(outcome.total_seconds * 1e3)
+            # Medians: the total is a max over leaves, so a single OS
+            # scheduling hiccup on one leaf would otherwise dominate the
+            # mean of a small sample.
+            result.series_by_label(f"{name} local").add(
+                float(node_count), statistics.median(local_ms)
+            )
+            result.series_by_label(f"{name} total").add(
+                float(node_count), statistics.median(total_ms)
+            )
+    return result

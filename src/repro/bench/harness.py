@@ -1,0 +1,230 @@
+"""Shared experiment machinery: matcher registry, timing, result tables.
+
+Every figure-regeneration module in this package builds on the same few
+pieces so that all algorithms face identical conditions, mirroring the
+paper's "each algorithm uses the same set of subscriptions and events for
+an experiment":
+
+* :func:`make_matcher` — one factory for all four algorithms with uniform
+  configuration (schema, proration, budget tracking);
+* :func:`measure_matching` — per-event wall-time statistics over a shared
+  event list (the paper reports averages and standard deviations over
+  1000 matches; the scaled default is 15, see :mod:`repro.bench.scale`);
+* :class:`FigureResult` / :class:`Series` — structured results with
+  paper-style text rendering and CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.betree import BEStarTreeMatcher
+from repro.baselines.fagin import FaginMatcher
+from repro.baselines.fagin_augmented import AugmentedFaginMatcher
+from repro.baselines.naive import NaiveMatcher
+from repro.core.attributes import Schema
+from repro.core.budget import BudgetTracker, LogicalClock
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.matcher import FXTMMatcher
+from repro.core.subscriptions import Subscription
+
+__all__ = [
+    "ALGORITHMS",
+    "FIGURE_ALGORITHMS",
+    "REALWORLD_ALGORITHMS",
+    "make_matcher",
+    "load_subscriptions",
+    "measure_matching",
+    "TimingStats",
+    "Series",
+    "FigureResult",
+]
+
+#: Algorithm name -> constructor, uniform across the whole harness.
+ALGORITHMS: Dict[str, Callable[..., TopKMatcher]] = {
+    "fx-tm": FXTMMatcher,
+    "be-star": BEStarTreeMatcher,
+    "fagin": FaginMatcher,
+    "fagin-augmented": AugmentedFaginMatcher,
+    "naive": NaiveMatcher,
+}
+
+#: The four compared in the micro-benchmarks (paper Figure 3).
+FIGURE_ALGORITHMS = ("fx-tm", "be-star", "fagin", "fagin-augmented")
+#: The paper omits augmented Fagin from the real-world plots (Figure 4).
+REALWORLD_ALGORITHMS = ("fx-tm", "be-star", "fagin")
+
+
+def make_matcher(
+    name: str,
+    schema: Optional[Schema] = None,
+    prorate: bool = True,
+    with_budget: bool = False,
+    **extra: Any,
+) -> TopKMatcher:
+    """Build one of the registered algorithms with uniform configuration.
+
+    Each matcher gets its *own* schema copy and (when requested) its own
+    budget tracker with a fresh logical clock, so runs are independent.
+    """
+    try:
+        constructor = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}") from None
+    kwargs: Dict[str, Any] = dict(extra)
+    kwargs["schema"] = schema.copy() if schema is not None else Schema()
+    kwargs["prorate"] = prorate
+    if with_budget:
+        kwargs["budget_tracker"] = BudgetTracker(clock=LogicalClock())
+    return constructor(**kwargs)
+
+
+def load_subscriptions(matcher: TopKMatcher, subscriptions: Sequence[Subscription]) -> float:
+    """Add all subscriptions; returns the wall seconds taken.
+
+    For the BE* baseline this also triggers the bulk build so that build
+    cost is charged to loading, not to the first match — the paper's
+    static-build methodology.
+    """
+    started = time.perf_counter()
+    for subscription in subscriptions:
+        matcher.add_subscription(subscription)
+    ensure_built = getattr(matcher, "ensure_built", None)
+    if callable(ensure_built):
+        ensure_built()
+    return time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Per-match wall-time statistics in milliseconds."""
+
+    mean_ms: float
+    std_ms: float
+    min_ms: float
+    max_ms: float
+    samples: int
+
+    def __str__(self) -> str:
+        return f"{self.mean_ms:.3f}ms ±{self.std_ms:.3f} (n={self.samples})"
+
+
+def measure_matching(
+    matcher: TopKMatcher,
+    events: Sequence[Event],
+    k: int,
+    warmup: int = 1,
+) -> TimingStats:
+    """Time one match per event; returns millisecond statistics.
+
+    A short warmup (re-matching the first ``warmup`` events) absorbs
+    lazy-initialisation effects such as BE* rebuilds or schema pinning.
+    """
+    if not events:
+        raise ValueError("need at least one event")
+    for event in events[:warmup]:
+        matcher.match(event, k)
+    samples_ms: List[float] = []
+    for event in events:
+        started = time.perf_counter()
+        matcher.match(event, k)
+        samples_ms.append((time.perf_counter() - started) * 1e3)
+    mean = statistics.fmean(samples_ms)
+    std = statistics.pstdev(samples_ms) if len(samples_ms) > 1 else 0.0
+    return TimingStats(
+        mean_ms=mean,
+        std_ms=std,
+        min_ms=min(samples_ms),
+        max_ms=max(samples_ms),
+        samples=len(samples_ms),
+    )
+
+
+@dataclass
+class Series:
+    """One plotted line: an algorithm's metric across the swept variable."""
+
+    label: str
+    x_values: List[float] = field(default_factory=list)
+    y_values: List[float] = field(default_factory=list)
+    y_std: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float, std: float = 0.0) -> None:
+        self.x_values.append(x)
+        self.y_values.append(y)
+        self.y_std.append(std)
+
+    def at(self, x: float) -> float:
+        """The y value recorded at swept value ``x``.
+
+        Raises :class:`KeyError` when ``x`` was not swept.
+        """
+        for index, candidate in enumerate(self.x_values):
+            if math.isclose(candidate, x):
+                return self.y_values[index]
+        raise KeyError(f"x={x} not in series {self.label!r}")
+
+
+@dataclass
+class FigureResult:
+    """A regenerated paper figure: several series over one swept variable."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no series {label!r} in {self.figure}")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """A paper-style text table: one row per swept value."""
+        lines = [f"== {self.figure}: {self.title} =="]
+        if self.notes:
+            lines.append("   " + ", ".join(f"{k}={v}" for k, v in sorted(self.notes.items())))
+        if not self.series:
+            lines.append("   (no data)")
+            return "\n".join(lines)
+        header = [self.x_label.ljust(16)] + [s.label.rjust(16) for s in self.series]
+        lines.append(" | ".join(header))
+        # Rows align by swept value, not index — series may be ragged
+        # (e.g. Figure 6's async bar exists only for BE*).
+        xs: List[float] = []
+        for series in self.series:
+            for x in series.x_values:
+                if not any(math.isclose(x, seen) for seen in xs):
+                    xs.append(x)
+        xs.sort()
+        for x in xs:
+            row = [f"{x:g}".ljust(16)]
+            for series in self.series:
+                try:
+                    row.append(f"{series.at(x):16.4f}")
+                except KeyError:
+                    row.append(" " * 16)
+            lines.append(" | ".join(row))
+        lines.append(f"   (y: {self.y_label})")
+        return "\n".join(lines)
+
+    def write_csv(self, path: str) -> None:
+        """One CSV row per (series, x) point."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["figure", "series", self.x_label, self.y_label, "std"])
+            for series in self.series:
+                for x, y, std in zip(series.x_values, series.y_values, series.y_std):
+                    writer.writerow([self.figure, series.label, x, y, std])

@@ -1,0 +1,109 @@
+"""Markdown reproduction reports.
+
+``run_all --report PATH`` turns one full run into a self-contained
+markdown document: run configuration, one results table per figure, and
+the claim-validation verdicts — the machine-generated companion to the
+hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.claims import ClaimVerdict
+from repro.bench.harness import FigureResult
+from repro.bench.scale import events_per_point, scale_factor
+
+__all__ = ["render_markdown_report"]
+
+
+def _figure_table(result: FigureResult) -> List[str]:
+    lines = [f"### {result.figure}: {result.title}", ""]
+    if result.notes:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(result.notes.items()))
+        lines.append(f"*{rendered}*")
+        lines.append("")
+    if not result.series:
+        lines.append("(no data)")
+        lines.append("")
+        return lines
+    header = [result.x_label] + [series.label for series in result.series]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    xs: List[float] = []
+    for series in result.series:
+        for x in series.x_values:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    for x in xs:
+        row = [f"{x:g}"]
+        for series in result.series:
+            try:
+                row.append(f"{series.at(x):.4f}")
+            except KeyError:
+                row.append("")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(f"*y: {result.y_label}*")
+    lines.append("")
+    return lines
+
+
+def _verdict_section(verdicts: List[ClaimVerdict]) -> List[str]:
+    lines = ["## Paper claim validation", ""]
+    lines.append("| verdict | claim | figure | statement |")
+    lines.append("|---|---|---|---|")
+    held = failed = skipped = 0
+    for verdict in verdicts:
+        if verdict.held is None:
+            status = "⏭ skipped"
+            skipped += 1
+        elif verdict.held:
+            status = "✅ held"
+            held += 1
+        else:
+            status = "❌ failed"
+            failed += 1
+        lines.append(
+            f"| {status} | `{verdict.claim_id}` | {verdict.figure} | {verdict.statement} |"
+        )
+    lines.append("")
+    lines.append(f"**{held} held, {failed} failed, {skipped} skipped.**")
+    lines.append("")
+    return lines
+
+
+def render_markdown_report(
+    results: Dict[str, FigureResult],
+    verdicts: Optional[List[ClaimVerdict]] = None,
+    elapsed_seconds: Optional[float] = None,
+) -> str:
+    """Render a complete reproduction report as markdown."""
+    lines = [
+        "# Reproduction run report",
+        "",
+        "Regenerated from *Fast, Expressive Top-k Matching* (Middleware '14)",
+        "by this repository's benchmark harness.",
+        "",
+        "## Run configuration",
+        "",
+        f"- date: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+        f"- python: {sys.version.split()[0]} on {platform.platform()}",
+        f"- REPRO_SCALE: {scale_factor():g} (N = paper value x scale)",
+        f"- matches per data point: {events_per_point()}",
+        f"- experiments run: {len(results)}",
+    ]
+    if elapsed_seconds is not None:
+        lines.append(f"- total wall time: {elapsed_seconds:.1f}s")
+    lines.append("")
+    if verdicts is not None:
+        lines.extend(_verdict_section(verdicts))
+    lines.append("## Results")
+    lines.append("")
+    for experiment_id in sorted(results):
+        lines.extend(_figure_table(results[experiment_id]))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Regenerate every paper figure and table: ``python -m repro.bench.run_all``.
+
+Writes one CSV per figure into ``--out`` (default ``results/``) and prints
+the paper-style text tables.  Sizing follows ``REPRO_SCALE`` /
+``REPRO_EVENTS`` (see :mod:`repro.bench.scale`).
+
+Select a subset with ``--only fig3a,fig7`` (comma-separated ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.bench import ablations, fig3, fig4, fig5, fig6, fig7, table1
+from repro.bench.harness import FigureResult
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: Experiment id -> zero-argument callable producing a FigureResult.
+EXPERIMENTS: Dict[str, Callable[[], FigureResult]] = {
+    "table1": table1.table1_structure_ops,
+    "fig3a": fig3.fig3a_k_sweep,
+    "fig3b": lambda: fig3.fig3bc_n_sweep(k_percent=1.0),
+    "fig3c": lambda: fig3.fig3bc_n_sweep(k_percent=2.0),
+    "fig3d": lambda: fig3.fig3de_m_sweep(k_percent=1.0),
+    "fig3e": lambda: fig3.fig3de_m_sweep(k_percent=2.0),
+    "fig3f": fig3.fig3f_selectivity_sweep,
+    "fig4a": lambda: fig4.fig4_k_sweep("imdb"),
+    "fig4b": lambda: fig4.fig4_n_sweep("imdb", k_percent=1.0),
+    "fig4c": lambda: fig4.fig4_n_sweep("imdb", k_percent=2.0),
+    "fig4d": lambda: fig4.fig4_k_sweep("yahoo"),
+    "fig4e": lambda: fig4.fig4_n_sweep("yahoo", k_percent=1.0),
+    "fig4f": lambda: fig4.fig4_n_sweep("yahoo", k_percent=2.0),
+    "fig5a": fig5.fig5a_storage_vs_n,
+    "fig5b": fig5.fig5b_storage_vs_m,
+    "fig5c": lambda: fig5.fig5cd_storage_realworld("imdb"),
+    "fig5d": lambda: fig5.fig5cd_storage_realworld("yahoo"),
+    "fig5e": lambda: fig5.fig5eg_matching_vs_k("imdb"),
+    "fig5f": lambda: fig5.fig5fh_matching_vs_n("imdb"),
+    "fig5g": lambda: fig5.fig5eg_matching_vs_k("yahoo"),
+    "fig5h": lambda: fig5.fig5fh_matching_vs_n("yahoo"),
+    "fig6a": lambda: fig6.fig6_budget_overhead("imdb"),
+    "fig6b": lambda: fig6.fig6_budget_overhead("yahoo"),
+    "fig7": fig7.fig7_distributed,
+    "ablation-index": ablations.ablation_index_structure,
+    "ablation-topk": ablations.ablation_topk_structure,
+    "ablation-betree-leaf": ablations.ablation_betree_leaf_capacity,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.run_all",
+        description="Regenerate every figure/table of the paper's evaluation.",
+    )
+    parser.add_argument("--out", default="results", help="output directory for CSVs")
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated experiment ids (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--charts", action="store_true", help="also render ASCII charts per figure"
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the paper's headline claims against the results",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a markdown reproduction report (implies --validate data)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    selected = list(EXPERIMENTS)
+    if args.only:
+        selected = [item.strip() for item in args.only.split(",") if item.strip()]
+        unknown = [item for item in selected if item not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiment ids: {unknown}; use --list")
+
+    os.makedirs(args.out, exist_ok=True)
+    overall_start = time.perf_counter()
+    results: Dict[str, FigureResult] = {}
+    for experiment_id in selected:
+        started = time.perf_counter()
+        result = EXPERIMENTS[experiment_id]()
+        elapsed = time.perf_counter() - started
+        results[experiment_id] = result
+        print(result.render_text())
+        if args.charts:
+            from repro.bench.charts import render_ascii_chart
+
+            print(render_ascii_chart(result))
+        print(f"   [{experiment_id} took {elapsed:.1f}s]")
+        print()
+        result.write_csv(os.path.join(args.out, f"{experiment_id}.csv"))
+    total = time.perf_counter() - overall_start
+    print(f"all {len(selected)} experiments done in {total:.1f}s; CSVs in {args.out}/")
+    verdicts = None
+    if args.validate or args.report:
+        from repro.bench.claims import evaluate_claims, render_verdicts
+
+        verdicts = evaluate_claims(results)
+        if args.validate:
+            print()
+            print(render_verdicts(verdicts))
+    if args.report:
+        from repro.bench.reporting import render_markdown_report
+
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown_report(results, verdicts, total))
+        print(f"report written to {args.report}")
+    if args.validate and verdicts and any(v.held is False for v in verdicts):
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Experiment scaling (paper parameters vs. laptop-Python reality).
+
+The paper's defaults (Table 2) target a 2014 JVM: N = 100,000
+subscriptions, 1000 matches per data point.  A pure-Python matcher is
+roughly two orders of magnitude slower per operation, so running the
+paper's absolute sizes would make the benchmark suite take days without
+changing any *relative* result — every claim the paper makes is about
+ratios between algorithms and trends across parameters.
+
+All experiments therefore size themselves as ``paper_value x scale``,
+where the scale factor comes from the ``REPRO_SCALE`` environment
+variable (default 0.02, i.e. N = 2,000 for the micro-benchmarks).  Set
+``REPRO_SCALE=1`` to run the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["scale_factor", "scaled", "events_per_point"]
+
+_ENV_VAR = "REPRO_SCALE"
+_EVENTS_ENV_VAR = "REPRO_EVENTS"
+_DEFAULT_SCALE = 0.02
+#: The paper averages over 1000 matches; scaled default below.
+_DEFAULT_EVENTS = 15
+
+
+def scale_factor() -> float:
+    """The configured scale factor (``REPRO_SCALE``, default 0.02)."""
+    raw = os.environ.get(_ENV_VAR)
+    if raw is None:
+        return _DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{_ENV_VAR} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+def scaled(paper_value: int, minimum: int = 1) -> int:
+    """``paper_value`` x the scale factor, floored at ``minimum``."""
+    return max(minimum, int(round(paper_value * scale_factor())))
+
+
+def events_per_point(default: int = _DEFAULT_EVENTS) -> int:
+    """Matches averaged per data point (``REPRO_EVENTS`` overrides)."""
+    raw = os.environ.get(_EVENTS_ENV_VAR)
+    if raw is None:
+        return default
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{_EVENTS_ENV_VAR} must be >= 1, got {value}")
+    return value

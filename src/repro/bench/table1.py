@@ -1,0 +1,146 @@
+"""Table 1 regeneration: data-structure operation costs.
+
+The paper's Table 1 states the asymptotic bounds of the three substrate
+structures.  This experiment measures per-operation microseconds at
+several sizes, so the bounds can be *checked*: logarithmic operations
+should grow by a roughly constant increment per 4x size step, constant
+operations should stay flat, and ``get-matching-intervals`` should scale
+with output size.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.bench.harness import FigureResult, Series
+from repro.structures.interval_tree import IntervalTree
+from repro.structures.treeset import ScoredTreeSet
+
+__all__ = ["SIZE_SWEEP", "table1_structure_ops"]
+
+SIZE_SWEEP = (1_000, 4_000, 16_000)
+
+
+def _timed(operation: Callable[[], None], repetitions: int) -> float:
+    """Mean microseconds per call."""
+    started = time.perf_counter()
+    for _ in range(repetitions):
+        operation()
+    return (time.perf_counter() - started) / repetitions * 1e6
+
+
+def _interval_tree_ops(size: int, rng: random.Random) -> Dict[str, float]:
+    tree = IntervalTree()
+    for sid in range(size):
+        low = rng.uniform(0, 1000)
+        tree.insert(low, low + rng.uniform(1, 30), sid, 1.0)
+
+    inserts: List[Tuple[float, float, int]] = []
+
+    def do_insert() -> None:
+        low = rng.uniform(0, 1000)
+        entry = (low, low + 10.0, size + len(inserts))
+        inserts.append(entry)
+        tree.insert(*entry)
+
+    insert_us = _timed(do_insert, 200)
+
+    def do_stab() -> None:
+        low = rng.uniform(0, 990)
+        tree.stab(low, low + 10.0)
+
+    stab_us = _timed(do_stab, 200)
+
+    def do_delete() -> None:
+        entry = inserts.pop()
+        tree.delete(*entry)
+
+    delete_us = _timed(do_delete, 200)
+    return {
+        "tree-insert": insert_us,
+        "get-matching-intervals": stab_us,
+        "tree-delete": delete_us,
+    }
+
+
+def _treeset_ops(size: int, rng: random.Random) -> Dict[str, float]:
+    treeset = ScoredTreeSet()
+    for sid in range(size):
+        treeset.add(sid, rng.random())
+
+    added: List[int] = []
+
+    def do_add() -> None:
+        sid = size + len(added)
+        added.append(sid)
+        treeset.add(sid, rng.random())
+
+    add_us = _timed(do_add, 200)
+
+    def do_find_min() -> None:
+        treeset.find_min()
+
+    find_us = _timed(do_find_min, 200)
+
+    def do_remove_id() -> None:
+        treeset.remove_id(added.pop())
+
+    remove_id_us = _timed(do_remove_id, 200)
+
+    removed = [0]
+
+    def do_remove_min() -> None:
+        treeset.remove_min()
+        removed[0] += 1
+
+    remove_min_us = _timed(do_remove_min, 200)
+    return {
+        "treeset-add": add_us,
+        "treeset-find-min": find_us,
+        "treeset-remove-id": remove_id_us,
+        "treeset-remove-min": remove_min_us,
+    }
+
+
+def _hashmap_ops(size: int, rng: random.Random) -> Dict[str, float]:
+    table = {f"key{index}": index for index in range(size)}
+    counter = [0]
+
+    def do_put() -> None:
+        table[f"new{counter[0]}"] = counter[0]
+        counter[0] += 1
+
+    put_us = _timed(do_put, 200)
+
+    def do_get() -> None:
+        table.get(f"key{rng.randrange(size)}")
+
+    get_us = _timed(do_get, 200)
+    return {"hmap-put": put_us, "hmap-get": get_us}
+
+
+def table1_structure_ops(sizes: Sequence[int] = SIZE_SWEEP, seed: int = 99) -> FigureResult:
+    """Measure every Table 1 operation at each size; microseconds per op."""
+    result = FigureResult(
+        figure="table1",
+        title="data structure operation costs",
+        x_label="n (structure size)",
+        y_label="microseconds per operation",
+    )
+    rows: Dict[str, Series] = {}
+    for size in sizes:
+        rng = random.Random(f"table1:{seed}:{size}")
+        measurements: Dict[str, float] = {}
+        measurements.update(_interval_tree_ops(size, rng))
+        measurements.update(_treeset_ops(size, rng))
+        measurements.update(_hashmap_ops(size, rng))
+        for operation, microseconds in measurements.items():
+            series = rows.get(operation)
+            if series is None:
+                series = Series(label=operation)
+                rows[operation] = series
+                result.series.append(series)
+            series.add(float(size), microseconds)
+    return result

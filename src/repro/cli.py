@@ -1,0 +1,132 @@
+"""Command-line front end: a matcher served over text request streams.
+
+Usage::
+
+    python -m repro.cli [options] [REQUEST_FILE ...]
+
+Reads controller requests (``ADD`` / ``CANCEL`` / ``MATCH`` — see
+:mod:`repro.core.controller`) from the given files, or stdin when none
+are given, and prints one response line per request.  This is exactly the
+paper's section 6.1 deployment surface: "a local controller has two input
+streams — one for subscriptions and one for events" — here multiplexed
+onto one textual stream, as the paper's controller also "parses requests
+and the raw data contained within".
+
+Options:
+
+* ``--algorithm {fx-tm,be-star,fagin,fagin-augmented,naive}`` (default fx-tm)
+* ``--prorate`` — enable Definition 2's prorated scoring
+* ``--budget`` — enable budget-window tracking (Definition 4)
+* ``--load SNAPSHOT`` — restore subscriptions before serving
+* ``--save SNAPSHOT`` — write a snapshot after the stream ends
+* ``--stats`` — print a statistics summary to stderr at the end
+
+Example session::
+
+    $ python -m repro.cli --prorate <<'EOF'
+    ADD ad-1 age in [18, 24] : 2.0 and state in {Indiana} : 1.0
+    MATCH 5 age: [20 .. 30], state: Indiana
+    EOF
+    ok ADD ad-1
+    match [ad-1=1.800]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional, TextIO
+
+from repro.core.budget import BudgetTracker, LogicalClock
+from repro.core.controller import LocalController, RequestKind
+from repro.core.snapshot import restore_into, save_matcher
+from repro.core.stats import InstrumentedMatcher
+
+__all__ = ["build_parser", "serve", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Serve top-k matching over textual request streams.",
+    )
+    parser.add_argument(
+        "request_files",
+        nargs="*",
+        metavar="REQUEST_FILE",
+        help="request files to replay (default: read stdin)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="fx-tm",
+        choices=["fx-tm", "be-star", "fagin", "fagin-augmented", "naive"],
+        help="matching algorithm (default: fx-tm)",
+    )
+    parser.add_argument("--prorate", action="store_true", help="prorated interval scoring")
+    parser.add_argument("--budget", action="store_true", help="budget window tracking")
+    parser.add_argument("--load", metavar="SNAPSHOT", help="restore a snapshot first")
+    parser.add_argument("--save", metavar="SNAPSHOT", help="save a snapshot at the end")
+    parser.add_argument(
+        "--stats", action="store_true", help="print a statistics summary to stderr"
+    )
+    return parser
+
+
+def serve(
+    lines: Iterable[str],
+    controller: LocalController,
+    out: TextIO,
+) -> int:
+    """Process request lines, writing one response line each.
+
+    Returns the number of failed requests (the process exit code).
+    """
+    failures = 0
+    for response in controller.run(lines):
+        request = response.request
+        if not response.ok:
+            failures += 1
+            out.write(f"error {response.error}\n")
+        elif request.kind is RequestKind.MATCH:
+            rendered = ", ".join(f"{r.sid}={r.score:.3f}" for r in response.results)
+            out.write(f"match [{rendered}]\n")
+        else:
+            out.write(f"ok {request.kind.value.upper()} {request.sid}\n")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.bench.harness import ALGORITHMS
+
+    kwargs = {"prorate": args.prorate}
+    if args.budget:
+        kwargs["budget_tracker"] = BudgetTracker(clock=LogicalClock())
+    matcher = ALGORITHMS[args.algorithm](**kwargs)
+    if args.load:
+        count = restore_into(matcher, args.load)
+        print(f"loaded {count} subscriptions from {args.load}", file=sys.stderr)
+
+    instrumented = InstrumentedMatcher(matcher)
+    controller = LocalController(instrumented)
+
+    failures = 0
+    if args.request_files:
+        for path in args.request_files:
+            with open(path, "r", encoding="utf-8") as handle:
+                failures += serve(handle, controller, sys.stdout)
+    else:
+        failures += serve(sys.stdin, controller, sys.stdout)
+
+    if args.save:
+        count = save_matcher(matcher, args.save)
+        print(f"saved {count} subscriptions to {args.save}", file=sys.stderr)
+    if args.stats:
+        for key, value in sorted(instrumented.stats.snapshot().items()):
+            print(f"{key}: {value}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Attribute model: intervals, UNKNOWN values, and attribute schemas.
+
+The paper's model (section 3.1) distinguishes two kinds of attributes:
+
+* *discrete* attributes carry individual values (strings, ids) and are
+  indexed by FX-TM in a hash map of value -> tree set;
+* *ranged* attributes carry intervals ``[v, v']`` and are indexed in an
+  interval tree.  Ranged attributes subdivide into continuous ranges
+  (proration constant ``C = 0``) and discrete integer ranges (``C = 1``,
+  "to account for the overlapping at the endpoints", Definition 2).
+
+The paper requires the choice of structure to "be consistent for all
+subscriptions with constraints on that attribute" (section 4.2);
+:class:`Schema` enforces that consistency, either from an explicit
+declaration or by pinning the kind on first use.
+
+Events may also mark an attribute ``UNKNOWN``; a constraint on an unknown
+attribute evaluates to false ("an unknown value cannot reasonably match a
+known interval", section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import InvalidIntervalError, SchemaError
+
+__all__ = ["UNKNOWN", "AttributeKind", "Interval", "Schema"]
+
+
+class _Unknown:
+    """Singleton sentinel for the paper's ``UNKNOWN`` attribute value."""
+
+    _instance: Optional["_Unknown"] = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+    def __reduce__(self) -> Tuple[Any, Tuple[()]]:
+        # Pickling round-trips to the same singleton.
+        return (_Unknown, ())
+
+
+#: The sentinel events use for attributes whose value is not known.
+UNKNOWN = _Unknown()
+
+
+class AttributeKind(enum.Enum):
+    """How an attribute's values are represented and indexed."""
+
+    #: Individual hashable values; hash-map index; equality matching.
+    DISCRETE = "discrete"
+    #: Real-valued intervals; interval-tree index; proration constant C = 0.
+    RANGE_CONTINUOUS = "range_continuous"
+    #: Integer intervals; interval-tree index; proration constant C = 1.
+    RANGE_DISCRETE = "range_discrete"
+
+    @property
+    def is_ranged(self) -> bool:
+        """Whether this kind is indexed by an interval tree."""
+        return self is not AttributeKind.DISCRETE
+
+    @property
+    def proration_constant(self) -> int:
+        """The paper's ``C``: 1 for discrete integer intervals, else 0."""
+        return 1 if self is AttributeKind.RANGE_DISCRETE else 0
+
+
+class Interval:
+    """A closed interval ``[low, high]``; points are ``[v, v]``.
+
+    Immutable and hashable.  The paper encodes relational predicates as
+    intervals (``x > 100`` becomes ``x in [101, MAX_INT]``);
+    :meth:`greater_than` etc. provide those encodings for integer domains.
+
+    >>> Interval(18, 24).overlaps(Interval(20, 30))
+    True
+    >>> Interval(18, 24).intersection(Interval(20, 30))
+    Interval(20, 24)
+    >>> Interval.greater_than(100)
+    Interval(101, inf)
+    """
+
+    __slots__ = ("low", "high")
+
+    #: Stand-ins for the paper's MAX_INT / MIN_INT in open-ended encodings.
+    MAX_VALUE = float("inf")
+    MIN_VALUE = float("-inf")
+
+    def __init__(self, low: float, high: float) -> None:
+        if low > high:
+            raise InvalidIntervalError(low, high)
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Interval is immutable")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return cls(value, value)
+
+    @classmethod
+    def greater_than(cls, value: int) -> "Interval":
+        """Encode ``x > value`` over an integer domain: ``[value+1, +inf]``."""
+        return cls(value + 1, cls.MAX_VALUE)
+
+    @classmethod
+    def at_least(cls, value: float) -> "Interval":
+        """Encode ``x >= value``: ``[value, +inf]``."""
+        return cls(value, cls.MAX_VALUE)
+
+    @classmethod
+    def less_than(cls, value: int) -> "Interval":
+        """Encode ``x < value`` over an integer domain: ``[-inf, value-1]``."""
+        return cls(cls.MIN_VALUE, value - 1)
+
+    @classmethod
+    def at_most(cls, value: float) -> "Interval":
+        """Encode ``x <= value``: ``[-inf, value]``."""
+        return cls(cls.MIN_VALUE, value)
+
+    @classmethod
+    def coerce(cls, value: Union["Interval", float, Tuple[float, float]]) -> "Interval":
+        """Build an interval from an Interval, a number, or a 2-tuple."""
+        if isinstance(value, Interval):
+            return value
+        if isinstance(value, tuple):
+            if len(value) != 2:
+                raise InvalidIntervalError(value, value)
+            return cls(value[0], value[1])
+        return cls.point(value)
+
+    # -- predicates and combinators --------------------------------------
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals share at least one point."""
+        return self.low <= other.high and other.low <= self.high
+
+    def contains_point(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def contains(self, other: "Interval") -> bool:
+        """Whether ``other`` lies entirely inside this interval."""
+        return self.low <= other.low and other.high <= self.high
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlapping sub-interval, or ``None`` when disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return Interval(low, high)
+
+    def width(self, proration_constant: int = 0) -> float:
+        """``high - low + C`` — the measure used by prorated scoring."""
+        return self.high - self.low + proration_constant
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the interval is degenerate (a single value)."""
+        return self.low == self.high
+
+    # -- value protocol ---------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.low == other.low and self.high == other.high
+
+    def __hash__(self) -> int:
+        return hash((Interval, self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.low!r}, {self.high!r})"
+
+    def __iter__(self) -> Iterator[float]:
+        """Unpacks as ``low, high = interval``."""
+        yield self.low
+        yield self.high
+
+
+class Schema:
+    """Registry of attribute kinds; enforces consistent indexing.
+
+    A schema can be declared up front::
+
+        schema = Schema({"age": AttributeKind.RANGE_DISCRETE,
+                         "state": AttributeKind.DISCRETE})
+
+    or grown lazily: :meth:`resolve` pins an attribute's kind the first
+    time it is seen and raises :class:`~repro.errors.SchemaError` if later
+    uses disagree.
+    """
+
+    __slots__ = ("_kinds", "_frozen")
+
+    def __init__(
+        self,
+        kinds: Optional[Dict[str, AttributeKind]] = None,
+        frozen: bool = False,
+    ) -> None:
+        self._kinds: Dict[str, AttributeKind] = dict(kinds or {})
+        self._frozen = frozen
+
+    def declare(self, attribute: str, kind: AttributeKind) -> None:
+        """Declare (or re-affirm) an attribute's kind.
+
+        Raises :class:`~repro.errors.SchemaError` on conflict, or when the
+        schema is frozen and the attribute is new.
+        """
+        existing = self._kinds.get(attribute)
+        if existing is not None:
+            if existing is not kind:
+                raise SchemaError(
+                    f"attribute {attribute!r} already declared as "
+                    f"{existing.value}, cannot redeclare as {kind.value}"
+                )
+            return
+        if self._frozen:
+            raise SchemaError(f"schema is frozen; unknown attribute {attribute!r}")
+        self._kinds[attribute] = kind
+
+    def resolve(self, attribute: str, observed: AttributeKind) -> AttributeKind:
+        """Pin and return the attribute's kind from an observed usage."""
+        self.declare(attribute, observed)
+        return self._kinds[attribute]
+
+    def kind_of(self, attribute: str) -> Optional[AttributeKind]:
+        """The declared kind of ``attribute``, or ``None`` if unseen."""
+        return self._kinds.get(attribute)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._kinds
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def items(self) -> Iterator[Tuple[str, AttributeKind]]:
+        """Yield ``(attribute, kind)`` pairs."""
+        return iter(self._kinds.items())
+
+    def copy(self) -> "Schema":
+        """An independent, unfrozen copy."""
+        return Schema(dict(self._kinds))

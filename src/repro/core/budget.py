@@ -1,0 +1,385 @@
+"""The budget window mechanism (paper sections 3.2 and 4, Definition 4).
+
+Advertisers accompany a subscription with a *budget* and a *time window*;
+the system then scales that subscription's match scores by a dynamic
+multiplier so that spending tracks an ideal pacing curve ``g(t)``::
+
+    multiplier = (budget / spent) * (integral of g over [begin, now]
+                                     / integral of g over [begin, end])
+
+The multiplier falls below 1 for subscriptions matching too often (their
+actual spend outruns the ideal spend-to-date) and rises above 1 for
+underserved ones.  ``g(t)`` defaults to the constant 1, i.e. uniform
+pacing; any non-negative integrable callable may be supplied.
+
+Time is abstracted behind a clock.  The paper's experiments use a logical
+clock where "a time unit is the time taken by a single iteration of the
+matching algorithm" — :class:`LogicalClock` reproduces that;
+:class:`WallClock` is provided for real deployments.
+
+Definition 4 is singular at ``spent = 0`` (multiplier would be infinite)
+and pins the multiplier to 0 at ``now = begin`` (which would prevent a new
+subscription from ever matching).  Following standard ad-pacing practice
+the multiplier is therefore clamped to ``[min_multiplier, max_multiplier]``
+(defaults 0.1 and 10.0) and is neutral (1.0) before any time has elapsed.
+The unclamped value is available via :meth:`BudgetWindowState.raw_multiplier`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import BudgetError, UnknownSubscriptionError
+
+__all__ = [
+    "Clock",
+    "LogicalClock",
+    "WallClock",
+    "PacingCurve",
+    "BudgetWindowSpec",
+    "BudgetWindowState",
+    "BudgetTracker",
+]
+
+
+class Clock:
+    """Minimal clock protocol: :meth:`now` returns a monotone float."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class LogicalClock(Clock):
+    """A clock advanced explicitly, one tick per matching iteration."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def tick(self, amount: float = 1.0) -> float:
+        """Advance the clock and return the new time."""
+        if amount < 0:
+            raise BudgetError(f"clock cannot run backwards (tick {amount})")
+        self._now += amount
+        return self._now
+
+
+class WallClock(Clock):
+    """Real time, via :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return _time.monotonic()
+
+
+class PacingCurve:
+    """A non-negative pacing density ``g(t)`` with cached integrals.
+
+    The default (``g = None``) is the constant curve ``g(t) = 1``, whose
+    integrals are closed-form.  Arbitrary curves are integrated with a
+    composite trapezoid rule over ``resolution`` panels, computed once per
+    window and interpolated thereafter — the hot matching path never
+    re-integrates.
+    """
+
+    __slots__ = ("_g", "_resolution")
+
+    def __init__(
+        self,
+        g: Optional[Callable[[float], float]] = None,
+        resolution: int = 1024,
+    ) -> None:
+        if resolution < 2:
+            raise BudgetError(f"resolution must be >= 2, got {resolution}")
+        self._g = g
+        self._resolution = resolution
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether this is the default constant curve."""
+        return self._g is None
+
+    def cumulative_table(self, begin: float, end: float) -> Tuple[float, ...]:
+        """Cumulative integral of g from ``begin`` at each grid point."""
+        if self._g is None:
+            raise BudgetError("uniform curves need no table")
+        step = (end - begin) / self._resolution
+        values = [self._g(begin + i * step) for i in range(self._resolution + 1)]
+        for i, value in enumerate(values):
+            if value < 0:
+                raise BudgetError(
+                    f"pacing curve is negative at t={begin + i * step}: {value}"
+                )
+        cumulative = [0.0]
+        for i in range(self._resolution):
+            cumulative.append(cumulative[-1] + 0.5 * (values[i] + values[i + 1]) * step)
+        return tuple(cumulative)
+
+    @property
+    def resolution(self) -> int:
+        """Number of trapezoid panels used for non-uniform curves."""
+        return self._resolution
+
+
+class BudgetWindowSpec:
+    """Immutable budget-window configuration attached to a subscription.
+
+    ``budget`` is the number of (paid) matches allowed inside a window of
+    ``window_length`` time units; ``curve`` is the ideal pacing.
+    """
+
+    __slots__ = ("budget", "window_length", "curve")
+
+    def __init__(
+        self,
+        budget: float,
+        window_length: float,
+        curve: Optional[PacingCurve] = None,
+    ) -> None:
+        if budget <= 0:
+            raise BudgetError(f"budget must be positive, got {budget}")
+        if window_length <= 0:
+            raise BudgetError(f"window length must be positive, got {window_length}")
+        object.__setattr__(self, "budget", float(budget))
+        object.__setattr__(self, "window_length", float(window_length))
+        object.__setattr__(self, "curve", curve or PacingCurve())
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("BudgetWindowSpec is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BudgetWindowSpec):
+            return NotImplemented
+        return (
+            self.budget == other.budget
+            and self.window_length == other.window_length
+            and self.curve is other.curve
+        )
+
+    def __hash__(self) -> int:
+        return hash((BudgetWindowSpec, self.budget, self.window_length, id(self.curve)))
+
+    def __repr__(self) -> str:
+        return f"BudgetWindowSpec(budget={self.budget}, window_length={self.window_length})"
+
+
+class BudgetWindowState:
+    """Mutable pacing state for one subscription.
+
+    Created when the subscription is added ("The begin time is when the
+    subscription is added, and amount spent is set to 0", paper section
+    3.2).
+    """
+
+    __slots__ = (
+        "spec",
+        "begin_time",
+        "end_time",
+        "spent",
+        "min_multiplier",
+        "max_multiplier",
+        "_table",
+        "_total_integral",
+    )
+
+    def __init__(
+        self,
+        spec: BudgetWindowSpec,
+        begin_time: float,
+        min_multiplier: float = 0.1,
+        max_multiplier: float = 10.0,
+    ) -> None:
+        if min_multiplier < 0 or max_multiplier < min_multiplier:
+            raise BudgetError(
+                f"need 0 <= min_multiplier <= max_multiplier, got "
+                f"[{min_multiplier}, {max_multiplier}]"
+            )
+        self.spec = spec
+        self.begin_time = begin_time
+        self.end_time = begin_time + spec.window_length
+        self.spent = 0.0
+        self.min_multiplier = min_multiplier
+        self.max_multiplier = max_multiplier
+        if spec.curve.is_uniform:
+            self._table: Optional[Tuple[float, ...]] = None
+            self._total_integral = spec.window_length
+        else:
+            self._table = spec.curve.cumulative_table(self.begin_time, self.end_time)
+            self._total_integral = self._table[-1]
+            if self._total_integral <= 0:
+                raise BudgetError("pacing curve integrates to zero over the window")
+
+    def ideal_fraction(self, now: float) -> float:
+        """``integral(begin..now) / integral(begin..end)``, clamped to [0, 1]."""
+        if now <= self.begin_time:
+            return 0.0
+        if now >= self.end_time:
+            return 1.0
+        if self._table is None:
+            return (now - self.begin_time) / self.spec.window_length
+        # Linear interpolation into the cumulative trapezoid table.
+        resolution = len(self._table) - 1
+        position = (now - self.begin_time) / self.spec.window_length * resolution
+        index = int(position)
+        if index >= resolution:
+            return 1.0
+        frac = position - index
+        partial = self._table[index] + frac * (self._table[index + 1] - self._table[index])
+        return partial / self._total_integral
+
+    def raw_multiplier(self, now: float) -> float:
+        """Definition 4's multiplier, unclamped; ``inf`` when spent = 0."""
+        fraction = self.ideal_fraction(now)
+        if self.spent == 0.0:
+            return float("inf") if fraction > 0 else 1.0
+        return (self.spec.budget / self.spent) * fraction
+
+    def multiplier(self, now: float) -> float:
+        """The clamped multiplier used during matching."""
+        fraction = self.ideal_fraction(now)
+        if fraction == 0.0 or self.spent == 0.0:
+            # No time elapsed, or nothing spent yet: neutral-to-boosted.
+            return 1.0 if fraction == 0.0 else self.max_multiplier
+        raw = (self.spec.budget / self.spent) * fraction
+        if raw < self.min_multiplier:
+            return self.min_multiplier
+        if raw > self.max_multiplier:
+            return self.max_multiplier
+        return raw
+
+    def expired(self, now: float) -> bool:
+        """Whether the campaign should stop serving entirely.
+
+        True once the window has ended or the budget is exhausted — the
+        advertiser "specif[ied] a budget and a time period to serve their
+        ads" (paper section 3.2); serving past either is over-delivery.
+        Enforcement is opt-in via
+        :attr:`BudgetTracker.deactivate_expired`, since Definition 4's
+        multiplier alone never reaches zero.
+        """
+        return now >= self.end_time or self.exhausted
+
+    def record_spend(self, cost: float = 1.0) -> None:
+        """Charge ``cost`` (one match by default) to the budget."""
+        if cost < 0:
+            raise BudgetError(f"spend cannot be negative: {cost}")
+        self.spent += cost
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the recorded spend has reached the budget."""
+        return self.spent >= self.spec.budget
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetWindowState(spent={self.spent}/{self.spec.budget}, "
+            f"window=[{self.begin_time}, {self.end_time}])"
+        )
+
+
+class BudgetTracker:
+    """Per-matcher registry of budget states (``budgetInfo`` in Algorithm 1).
+
+    All matchers in this repository — FX-TM and the baselines — share this
+    component so the Figure 6 comparison isolates *where* each algorithm
+    pays for the mechanism, not how the bookkeeping is coded.
+    """
+
+    __slots__ = (
+        "clock",
+        "_states",
+        "min_multiplier",
+        "max_multiplier",
+        "deactivate_expired",
+    )
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        min_multiplier: float = 0.1,
+        max_multiplier: float = 10.0,
+        deactivate_expired: bool = False,
+    ) -> None:
+        self.clock = clock or LogicalClock()
+        self._states: Dict[Any, BudgetWindowState] = {}
+        self.min_multiplier = min_multiplier
+        self.max_multiplier = max_multiplier
+        #: When True, campaigns past their window or budget get multiplier
+        #: 0.0 — their scores collapse and Definition 3's score > 0 filter
+        #: stops them from serving.  Off by default (paper-faithful).
+        self.deactivate_expired = deactivate_expired
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, sid: Any) -> bool:
+        return sid in self._states
+
+    @property
+    def states(self) -> Dict[Any, BudgetWindowState]:
+        """The live ``sid -> state`` mapping.
+
+        Exposed for matcher hot loops, which look up thousands of
+        multipliers per match; treat as read-only.
+        """
+        return self._states
+
+    def register(self, sid: Any, spec: Optional[BudgetWindowSpec]) -> None:
+        """Start tracking ``sid``; a ``None`` spec means no budget window."""
+        if spec is None:
+            return
+        self._states[sid] = BudgetWindowState(
+            spec,
+            begin_time=self.clock.now(),
+            min_multiplier=self.min_multiplier,
+            max_multiplier=self.max_multiplier,
+        )
+
+    def unregister(self, sid: Any) -> None:
+        """Stop tracking ``sid`` (no-op when it has no budget window)."""
+        self._states.pop(sid, None)
+
+    def multiplier(self, sid: Any) -> float:
+        """``BudgetWindowMultiplier(sid)`` from Algorithm 2 (1.0 if untracked)."""
+        state = self._states.get(sid)
+        if state is None:
+            return 1.0
+        now = self.clock.now()
+        if self.deactivate_expired and state.expired(now):
+            return 0.0
+        return state.multiplier(now)
+
+    def record_match(self, sid: Any, cost: float = 1.0) -> None:
+        """Charge a served match to ``sid``'s budget (no-op if untracked)."""
+        state = self._states.get(sid)
+        if state is not None:
+            state.record_spend(cost)
+
+    def state_of(self, sid: Any) -> BudgetWindowState:
+        """The state for ``sid``; raises if it has no budget window."""
+        try:
+            return self._states[sid]
+        except KeyError:
+            raise UnknownSubscriptionError(sid) from None
+
+    def tracked_sids(self) -> Iterator[Any]:
+        """Yield every sid with an active budget window."""
+        return iter(self._states)
+
+    def multiplier_bounds(self) -> Tuple[float, float]:
+        """(min, max) multiplier over all tracked sids at the current time.
+
+        Used by the BE* baseline, which must propagate multiplier bounds up
+        its tree to keep pruning sound (paper section 7.7).  Returns
+        ``(1.0, 1.0)`` when nothing is tracked.
+        """
+        if not self._states:
+            return (1.0, 1.0)
+        now = self.clock.now()
+        multipliers = [state.multiplier(now) for state in self._states.values()]
+        return (min(itertools.chain(multipliers, [1.0])), max(itertools.chain(multipliers, [1.0])))

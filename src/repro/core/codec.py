@@ -1,0 +1,263 @@
+"""JSON serialisation for the model types.
+
+A middleware deployment needs subscriptions and events to cross process
+boundaries: the paper's exchange "receives events for the system and
+forwards each event to every local controller" (section 6.2), and
+subscriptions outlive matcher processes.  This module defines a stable,
+versioned JSON wire format for :class:`Subscription`, :class:`Event`,
+and :class:`BudgetWindowSpec`, with exact round-tripping of intervals,
+sets, UNKNOWN values, weights, and infinite endpoints.
+
+The format is deliberately explicit — every value is tagged — so a codec
+in another language can be written from this file alone::
+
+    {"v": 1, "sid": "ad-1",
+     "constraints": [
+        {"a": "age",   "value": {"t": "interval", "lo": 18, "hi": 24}, "w": 2.0},
+        {"a": "state", "value": {"t": "set", "members": [...]},        "w": 1.0}],
+     "budget": {"budget": 100.0, "window": 5000.0}}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.budget import BudgetWindowSpec
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import ReproError
+
+__all__ = [
+    "CodecError",
+    "subscription_to_dict",
+    "subscription_from_dict",
+    "event_to_dict",
+    "event_from_dict",
+    "dumps_subscription",
+    "loads_subscription",
+    "dumps_event",
+    "loads_event",
+]
+
+#: Wire-format version emitted by this codec.
+FORMAT_VERSION = 1
+
+
+class CodecError(ReproError):
+    """The payload does not conform to the wire format."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+def _encode_endpoint(value: float) -> Any:
+    """JSON has no infinities; encode them as tagged strings."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_endpoint(raw: Any) -> float:
+    if raw == "+inf":
+        return float("inf")
+    if raw == "-inf":
+        return float("-inf")
+    if not isinstance(raw, (int, float)):
+        raise CodecError(f"interval endpoint must be a number, got {raw!r}")
+    return raw
+
+
+def _encode_value(value: Any) -> Dict[str, Any]:
+    if value is UNKNOWN:
+        return {"t": "unknown"}
+    if isinstance(value, Interval):
+        return {
+            "t": "interval",
+            "lo": _encode_endpoint(value.low),
+            "hi": _encode_endpoint(value.high),
+        }
+    if isinstance(value, frozenset):
+        try:
+            members = sorted(value, key=lambda m: (type(m).__name__, repr(m)))
+        except TypeError:  # pragma: no cover - repr sort never raises
+            members = list(value)
+        return {"t": "set", "members": members}
+    if isinstance(value, bool) or isinstance(value, (int, float, str)):
+        return {"t": "scalar", "value": value}
+    raise CodecError(f"value not serialisable by the wire format: {value!r}")
+
+
+def _decode_value(raw: Any) -> Any:
+    if not isinstance(raw, dict) or "t" not in raw:
+        raise CodecError(f"expected a tagged value object, got {raw!r}")
+    tag = raw["t"]
+    if tag == "unknown":
+        return UNKNOWN
+    if tag == "interval":
+        if "lo" not in raw or "hi" not in raw:
+            raise CodecError(f"interval value needs 'lo' and 'hi': {raw!r}")
+        low = _decode_endpoint(raw["lo"])
+        high = _decode_endpoint(raw["hi"])
+        if low > high:
+            raise CodecError(f"interval has lo > hi: {raw!r}")
+        return Interval(low, high)
+    if tag == "set":
+        members = raw.get("members")
+        if not isinstance(members, list) or not members:
+            raise CodecError(f"set value needs a non-empty members list: {raw!r}")
+        try:
+            return frozenset(members)
+        except TypeError:
+            raise CodecError(f"set members must be hashable: {raw!r}") from None
+    if tag == "scalar":
+        if "value" not in raw:
+            raise CodecError(f"scalar value missing 'value': {raw!r}")
+        return raw["value"]
+    raise CodecError(f"unknown value tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Subscriptions
+# ----------------------------------------------------------------------
+def subscription_to_dict(subscription: Subscription) -> Dict[str, Any]:
+    """Encode a subscription as a JSON-ready dict."""
+    payload: Dict[str, Any] = {
+        "v": FORMAT_VERSION,
+        "sid": subscription.sid,
+        "constraints": [
+            {
+                "a": constraint.attribute,
+                "value": _encode_value(constraint.value),
+                "w": constraint.weight,
+            }
+            for constraint in subscription.constraints
+        ],
+    }
+    if subscription.budget is not None:
+        if not subscription.budget.curve.is_uniform:
+            raise CodecError(
+                "custom pacing curves are code, not data, and cannot be "
+                "serialised; transmit the curve out of band"
+            )
+        payload["budget"] = {
+            "budget": subscription.budget.budget,
+            "window": subscription.budget.window_length,
+        }
+    return payload
+
+
+def subscription_from_dict(payload: Dict[str, Any]) -> Subscription:
+    """Decode a subscription; raises :class:`CodecError` on bad payloads."""
+    if not isinstance(payload, dict):
+        raise CodecError(f"expected an object, got {payload!r}")
+    version = payload.get("v")
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported wire-format version {version!r}")
+    if "sid" not in payload:
+        raise CodecError("subscription payload missing 'sid'")
+    raw_constraints = payload.get("constraints")
+    if not isinstance(raw_constraints, list) or not raw_constraints:
+        raise CodecError("subscription payload needs a non-empty 'constraints' list")
+    constraints: List[Constraint] = []
+    for raw in raw_constraints:
+        if not isinstance(raw, dict) or "a" not in raw or "value" not in raw:
+            raise CodecError(f"malformed constraint: {raw!r}")
+        try:
+            constraints.append(
+                Constraint(raw["a"], _decode_value(raw["value"]), raw.get("w", 1.0))
+            )
+        except CodecError:
+            raise
+        except (ReproError, TypeError) as error:
+            raise CodecError(f"invalid constraint {raw!r}: {error}") from None
+    budget: Optional[BudgetWindowSpec] = None
+    raw_budget = payload.get("budget")
+    if raw_budget is not None:
+        if (
+            not isinstance(raw_budget, dict)
+            or "budget" not in raw_budget
+            or "window" not in raw_budget
+        ):
+            raise CodecError(f"malformed budget clause: {raw_budget!r}")
+        try:
+            budget = BudgetWindowSpec(
+                budget=raw_budget["budget"], window_length=raw_budget["window"]
+            )
+        except (ReproError, TypeError) as error:
+            raise CodecError(f"invalid budget clause {raw_budget!r}: {error}") from None
+    try:
+        return Subscription(payload["sid"], constraints, budget=budget)
+    except ReproError as error:
+        raise CodecError(f"invalid subscription payload: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """Encode an event as a JSON-ready dict."""
+    values = {}
+    for name in event.attributes:
+        values[name] = _encode_value(event.value_of(name))
+    payload: Dict[str, Any] = {"v": FORMAT_VERSION, "values": values}
+    weights = {
+        name: event.weight_for(name)
+        for name in event.attributes
+        if event.weight_for(name) is not None
+    }
+    if weights:
+        payload["weights"] = weights
+    return payload
+
+
+def event_from_dict(payload: Dict[str, Any]) -> Event:
+    """Decode an event; raises :class:`CodecError` on bad payloads."""
+    if not isinstance(payload, dict):
+        raise CodecError(f"expected an object, got {payload!r}")
+    if payload.get("v") != FORMAT_VERSION:
+        raise CodecError(f"unsupported wire-format version {payload.get('v')!r}")
+    raw_values = payload.get("values")
+    if not isinstance(raw_values, dict) or not raw_values:
+        raise CodecError("event payload needs a non-empty 'values' object")
+    values = {name: _decode_value(raw) for name, raw in raw_values.items()}
+    weights = payload.get("weights")
+    if weights is not None and not isinstance(weights, dict):
+        raise CodecError(f"event weights must be an object, got {weights!r}")
+    try:
+        return Event(values, weights=weights)
+    except ReproError as error:
+        raise CodecError(f"invalid event payload: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# String convenience wrappers
+# ----------------------------------------------------------------------
+def dumps_subscription(subscription: Subscription) -> str:
+    """Serialise one subscription to a JSON string."""
+    return json.dumps(subscription_to_dict(subscription), sort_keys=True)
+
+
+def loads_subscription(text: str) -> Subscription:
+    """Parse one subscription from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CodecError(f"invalid JSON: {error}") from None
+    return subscription_from_dict(payload)
+
+
+def dumps_event(event: Event) -> str:
+    """Serialise one event to a JSON string."""
+    return json.dumps(event_to_dict(event), sort_keys=True)
+
+
+def loads_event(text: str) -> Event:
+    """Parse one event from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CodecError(f"invalid JSON: {error}") from None
+    return event_from_dict(payload)

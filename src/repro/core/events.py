@@ -1,0 +1,151 @@
+"""Events: the messages matched against subscriptions.
+
+An event (paper section 3.1) is a set of attribute/interval pairs
+``{a1: [v1, v1'], ..., al: [vl, vl']}``.  Events only need to include
+attributes whose values are known, but may explicitly mark attributes
+``UNKNOWN``.  An event may also carry per-attribute weights which, when
+present, *override* the weights in subscriptions during aggregation
+(section 3.1: "which, when they exist, override the weights in
+subscriptions"; Algorithm 2 line 33).
+
+Discrete attributes carry individual hashable values; ranged attributes
+carry :class:`~repro.core.attributes.Interval` values (points may be given
+as bare numbers and are normalised to degenerate intervals).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.errors import InvalidEventError
+
+__all__ = ["Event"]
+
+#: The value types an event attribute may hold.
+EventValue = Union[Interval, Any]
+
+
+class Event:
+    """An immutable event.
+
+    >>> e = Event({"age": Interval(18, 29), "state": "Indiana"},
+    ...           weights={"age": 2.0})
+    >>> e.is_known("age")
+    True
+    >>> e.weight_for("age")
+    2.0
+    >>> e.weight_for("state") is None
+    True
+    """
+
+    __slots__ = ("_values", "_weights")
+
+    def __init__(
+        self,
+        values: Mapping[str, EventValue],
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if not values:
+            raise InvalidEventError("an event must carry at least one attribute")
+        normalised: Dict[str, EventValue] = {}
+        for name, value in values.items():
+            if not isinstance(name, str) or not name:
+                raise InvalidEventError(f"attribute names must be non-empty strings, got {name!r}")
+            normalised[name] = value
+        if weights:
+            for name, weight in weights.items():
+                if name not in normalised:
+                    raise InvalidEventError(
+                        f"weight given for attribute {name!r} absent from the event"
+                    )
+                if not isinstance(weight, (int, float)):
+                    raise InvalidEventError(f"weight for {name!r} must be numeric, got {weight!r}")
+        object.__setattr__(self, "_values", normalised)
+        object.__setattr__(self, "_weights", dict(weights) if weights else None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Event is immutable")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attribute names carried by the event (including UNKNOWN)."""
+        return tuple(self._values)
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether the event specifies any attribute weights."""
+        return bool(self._weights)
+
+    def value_of(self, attribute: str) -> EventValue:
+        """The raw value for ``attribute`` (may be ``UNKNOWN``).
+
+        Raises :class:`KeyError` when the attribute is absent.
+        """
+        return self._values[attribute]
+
+    def is_known(self, attribute: str) -> bool:
+        """Whether the attribute is present and not ``UNKNOWN``."""
+        value = self._values.get(attribute, UNKNOWN)
+        return value is not UNKNOWN
+
+    def known_items(self) -> Iterator[Tuple[str, EventValue]]:
+        """Yield ``(attribute, value)`` for every known attribute.
+
+        UNKNOWN attributes are skipped: a constraint on an unknown value
+        evaluates to false (paper section 3.1), so they can never
+        contribute to a score.
+        """
+        for name, value in self._values.items():
+            if value is not UNKNOWN:
+                yield name, value
+
+    def interval_of(self, attribute: str) -> Interval:
+        """The attribute's value coerced to an interval.
+
+        Bare numbers become point intervals.  Raises :class:`KeyError` when
+        absent and :class:`~repro.errors.InvalidEventError` when the value
+        is UNKNOWN or not interval-coercible.
+        """
+        value = self._values[attribute]
+        if value is UNKNOWN:
+            raise InvalidEventError(f"attribute {attribute!r} is UNKNOWN")
+        if isinstance(value, Interval):
+            return value
+        if isinstance(value, (int, float)):
+            return Interval.point(value)
+        raise InvalidEventError(
+            f"attribute {attribute!r} holds a discrete value {value!r}, not an interval"
+        )
+
+    def weight_for(self, attribute: str) -> Optional[float]:
+        """The event-specified weight for ``attribute``, or ``None``."""
+        if self._weights is None:
+            return None
+        return self._weights.get(attribute)
+
+    @property
+    def size(self) -> int:
+        """The paper's ``M`` for this event: its number of attributes."""
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+    # Value protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._values == other._values and self._weights == other._weights
+
+    def __hash__(self) -> int:
+        weight_items = tuple(sorted(self._weights.items())) if self._weights else ()
+        return hash((Event, tuple(sorted(self._values.items(), key=lambda kv: kv[0])), weight_items))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}: {v!r}" for k, v in self._values.items())
+        if self._weights:
+            return f"Event({{{parts}}}, weights={self._weights!r})"
+        return f"Event({{{parts}}})"

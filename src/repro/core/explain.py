@@ -1,0 +1,170 @@
+"""Match explanations: why did (or didn't) a subscription score?
+
+Relevance systems live and die by debuggability — an advertiser asking
+"why did my campaign not serve?" needs a per-constraint breakdown, not a
+single number.  :func:`explain_match` decomposes a subscription's score
+against an event exactly the way Definition 2 and Algorithm 2 compute it:
+per constraint, whether it matched, which weight applied (subscription's
+or the event's override), the proration fraction, and the resulting
+subscore; then the aggregate, the budget multiplier, and the final score.
+
+The explanation is computed with the reference scoring functions, so it
+is algorithm-independent: the same breakdown explains an FX-TM result, a
+BE* result, or an augmented-Fagin result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.attributes import Schema
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.scoring import (
+    SUM,
+    Aggregation,
+    constraint_matches,
+    prorate_fraction,
+    resolve_kind,
+)
+from repro.core.subscriptions import Subscription
+
+__all__ = ["ConstraintExplanation", "MatchExplanation", "explain_match", "explain"]
+
+
+@dataclass(frozen=True)
+class ConstraintExplanation:
+    """One constraint's contribution to a match."""
+
+    attribute: str
+    matched: bool
+    #: Why an unmatched constraint failed: "missing", "unknown",
+    #: "no-overlap", or "" when it matched.
+    reason: str
+    #: The weight that applied (event override wins); None when unmatched.
+    weight: Optional[float]
+    #: Definition 2's overlap fraction; 1.0 for discrete/unprorated.
+    fraction: float
+    #: weight x fraction, or 0.0 when unmatched.
+    subscore: float
+
+
+@dataclass(frozen=True)
+class MatchExplanation:
+    """A full scoring breakdown for one (subscription, event) pair."""
+
+    sid: Any
+    constraints: List[ConstraintExplanation] = field(default_factory=list)
+    #: Aggregate of the matched subscores (before the budget multiplier).
+    raw_score: float = 0.0
+    #: Definition 4's multiplier (1.0 when budgets are off).
+    budget_multiplier: float = 1.0
+    #: raw_score x budget_multiplier.
+    final_score: float = 0.0
+
+    @property
+    def matched(self) -> bool:
+        """Whether at least one constraint matched (partial-match rule)."""
+        return any(entry.matched for entry in self.constraints)
+
+    def render(self) -> str:
+        """A human-readable multi-line breakdown."""
+        lines = [f"subscription {self.sid!r}:"]
+        for entry in self.constraints:
+            if entry.matched:
+                detail = f"weight {entry.weight:g}"
+                if entry.fraction != 1.0:
+                    detail += f" x fraction {entry.fraction:.4g}"
+                lines.append(
+                    f"  [match] {entry.attribute}: {detail} -> {entry.subscore:+.4g}"
+                )
+            else:
+                lines.append(f"  [ miss] {entry.attribute}: {entry.reason}")
+        lines.append(
+            f"  raw {self.raw_score:.4g} x budget {self.budget_multiplier:.4g} "
+            f"= {self.final_score:.4g}"
+        )
+        return "\n".join(lines)
+
+
+def explain_match(
+    subscription: Subscription,
+    event: Event,
+    schema: Schema,
+    prorate: bool = False,
+    aggregation: Aggregation = SUM,
+    budget_multiplier: float = 1.0,
+) -> MatchExplanation:
+    """Decompose one subscription's score against one event."""
+    use_event_weights = event.has_weights
+    entries: List[ConstraintExplanation] = []
+    aggregate = aggregation.zero
+    matched_any = False
+    for constraint in subscription.constraints:
+        kind = resolve_kind(schema, constraint)
+        if constraint.attribute not in event.attributes:
+            entries.append(
+                ConstraintExplanation(constraint.attribute, False, "missing", None, 0.0, 0.0)
+            )
+            continue
+        if not event.is_known(constraint.attribute):
+            entries.append(
+                ConstraintExplanation(constraint.attribute, False, "unknown", None, 0.0, 0.0)
+            )
+            continue
+        if not constraint_matches(constraint, event, kind):
+            entries.append(
+                ConstraintExplanation(
+                    constraint.attribute, False, "no-overlap", None, 0.0, 0.0
+                )
+            )
+            continue
+        matched_any = True
+        if use_event_weights:
+            override = event.weight_for(constraint.attribute)
+            weight = override if override is not None else 0.0
+        else:
+            weight = constraint.weight
+        fraction = 1.0
+        if prorate and kind.is_ranged:
+            fraction = prorate_fraction(
+                event.interval_of(constraint.attribute),
+                constraint.interval(),
+                kind.proration_constant,
+            )
+        subscore = weight * fraction
+        entries.append(
+            ConstraintExplanation(constraint.attribute, True, "", weight, fraction, subscore)
+        )
+        aggregate = aggregation.combine(aggregate, subscore)
+    raw = aggregate if matched_any else 0.0
+    return MatchExplanation(
+        sid=subscription.sid,
+        constraints=entries,
+        raw_score=raw,
+        budget_multiplier=budget_multiplier,
+        final_score=raw * budget_multiplier,
+    )
+
+
+def explain(matcher: TopKMatcher, event: Event, sid: Any) -> MatchExplanation:
+    """Explain how a matcher would score its registered subscription ``sid``.
+
+    Uses the matcher's own schema, proration flag, aggregation, and
+    current budget multiplier, so the final score equals what the next
+    :meth:`~repro.core.interfaces.TopKMatcher.match` at this instant
+    would produce (before it charges budgets).
+
+    Raises :class:`~repro.errors.UnknownSubscriptionError` for unknown
+    sids.
+    """
+    subscription = matcher.get_subscription(sid)
+    return explain_match(
+        subscription,
+        event,
+        matcher.schema,
+        prorate=matcher.prorate,
+        aggregation=matcher.aggregation,
+        budget_multiplier=matcher.budget_multiplier(sid),
+    )

@@ -1,0 +1,360 @@
+"""Textual grammar for subscriptions and events (paper section 3.1).
+
+The paper defines subscriptions by the grammar::
+
+    Predicate   phi   := phi AND delta | delta
+    Constraint  delta := a in [v, v'] : w
+
+with relational operators encoded as intervals (``x > 100`` becomes
+``x in [101, MAX_INT]``) and set membership over discrete values.  This
+module implements that surface syntax so subscriptions and events can be
+written the way the paper writes them:
+
+>>> sub = parse_subscription("ad-1",
+...     "age in [18, 24] : 2.0 and state in {Indiana, Illinois} : 1.0")
+>>> sub.size
+2
+>>> event = parse_event("age: [18 .. 29], state: Indiana, lName: UNKNOWN")
+>>> event.is_known("lName")
+False
+
+Accepted constraint forms (each with an optional ``: weight`` suffix):
+
+* ``a in [lo, hi]``  or  ``a in [lo .. hi]`` — interval;
+* ``a in {v1, v2, ...}`` — discrete set membership;
+* ``a = v``  /  ``a == v`` — equality (numbers become point intervals,
+  words/strings stay discrete);
+* ``a > n``, ``a >= n``, ``a < n``, ``a <= n`` — open-ended intervals
+  (strict forms use the integer encoding, so they require integers).
+
+Event attributes are ``name: value`` pairs separated by commas; values are
+intervals, numbers, words, quoted strings, or the keyword ``UNKNOWN``.
+An event weight is attached with ``@``: ``age: [18..29] @ 2.0``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.budget import BudgetWindowSpec
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import ReproError
+
+__all__ = [
+    "ParseError",
+    "parse_subscription",
+    "parse_event",
+    "parse_constraint",
+    "render_subscription",
+    "render_event",
+]
+
+
+class ParseError(ReproError):
+    """The input text does not conform to the grammar."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        pointer = text[max(0, position - 20) : position] + " <-HERE-> " + text[position : position + 20]
+        super().__init__(f"{message} at position {position}: ...{pointer}...")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?(?:\d+\.\d+|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<dotdot>\.\.)
+  | (?P<op>==|>=|<=|=|>|<|@|:|,|\[|\]|\{|\}|∧|&&)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<word>[A-Za-z_][A-Za-z0-9_\-\.]*)
+    """,
+    re.VERBOSE,
+)
+
+#: Words that join constraints (case-insensitive).
+_AND_WORDS = frozenset({"and"})
+
+
+class _Tokenizer:
+    """Token stream with one-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ParseError(f"unexpected character {text[position]!r}", text, position)
+            kind = match.lastgroup or ""
+            if kind != "ws":
+                self.tokens.append((kind, match.group(), position))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Tuple[str, str, int]:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            expected = value if value is not None else kind
+            raise ParseError(f"expected {expected!r}, got {token[1]!r}", self.text, token[2])
+        return token
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _number(text: str) -> Union[int, float]:
+    return float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1]
+
+
+def _parse_scalar(tokens: _Tokenizer) -> Any:
+    """A number, quoted string, or bare word."""
+    kind, value, position = tokens.next()
+    if kind == "number":
+        return _number(value)
+    if kind == "string":
+        return _unquote(value)
+    if kind == "word":
+        return value
+    raise ParseError(f"expected a value, got {value!r}", tokens.text, position)
+
+
+def _parse_interval(tokens: _Tokenizer) -> Interval:
+    """``[lo, hi]`` or ``[lo .. hi]`` (the opening ``[`` already consumed)."""
+    low = _parse_scalar(tokens)
+    separator = tokens.next()
+    if separator[0] == "dotdot" or (separator[0] == "op" and separator[1] == ","):
+        pass
+    else:
+        raise ParseError("expected ',' or '..' inside interval", tokens.text, separator[2])
+    high = _parse_scalar(tokens)
+    tokens.expect("op", "]")
+    if not isinstance(low, (int, float)) or not isinstance(high, (int, float)):
+        raise ParseError("interval endpoints must be numbers", tokens.text, separator[2])
+    return Interval(low, high)
+
+
+def _parse_set(tokens: _Tokenizer) -> frozenset:
+    """``{v1, v2, ...}`` (the opening ``{`` already consumed)."""
+    members = [_parse_scalar(tokens)]
+    while True:
+        kind, value, position = tokens.next()
+        if kind == "op" and value == ",":
+            members.append(_parse_scalar(tokens))
+        elif kind == "op" and value == "}":
+            return frozenset(members)
+        else:
+            raise ParseError("expected ',' or '}' in set", tokens.text, position)
+
+
+def _parse_optional_weight(tokens: _Tokenizer, default: float) -> float:
+    token = tokens.peek()
+    if token is not None and token[0] == "op" and token[1] == ":":
+        tokens.next()
+        kind, value, position = tokens.next()
+        if kind != "number":
+            raise ParseError("expected a numeric weight after ':'", tokens.text, position)
+        return float(value)
+    return default
+
+
+def parse_constraint(tokens_or_text: Union[str, _Tokenizer], default_weight: float = 1.0) -> Constraint:
+    """Parse one constraint; accepts raw text or an ongoing token stream."""
+    tokens = _Tokenizer(tokens_or_text) if isinstance(tokens_or_text, str) else tokens_or_text
+    _kind, attribute, _pos = tokens.expect("word")
+    kind, op, position = tokens.next()
+    value: Any
+    if kind == "word" and op == "in":
+        opener = tokens.next()
+        if opener[0] == "op" and opener[1] == "[":
+            value = _parse_interval(tokens)
+        elif opener[0] == "op" and opener[1] == "{":
+            value = _parse_set(tokens)
+        else:
+            raise ParseError("expected '[' or '{' after 'in'", tokens.text, opener[2])
+    elif kind == "op" and op in ("=", "=="):
+        scalar = _parse_scalar(tokens)
+        value = Interval.point(scalar) if isinstance(scalar, (int, float)) else scalar
+    elif kind == "op" and op in (">", ">=", "<", "<="):
+        scalar = _parse_scalar(tokens)
+        if not isinstance(scalar, (int, float)):
+            raise ParseError(f"{op!r} needs a numeric bound", tokens.text, position)
+        if op in (">", "<") and not isinstance(scalar, int):
+            raise ParseError(
+                f"strict {op!r} uses the integer encoding (x > 100 -> [101, MAX]); "
+                "use >= or <= for real-valued bounds",
+                tokens.text,
+                position,
+            )
+        if op == ">":
+            value = Interval.greater_than(scalar)
+        elif op == ">=":
+            value = Interval.at_least(scalar)
+        elif op == "<":
+            value = Interval.less_than(scalar)
+        else:
+            value = Interval.at_most(scalar)
+    else:
+        raise ParseError(f"expected a constraint operator, got {op!r}", tokens.text, position)
+    weight = _parse_optional_weight(tokens, default_weight)
+    return Constraint(attribute, value, weight)
+
+
+def parse_subscription(
+    sid: Any,
+    text: str,
+    default_weight: float = 1.0,
+    budget: Optional[BudgetWindowSpec] = None,
+) -> Subscription:
+    """Parse a full predicate: constraints joined by ``and`` / ``&&`` / ``∧``."""
+    tokens = _Tokenizer(text)
+    constraints = [parse_constraint(tokens, default_weight)]
+    while not tokens.exhausted:
+        kind, value, position = tokens.next()
+        is_and = (kind == "word" and value.lower() in _AND_WORDS) or (
+            kind == "op" and value in ("∧", "&&")
+        )
+        if not is_and:
+            raise ParseError(f"expected 'and' between constraints, got {value!r}", text, position)
+        constraints.append(parse_constraint(tokens, default_weight))
+    return Subscription(sid, constraints, budget=budget)
+
+
+def parse_event(text: str) -> Event:
+    """Parse ``name: value`` pairs; ``@ weight`` attaches event weights."""
+    tokens = _Tokenizer(text)
+    values: Dict[str, Any] = {}
+    weights: Dict[str, float] = {}
+    while True:
+        _kind, attribute, _pos = tokens.expect("word")
+        tokens.expect("op", ":")
+        token = tokens.peek()
+        if token is None:
+            raise ParseError("expected a value", text, len(text))
+        if token[0] == "op" and token[1] == "[":
+            tokens.next()
+            value: Any = _parse_interval(tokens)
+        elif token[0] == "word" and token[1] == "UNKNOWN":
+            tokens.next()
+            value = UNKNOWN
+        else:
+            value = _parse_scalar(tokens)
+        values[attribute] = value
+        token = tokens.peek()
+        if token is not None and token[0] == "op" and token[1] == "@":
+            tokens.next()
+            kind, weight_text, position = tokens.next()
+            if kind != "number":
+                raise ParseError("expected a numeric weight after '@'", text, position)
+            weights[attribute] = float(weight_text)
+            token = tokens.peek()
+        if token is None:
+            break
+        if token[0] == "op" and token[1] == ",":
+            tokens.next()
+            continue
+        raise ParseError(f"expected ',' between attributes, got {token[1]!r}", text, token[2])
+    return Event(values, weights=weights or None)
+
+
+# ----------------------------------------------------------------------
+# Rendering (the inverse direction: model objects -> grammar text)
+# ----------------------------------------------------------------------
+_BARE_WORD_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-\.]*$")
+
+
+def _render_scalar(value: Any) -> str:
+    """A scalar in re-parseable form: bare word, quoted string, or number."""
+    if isinstance(value, bool):
+        # No boolean literal in the grammar; quote it as a string.
+        return f"'{value}'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if _BARE_WORD_RE.match(text) and text != "UNKNOWN":
+        return text
+    escaped = text.replace("'", "")  # the grammar has no escape sequences
+    return f"'{escaped}'"
+
+
+def _render_endpoint(value: float) -> str:
+    # The grammar cannot express infinities directly; callers rendering
+    # open-ended intervals get the relational form from _render_value.
+    return repr(value)
+
+
+def _render_value(value: Any) -> str:
+    """Render a constraint value with its operator."""
+    if isinstance(value, Interval):
+        low_inf = value.low == float("-inf")
+        high_inf = value.high == float("inf")
+        if low_inf and high_inf:
+            raise ParseError("cannot render a fully unbounded interval", "", 0)
+        if high_inf:
+            return f">= {_render_endpoint(value.low)}"
+        if low_inf:
+            return f"<= {_render_endpoint(value.high)}"
+        return f"in [{_render_endpoint(value.low)}, {_render_endpoint(value.high)}]"
+    if isinstance(value, frozenset):
+        members = sorted((_render_scalar(member) for member in value))
+        return "in {" + ", ".join(members) + "}"
+    return f"= {_render_scalar(value)}"
+
+
+def render_subscription(subscription: Subscription) -> str:
+    """Render a subscription back into the textual grammar.
+
+    The output re-parses to an equal subscription (modulo the sid and any
+    budget spec, which the grammar does not carry)::
+
+        parse_subscription(sid, render_subscription(sub)) == sub
+
+    Raises :class:`ParseError` for values the grammar cannot express
+    (fully unbounded intervals).
+    """
+    parts = []
+    for constraint in subscription.constraints:
+        rendered = f"{constraint.attribute} {_render_value(constraint.value)}"
+        parts.append(f"{rendered} : {constraint.weight!r}")
+    return " and ".join(parts)
+
+
+def render_event(event: Event) -> str:
+    """Render an event back into the textual grammar.
+
+    ``parse_event(render_event(event)) == event`` for events whose values
+    the grammar can express.
+    """
+    parts = []
+    for name in event.attributes:
+        value = event.value_of(name)
+        if value is UNKNOWN:
+            rendered = "UNKNOWN"
+        elif isinstance(value, Interval):
+            rendered = f"[{_render_endpoint(value.low)} .. {_render_endpoint(value.high)}]"
+        else:
+            rendered = _render_scalar(value)
+        weight = event.weight_for(name)
+        suffix = f" @ {weight!r}" if weight is not None else ""
+        parts.append(f"{name}: {rendered}{suffix}")
+    return ", ".join(parts)

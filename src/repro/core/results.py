@@ -1,0 +1,33 @@
+"""Result types returned by matchers."""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple
+
+__all__ = ["MatchResult", "sort_results"]
+
+
+class MatchResult(NamedTuple):
+    """One entry of a top-k matching set: a subscription id and its score.
+
+    The score already includes proration and the budget-window multiplier
+    when those features are active.
+    """
+
+    sid: Any
+    score: float
+
+
+def sort_results(results: List[MatchResult]) -> List[MatchResult]:
+    """Order results best-first with deterministic sid tie-breaking.
+
+    Definition 3 leaves tie handling to the implementation; every matcher
+    in this repository normalises its output through this function so
+    results are comparable across algorithms in tests.
+    """
+    return sorted(results, key=lambda r: (-r.score, _sid_sort_key(r.sid)))
+
+
+def _sid_sort_key(sid: Any) -> Any:
+    """A total-order key over heterogeneous sid types."""
+    return (type(sid).__name__, repr(sid))

@@ -1,0 +1,207 @@
+"""Scoring: Definitions 1 (match score) and 2 (prorated match score).
+
+This module is the single source of truth for how one constraint scores
+against one event attribute, and — through :func:`score_subscription` —
+provides a direct reference implementation of the paper's scoring
+definitions.  The FX-TM matcher and every baseline compute exactly these
+scores via their own index structures; the test suite cross-checks them
+against this module through the naive matcher.
+
+Aggregation is pluggable (paper section 4.4: "FX-TM supports all the
+aggregation functions of prior art"): :data:`SUM` is the paper's default,
+:data:`MAX` is what the Fagin baseline must fall back to for monotonicity,
+and :data:`MIN` rounds out the classical trio.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.attributes import AttributeKind, Interval, Schema
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+
+__all__ = [
+    "Aggregation",
+    "SUM",
+    "MAX",
+    "MIN",
+    "prorate_fraction",
+    "constraint_matches",
+    "constraint_score",
+    "score_subscription",
+]
+
+
+class Aggregation:
+    """A named monoid-like aggregation over constraint sub-scores.
+
+    ``zero`` is the score of a subscription with no matched constraints;
+    ``combine`` folds one matched constraint's sub-score into the running
+    aggregate.  Only :data:`SUM` is non-monotonic under mixed-sign weights
+    (the property that breaks classical Fagin — paper section 2.3).
+    """
+
+    __slots__ = ("name", "zero", "_combine", "monotone_with_mixed_signs")
+
+    def __init__(self, name: str, zero: float, combine, monotone_with_mixed_signs: bool) -> None:
+        self.name = name
+        self.zero = zero
+        self._combine = combine
+        self.monotone_with_mixed_signs = monotone_with_mixed_signs
+
+    def combine(self, aggregate: float, subscore: float) -> float:
+        """Fold ``subscore`` into ``aggregate``."""
+        return self._combine(aggregate, subscore)
+
+    def __repr__(self) -> str:
+        return f"Aggregation({self.name!r})"
+
+
+#: Summation — the paper's aggregation of choice for weighted matching.
+SUM = Aggregation("sum", 0.0, lambda a, b: a + b, monotone_with_mixed_signs=False)
+#: Maximum sub-score — monotone even with negative weights.
+MAX = Aggregation("max", float("-inf"), max, monotone_with_mixed_signs=True)
+#: Minimum sub-score.
+MIN = Aggregation("min", float("inf"), min, monotone_with_mixed_signs=True)
+
+
+def prorate_fraction(
+    event_interval: Interval,
+    constraint_interval: Interval,
+    proration_constant: int = 0,
+) -> float:
+    """The overlap fraction of Definition 2 / Algorithm 2's ``prorate``.
+
+    Returns ``(min(highs) - max(lows) + C) / (event_width + C)`` — "the
+    ratio of the size of the interval intersection to the size of the
+    interval of the event" — or ``0.0`` when the intervals are disjoint.
+
+    Degenerate cases are resolved to keep the fraction in ``[0, 1]``:
+
+    * a zero-width continuous event interval inside the constraint matches
+      fully (fraction 1.0);
+    * an unbounded event interval yields fraction 1.0 only when the
+      intersection is also unbounded on the same side(s), else 0.0 — an
+      infinite event can never be mostly covered by a finite constraint.
+    """
+    lo = max(event_interval.low, constraint_interval.low)
+    hi = min(event_interval.high, constraint_interval.high)
+    if lo > hi:
+        return 0.0
+    width = event_interval.high - event_interval.low + proration_constant
+    overlap = hi - lo + proration_constant
+    if math.isinf(width):
+        return 1.0 if math.isinf(overlap) else 0.0
+    if width <= 0:
+        # Zero-width continuous event (C = 0, point value): the point lies
+        # inside the constraint, which is a complete match.
+        return 1.0
+    return overlap / width
+
+
+def constraint_matches(constraint: Constraint, event: Event, kind: AttributeKind) -> bool:
+    """Evaluate ``delta(e)``: does the event satisfy this constraint?
+
+    Missing and UNKNOWN attributes evaluate to false (paper section 3.1).
+    """
+    attribute = constraint.attribute
+    if not event.is_known(attribute):
+        return False
+    if kind is AttributeKind.DISCRETE:
+        value = event.value_of(attribute)
+        if isinstance(constraint.value, frozenset):
+            return value in constraint.value
+        return value == constraint.value
+    return event.interval_of(attribute).overlaps(constraint.interval())
+
+
+def constraint_score(
+    constraint: Constraint,
+    event: Event,
+    kind: AttributeKind,
+    prorate: bool = False,
+    override_weight: Optional[float] = None,
+) -> float:
+    """The sub-score one constraint contributes against one event.
+
+    Returns 0.0 when the constraint does not match.  ``override_weight``
+    implements event-specified weights (Algorithm 2 line 33); when the
+    event carries weights they replace the subscription's weight entirely.
+    Proration only applies to ranged attributes — a discrete equality match
+    is always a complete match.
+    """
+    if not constraint_matches(constraint, event, kind):
+        return 0.0
+    weight = constraint.weight if override_weight is None else override_weight
+    if prorate and kind.is_ranged:
+        fraction = prorate_fraction(
+            event.interval_of(constraint.attribute),
+            constraint.interval(),
+            kind.proration_constant,
+        )
+        return weight * fraction
+    return weight
+
+
+def infer_kind(constraint: Constraint) -> AttributeKind:
+    """The attribute kind implied by a constraint's value type.
+
+    Intervals (and numbers) imply continuous ranges; sets and everything
+    else are discrete.  Callers wanting discrete *integer* ranges (C = 1)
+    must declare them explicitly on the
+    :class:`~repro.core.attributes.Schema`.
+    """
+    if isinstance(constraint.value, frozenset):
+        return AttributeKind.DISCRETE
+    if isinstance(constraint.value, (Interval, int, float)):
+        return AttributeKind.RANGE_CONTINUOUS
+    return AttributeKind.DISCRETE
+
+
+def resolve_kind(schema: Schema, constraint: Constraint) -> AttributeKind:
+    """The schema kind for a constraint's attribute, pinning it if new."""
+    kind = schema.kind_of(constraint.attribute)
+    if kind is None:
+        kind = schema.resolve(constraint.attribute, infer_kind(constraint))
+    return kind
+
+
+def score_subscription(
+    subscription: Subscription,
+    event: Event,
+    schema: Schema,
+    prorate: bool = False,
+    aggregation: Aggregation = SUM,
+) -> float:
+    """Reference implementation of Definitions 1 and 2.
+
+    Aggregates the sub-scores of every *matching* constraint; returns
+    ``aggregation.zero`` when nothing matches.  Event weights override
+    subscription weights when the event carries any weights at all
+    (Algorithm 2 lines 32–33).
+    """
+    use_event_weights = event.has_weights
+    score = aggregation.zero
+    matched_any = False
+    for constraint in subscription.constraints:
+        kind = resolve_kind(schema, constraint)
+        override: Optional[float] = None
+        if use_event_weights:
+            override = event.weight_for(constraint.attribute)
+            if override is None:
+                # The event carries weights but not for this attribute;
+                # an unweighted attribute contributes nothing, mirroring
+                # Algorithm 2 where w_i replaces w_r unconditionally.
+                override = 0.0
+        if not constraint_matches(constraint, event, kind):
+            continue
+        matched_any = True
+        score = aggregation.combine(
+            score,
+            constraint_score(constraint, event, kind, prorate, override),
+        )
+    if not matched_any:
+        return aggregation.zero if aggregation is SUM else 0.0
+    return score

@@ -1,0 +1,202 @@
+"""Matcher instrumentation: running statistics without external deps.
+
+The budget-window mechanism already requires the system to track "the
+historical rate of matching" (paper section 1.1); this module generalises
+that bookkeeping into production-grade instrumentation any deployment
+wants: per-matcher request counters, latency aggregates, result-size
+distribution, and per-subscription serve counts.
+
+:class:`InstrumentedMatcher` wraps any :class:`TopKMatcher` without
+changing its behaviour — it is a decorator in the plain OO sense, useful
+both in deployments and in the benchmark harness's sanity checks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, List
+
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.results import MatchResult
+from repro.core.subscriptions import Subscription
+
+__all__ = ["RunningStats", "MatcherStats", "InstrumentedMatcher"]
+
+
+class RunningStats:
+    """Welford's online mean/variance over a stream of samples.
+
+    Numerically stable, O(1) memory, exact count/min/max.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, sample: float) -> None:
+        """Fold one sample into the aggregates."""
+        self.count += 1
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded samples (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another aggregate into this one (parallel Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.6g}, "
+            f"std={self.stddev:.6g})"
+        )
+
+
+class MatcherStats:
+    """The aggregates an :class:`InstrumentedMatcher` maintains."""
+
+    __slots__ = (
+        "matches",
+        "adds",
+        "cancels",
+        "match_seconds",
+        "results_returned",
+        "empty_matches",
+        "serves_by_sid",
+    )
+
+    def __init__(self) -> None:
+        self.matches = 0
+        self.adds = 0
+        self.cancels = 0
+        self.match_seconds = RunningStats()
+        self.results_returned = RunningStats()
+        self.empty_matches = 0
+        self.serves_by_sid: Dict[Any, int] = {}
+
+    def top_served(self, limit: int = 10) -> List[tuple]:
+        """The most-served subscriptions as ``(sid, count)``, best first."""
+        ordered = sorted(
+            self.serves_by_sid.items(),
+            key=lambda kv: (-kv[1], type(kv[0]).__name__, repr(kv[0])),
+        )
+        return ordered[:limit]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready summary (for dashboards / logs)."""
+        return {
+            "matches": self.matches,
+            "adds": self.adds,
+            "cancels": self.cancels,
+            "empty_matches": self.empty_matches,
+            "match_ms_mean": self.match_seconds.mean * 1e3,
+            "match_ms_std": self.match_seconds.stddev * 1e3,
+            "match_ms_max": (
+                self.match_seconds.max * 1e3 if self.match_seconds.count else 0.0
+            ),
+            "results_mean": self.results_returned.mean,
+            "distinct_sids_served": len(self.serves_by_sid),
+        }
+
+
+class InstrumentedMatcher:
+    """A transparent statistics-collecting wrapper around any matcher.
+
+    >>> from repro import FXTMMatcher
+    >>> wrapped = InstrumentedMatcher(FXTMMatcher())
+    >>> # use `wrapped` exactly like the inner matcher
+    """
+
+    def __init__(self, inner: TopKMatcher) -> None:
+        self.inner = inner
+        self.stats = MatcherStats()
+
+    # -- the TopKMatcher surface -----------------------------------------
+    def add_subscription(self, subscription: Subscription) -> None:
+        self.inner.add_subscription(subscription)
+        self.stats.adds += 1
+
+    def cancel_subscription(self, sid: Any) -> Subscription:
+        subscription = self.inner.cancel_subscription(sid)
+        self.stats.cancels += 1
+        return subscription
+
+    def match(self, event: Event, k: int) -> List[MatchResult]:
+        started = time.perf_counter()
+        results = self.inner.match(event, k)
+        elapsed = time.perf_counter() - started
+        stats = self.stats
+        stats.matches += 1
+        stats.match_seconds.record(elapsed)
+        stats.results_returned.record(len(results))
+        if not results:
+            stats.empty_matches += 1
+        for result in results:
+            stats.serves_by_sid[result.sid] = stats.serves_by_sid.get(result.sid, 0) + 1
+        return results
+
+    def get_subscription(self, sid: Any) -> Subscription:
+        return self.inner.get_subscription(sid)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, sid: Any) -> bool:
+        return sid in self.inner
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    @property
+    def budget_tracker(self):
+        return self.inner.budget_tracker
+
+    def __repr__(self) -> str:
+        return f"InstrumentedMatcher({self.inner!r}, matches={self.stats.matches})"

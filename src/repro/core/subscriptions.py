@@ -1,0 +1,193 @@
+"""Subscriptions: weighted conjunctions of elementary constraints.
+
+A subscription (paper section 3.1) follows the grammar::
+
+    Predicate   phi   := phi AND delta | delta
+    Constraint  delta := a IN [v, v'] : w
+
+Each constraint targets a distinct attribute and carries an optional
+weight ``w`` (default 1.0).  Weights may be negative — the model expressly
+supports mixed-sign weights (paper section 1.1(c)).  Relational predicates
+are encoded as intervals (``x > 100`` is ``x in [101, MAX_INT]``) and
+single values / set members as degenerate intervals or discrete values.
+
+A subscription may also carry a :class:`~repro.core.budget.BudgetWindowSpec`
+enabling the dynamic score multiplier of Definition 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.core.attributes import Interval
+from repro.errors import InvalidConstraintError
+
+__all__ = ["Constraint", "Subscription"]
+
+#: The value types a constraint may target.
+ConstraintValue = Union[Interval, Any]
+
+
+class Constraint:
+    """A single weighted elementary constraint ``a in [v, v'] : w``.
+
+    For ranged attributes ``value`` is an :class:`Interval` (bare numbers
+    are coerced to point intervals); for discrete attributes it is any
+    hashable value matched by equality, or a set of values matched by
+    membership (the paper's ``state in {Indiana, Illinois, Wisconsin}``
+    — a set constraint still contributes its weight once).
+    """
+
+    __slots__ = ("attribute", "value", "weight")
+
+    def __init__(self, attribute: str, value: ConstraintValue, weight: float = 1.0) -> None:
+        if not isinstance(attribute, str) or not attribute:
+            raise InvalidConstraintError(
+                f"attribute names must be non-empty strings, got {attribute!r}"
+            )
+        if not isinstance(weight, (int, float)):
+            raise InvalidConstraintError(f"weight must be numeric, got {weight!r}")
+        if isinstance(value, (set, frozenset)):
+            if not value:
+                raise InvalidConstraintError(
+                    f"set constraint on {attribute!r} must be non-empty"
+                )
+            value = frozenset(value)
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "weight", float(weight))
+
+    @property
+    def is_set(self) -> bool:
+        """Whether this is a discrete set-membership constraint."""
+        return isinstance(self.value, frozenset)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Constraint is immutable")
+
+    @property
+    def is_ranged(self) -> bool:
+        """Whether the constraint targets an interval."""
+        return isinstance(self.value, Interval)
+
+    def interval(self) -> Interval:
+        """The constraint's value coerced to an interval.
+
+        Numbers become point intervals; discrete (non-numeric) values raise
+        :class:`~repro.errors.InvalidConstraintError`.
+        """
+        if isinstance(self.value, Interval):
+            return self.value
+        if isinstance(self.value, (int, float)):
+            return Interval.point(self.value)
+        raise InvalidConstraintError(
+            f"constraint on {self.attribute!r} holds discrete value {self.value!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.value == other.value
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((Constraint, self.attribute, self.value, self.weight))
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.attribute!r}, {self.value!r}, weight={self.weight!r})"
+
+
+class Subscription:
+    """An immutable subscription: a conjunction of weighted constraints.
+
+    Every subscription is uniquely identified by ``sid`` (paper section
+    4.1).  Constraints must each target a distinct attribute ("each delta_i
+    is on a different attribute a_i").
+
+    >>> sub = Subscription("ad-42", [
+    ...     Constraint("age", Interval(18, 24), weight=2.0),
+    ...     Constraint("state", "Indiana", weight=1.0),
+    ... ])
+    >>> sub.size
+    2
+    """
+
+    __slots__ = ("sid", "_constraints", "budget")
+
+    def __init__(
+        self,
+        sid: Any,
+        constraints: Sequence[Constraint],
+        budget: Optional["BudgetWindowSpec"] = None,  # noqa: F821 - forward ref
+    ) -> None:
+        if not constraints:
+            raise InvalidConstraintError("a subscription needs at least one constraint")
+        by_attribute: Dict[str, Constraint] = {}
+        for constraint in constraints:
+            if not isinstance(constraint, Constraint):
+                raise InvalidConstraintError(f"expected Constraint, got {constraint!r}")
+            if constraint.attribute in by_attribute:
+                raise InvalidConstraintError(
+                    f"duplicate constraint on attribute {constraint.attribute!r} "
+                    f"in subscription {sid!r}"
+                )
+            by_attribute[constraint.attribute] = constraint
+        object.__setattr__(self, "sid", sid)
+        object.__setattr__(self, "_constraints", tuple(constraints))
+        object.__setattr__(self, "budget", budget)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Subscription is immutable")
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        """The constraints in declaration order."""
+        return self._constraints
+
+    @property
+    def size(self) -> int:
+        """The paper's ``M`` for this subscription: its constraint count."""
+        return len(self._constraints)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attributes constrained by this subscription."""
+        return tuple(c.attribute for c in self._constraints)
+
+    def constraint_on(self, attribute: str) -> Optional[Constraint]:
+        """The constraint targeting ``attribute``, or ``None``."""
+        for constraint in self._constraints:
+            if constraint.attribute == attribute:
+                return constraint
+        return None
+
+    def max_positive_score(self) -> float:
+        """The best score this subscription can achieve (positive weights).
+
+        Used by the BE* baseline for score-bound pruning.
+        """
+        return sum(c.weight for c in self._constraints if c.weight > 0)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subscription):
+            return NotImplemented
+        return (
+            self.sid == other.sid
+            and self._constraints == other._constraints
+            and self.budget == other.budget
+        )
+
+    def __hash__(self) -> int:
+        return hash((Subscription, self.sid, self._constraints))
+
+    def __repr__(self) -> str:
+        body = " AND ".join(
+            f"{c.attribute} in {c.value!r}:{c.weight}" for c in self._constraints
+        )
+        return f"Subscription({self.sid!r}, {body})"

@@ -1,0 +1,38 @@
+"""Distributed top-k matching over a simulated LOOM overlay (paper 6.2).
+
+Local matching and merging run for real and are measured; only the
+network follows a latency model — see DESIGN.md's substitution table.
+"""
+
+from repro.distributed.autoscale import AutoscalePlan, plan_distribution
+from repro.distributed.cluster import DistributedMatchOutcome, DistributedTopKSystem
+from repro.distributed.controller import DistributedController, DistributedResponse
+from repro.distributed.merge import merge_topk
+from repro.distributed.network import LatencyModel
+from repro.distributed.node import MatcherNode
+from repro.distributed.overlay import AggregationTree, OverlayNode, optimal_fanout
+from repro.distributed.placement import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementStrategy,
+    RoundRobinPlacement,
+)
+
+__all__ = [
+    "AggregationTree",
+    "AutoscalePlan",
+    "DistributedController",
+    "DistributedMatchOutcome",
+    "DistributedResponse",
+    "DistributedTopKSystem",
+    "HashPlacement",
+    "LatencyModel",
+    "LeastLoadedPlacement",
+    "MatcherNode",
+    "OverlayNode",
+    "PlacementStrategy",
+    "RoundRobinPlacement",
+    "merge_topk",
+    "optimal_fanout",
+    "plan_distribution",
+]

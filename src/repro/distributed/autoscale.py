@@ -1,0 +1,124 @@
+"""Automatic distribution-degree selection (paper section 8, future work).
+
+The paper closes with: "We are considering ways to automatically detect
+the ideal degree of distribution".  This module implements that bullet
+for the simulated cluster: it profiles local matching at a few partition
+sizes, fits the simple cost model
+
+    total(L) ~= local(N / L) + depth_f(L) x (hop + merge)
+
+and returns the leaf count minimising predicted end-to-end latency.  The
+same U-shape the paper measures in Figure 7 (minimum at 27 leaves for
+their data) emerges from the model: local time falls roughly linearly in
+1/L while aggregation depth grows at every power of the fanout.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.events import Event
+from repro.core.subscriptions import Subscription
+from repro.distributed.network import LatencyModel
+from repro.distributed.node import MatcherFactory
+
+__all__ = ["AutoscalePlan", "plan_distribution"]
+
+
+@dataclass(frozen=True)
+class AutoscalePlan:
+    """The outcome of :func:`plan_distribution`."""
+
+    #: Recommended leaf count.
+    node_count: int
+    #: Predicted end-to-end seconds at that leaf count.
+    predicted_total_seconds: float
+    #: (leaf_count, predicted seconds) for every candidate examined.
+    candidates: List[tuple]
+
+
+def plan_distribution(
+    matcher_factory: MatcherFactory,
+    subscriptions: Sequence[Subscription],
+    probe_events: Sequence[Event],
+    k: int,
+    fanout: int = 3,
+    max_nodes: int = 81,
+    latency: Optional[LatencyModel] = None,
+    merge_seconds_estimate: float = 20e-6,
+) -> AutoscalePlan:
+    """Choose the leaf count minimising predicted total latency.
+
+    Profiles real local matching time at three partition sizes (full,
+    half, quarter of the subscription set) to fit ``local(n) = a + b*n``,
+    then evaluates the latency model at every candidate leaf count.
+    ``probe_events`` should be a small representative sample (3–10
+    events); profiling cost is ``O(len(probe_events))`` matches per probe
+    size.
+    """
+    if not subscriptions:
+        raise ValueError("need at least one subscription to plan for")
+    if not probe_events:
+        raise ValueError("need at least one probe event")
+    if max_nodes < 1:
+        raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+    latency = latency or LatencyModel()
+
+    # Profile local matching time at a few partition sizes.
+    sizes = sorted({len(subscriptions), max(1, len(subscriptions) // 2),
+                    max(1, len(subscriptions) // 4)})
+    samples: List[tuple] = []
+    for size in sizes:
+        matcher = matcher_factory()
+        for subscription in subscriptions[:size]:
+            matcher.add_subscription(subscription)
+        ensure_built = getattr(matcher, "ensure_built", None)
+        if callable(ensure_built):
+            ensure_built()
+        started = time.perf_counter()
+        for event in probe_events:
+            matcher.match(event, k)
+        per_match = (time.perf_counter() - started) / len(probe_events)
+        samples.append((size, per_match))
+
+    slope, intercept = _fit_line(samples)
+
+    def predicted_total(leaf_count: int) -> float:
+        per_leaf = max(1.0, len(subscriptions) / leaf_count)
+        local = max(0.0, intercept + slope * per_leaf)
+        if leaf_count == 1:
+            levels = 0
+        else:
+            levels = math.ceil(math.log(leaf_count, fanout))
+        per_level = latency.base_seconds + latency.per_result_seconds * k + (
+            merge_seconds_estimate if levels else 0.0
+        )
+        # Dissemination hop + local + per-level aggregation + return hop.
+        return latency.base_seconds + local + levels * per_level + latency.base_seconds
+
+    candidates = [(count, predicted_total(count)) for count in range(1, max_nodes + 1)]
+    best_count, best_seconds = min(candidates, key=lambda item: item[1])
+    return AutoscalePlan(
+        node_count=best_count,
+        predicted_total_seconds=best_seconds,
+        candidates=candidates,
+    )
+
+
+def _fit_line(samples: Sequence[tuple]) -> tuple:
+    """Least-squares fit of ``seconds = intercept + slope * n``."""
+    if len(samples) == 1:
+        size, seconds = samples[0]
+        return (seconds / size if size else 0.0), 0.0
+    count = len(samples)
+    mean_x = sum(size for size, _ in samples) / count
+    mean_y = sum(seconds for _, seconds in samples) / count
+    denominator = sum((size - mean_x) ** 2 for size, _ in samples)
+    if denominator == 0:
+        return 0.0, mean_y
+    slope = sum((size - mean_x) * (seconds - mean_y) for size, seconds in samples) / denominator
+    intercept = mean_y - slope * mean_x
+    return slope, intercept

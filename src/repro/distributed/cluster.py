@@ -1,0 +1,239 @@
+"""The distributed top-k system (paper Figure 2, sections 6.2 and 7.8).
+
+``DistributedTopKSystem`` wires together:
+
+* a set of :class:`~repro.distributed.node.MatcherNode` leaves, each with
+  a local matcher over an even partition of the subscriptions ("We use a
+  simple script on the LOOM controller to distribute subscriptions evenly
+  amongst nodes");
+* a LOOM-style :class:`~repro.distributed.overlay.AggregationTree` with
+  fanout 3 (or the heuristic optimum);
+* the controller, which "receives events for the system and forwards each
+  event to every local controller", then collects the aggregated top-k.
+
+Timing is a hybrid of measurement and simulation, as documented in
+DESIGN.md: local matching and merge computations run for real and are
+measured with ``perf_counter``; event dissemination and every
+result-forwarding hop follow the :class:`LatencyModel`.  The end-to-end
+latency obeys the natural completion-time recurrence — an internal node
+finishes when its *slowest* child's results have arrived and been merged,
+which is why the paper observes BE*'s higher local variance inflating its
+aggregation times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.events import Event
+from repro.core.results import MatchResult
+from repro.core.subscriptions import Subscription
+from repro.distributed.merge import merge_topk
+from repro.distributed.network import LatencyModel
+from repro.distributed.node import MatcherFactory, MatcherNode
+from repro.distributed.overlay import AggregationTree, OverlayNode
+from repro.distributed.placement import PlacementStrategy, RoundRobinPlacement
+from repro.errors import OverlayError, UnknownSubscriptionError
+
+__all__ = ["DistributedMatchOutcome", "DistributedTopKSystem"]
+
+
+@dataclass
+class DistributedMatchOutcome:
+    """Everything the simulation records about one distributed match."""
+
+    #: The aggregated system-wide top-k, best first.
+    results: List[MatchResult]
+    #: Measured wall seconds of each leaf's local match (0.0 for leaves
+    #: that were injected as failed).
+    local_seconds: List[float]
+    #: Simulated end-to-end seconds: dissemination + slowest local path +
+    #: aggregation (merges measured, hops modelled).
+    total_seconds: float
+    #: Simulated seconds spent inside the aggregation overlay only.
+    aggregation_seconds: float = 0.0
+    #: Measured wall seconds spent in merge computations.
+    merge_compute_seconds: float = 0.0
+    #: Leaves that did not contribute (failure injection); non-empty means
+    #: the results cover only the surviving partitions.
+    failed_leaves: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any partition was missing from this answer."""
+        return bool(self.failed_leaves)
+
+    @property
+    def mean_local_seconds(self) -> float:
+        """Average leaf matching time (the paper's "local" series)."""
+        return sum(self.local_seconds) / len(self.local_seconds)
+
+    @property
+    def max_local_seconds(self) -> float:
+        """Slowest leaf — the one aggregation must wait for."""
+        return max(self.local_seconds)
+
+
+class DistributedTopKSystem:
+    """FX-TM (or any matcher) distributed over a simulated LOOM overlay.
+
+    >>> from repro import FXTMMatcher
+    >>> system = DistributedTopKSystem(lambda: FXTMMatcher(), node_count=9)
+    >>> system.overlay.depth
+    3
+    """
+
+    def __init__(
+        self,
+        matcher_factory: MatcherFactory,
+        node_count: int,
+        fanout: int = 3,
+        latency: Optional[LatencyModel] = None,
+        placement: Optional[PlacementStrategy] = None,
+    ) -> None:
+        if node_count < 1:
+            raise OverlayError(f"node_count must be >= 1, got {node_count}")
+        self.nodes = [MatcherNode(index, matcher_factory()) for index in range(node_count)]
+        self.overlay = AggregationTree(node_count, fanout=fanout)
+        self.latency = latency or LatencyModel()
+        self.placement = placement or RoundRobinPlacement()
+        self._owner_of: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------
+    # Subscription distribution
+    # ------------------------------------------------------------------
+    def add_subscription(self, subscription: Subscription) -> int:
+        """Place one subscription per the strategy; returns the node id."""
+        node_id = self.placement.place(subscription, len(self.nodes))
+        if not 0 <= node_id < len(self.nodes):
+            raise OverlayError(
+                f"placement strategy returned node {node_id} outside "
+                f"[0, {len(self.nodes)})"
+            )
+        self.nodes[node_id].matcher.add_subscription(subscription)
+        self._owner_of[subscription.sid] = node_id
+        return node_id
+
+    def add_subscriptions(self, subscriptions: Sequence[Subscription]) -> None:
+        """Distribute subscriptions across leaves (round-robin default)."""
+        for subscription in subscriptions:
+            self.add_subscription(subscription)
+
+    def cancel_subscription(self, sid: Any) -> None:
+        """Remove a subscription wherever it lives.
+
+        Raises :class:`~repro.errors.UnknownSubscriptionError` when absent.
+        """
+        node_id = self._owner_of.pop(sid, None)
+        if node_id is None:
+            raise UnknownSubscriptionError(sid)
+        self.nodes[node_id].cancel_subscription(sid)
+        self.placement.forget(sid, node_id)
+
+    def __len__(self) -> int:
+        """Total subscriptions across all leaves."""
+        return sum(len(node) for node in self.nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        event: Event,
+        k: int,
+        failed_leaves: Optional[Sequence[int]] = None,
+    ) -> DistributedMatchOutcome:
+        """Match one event across the cluster.
+
+        Local matches and merges execute for real (sequentially here, but
+        timed individually so the simulation can account them as
+        parallel); hops follow the latency model.
+
+        ``failed_leaves`` injects leaf failures: those nodes contribute
+        no results and no latency (the overlay is assumed to detect the
+        failure immediately rather than time out).  The outcome is marked
+        :attr:`~DistributedMatchOutcome.degraded` and covers only the
+        surviving partitions — the graceful degradation a partitioned
+        top-k system exhibits naturally, since no leaf holds data any
+        other leaf needs.
+        """
+        failed = set(failed_leaves or ())
+        for leaf in failed:
+            if not 0 <= leaf < len(self.nodes):
+                raise OverlayError(f"failed leaf {leaf} outside [0, {len(self.nodes)})")
+        if len(failed) == len(self.nodes):
+            raise OverlayError("cannot match with every leaf failed")
+        rng = self.latency.rng()
+        # Controller -> leaves: event dissemination, one hop per leaf.
+        # Leaves work in parallel; each leaf's ready-time is its own hop
+        # plus its measured local matching time.
+        partials: List[List[MatchResult]] = []
+        ready_at: List[float] = []
+        local_seconds: List[float] = []
+        event_size = event.size
+        for node in self.nodes:
+            if node.node_id in failed:
+                partials.append([])
+                local_seconds.append(0.0)
+                ready_at.append(0.0)
+                continue
+            dissemination = self.latency.hop(event_size, rng)
+            results, elapsed = node.match_timed(event, k)
+            partials.append(results)
+            local_seconds.append(elapsed)
+            ready_at.append(dissemination + elapsed)
+
+        merge_compute = [0.0]
+        root_results, root_time = self._aggregate(
+            self.overlay.root, partials, ready_at, k, rng, merge_compute
+        )
+        # Root -> controller: final hop with the aggregated results.
+        total = root_time + self.latency.hop(len(root_results), rng)
+        slowest_local = max(ready_at)
+        return DistributedMatchOutcome(
+            results=root_results,
+            local_seconds=local_seconds,
+            total_seconds=total,
+            aggregation_seconds=total - slowest_local,
+            merge_compute_seconds=merge_compute[0],
+            failed_leaves=sorted(failed),
+        )
+
+    def _aggregate(
+        self,
+        node: OverlayNode,
+        partials: List[List[MatchResult]],
+        ready_at: List[float],
+        k: int,
+        rng,
+        merge_compute: List[float],
+    ) -> "tuple[List[MatchResult], float]":
+        """Returns (results, completion time) for an overlay subtree."""
+        if node.is_leaf:
+            assert node.leaf_index is not None
+            return partials[node.leaf_index], ready_at[node.leaf_index]
+        assert node.children
+        child_results: List[List[MatchResult]] = []
+        arrival = 0.0
+        for child in node.children:
+            results, done_at = self._aggregate(
+                child, partials, ready_at, k, rng, merge_compute
+            )
+            # Child -> this node: one hop carrying its partial set.
+            done_at += self.latency.hop(len(results), rng)
+            child_results.append(results)
+            if done_at > arrival:
+                arrival = done_at
+        started = time.perf_counter()
+        merged = merge_topk(child_results, k)
+        merge_seconds = time.perf_counter() - started
+        merge_compute[0] += merge_seconds
+        # Aggregation "has to receive all results to complete" — it starts
+        # at the slowest child's arrival.
+        return merged, arrival + merge_seconds

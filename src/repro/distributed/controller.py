@@ -1,0 +1,92 @@
+"""The distributed controller: the LOOM controller's request surface.
+
+Paper section 6.2: "The LOOM controller receives events for the system
+and forwards each event to every local controller to begin the matching
+process.  ...  We use a simple script on the LOOM controller to
+distribute subscriptions evenly amongst nodes."
+
+:class:`DistributedController` gives the
+:class:`~repro.distributed.cluster.DistributedTopKSystem` the same
+textual ADD/CANCEL/MATCH protocol the local controller speaks
+(:mod:`repro.core.controller`), so a deployment can swap a single node
+for a cluster without changing its client protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.controller import LocalController, Request, RequestKind
+from repro.core.parser import ParseError, parse_event, parse_subscription
+from repro.core.results import MatchResult
+from repro.distributed.cluster import DistributedMatchOutcome, DistributedTopKSystem
+from repro.errors import ReproError
+
+__all__ = ["DistributedResponse", "DistributedController"]
+
+
+@dataclass
+class DistributedResponse:
+    """The distributed controller's reply to one request."""
+
+    ok: bool
+    request: Request
+    results: List[MatchResult] = field(default_factory=list)
+    error: str = ""
+    #: Simulation record for MATCH requests (None otherwise).
+    outcome: Optional[DistributedMatchOutcome] = None
+
+
+class DistributedController:
+    """Parses requests and drives a distributed top-k system.
+
+    Reuses :meth:`LocalController.parse_request` verbatim — the protocol
+    is identical; only the execution substrate differs.
+    """
+
+    def __init__(self, system: DistributedTopKSystem) -> None:
+        self.system = system
+        self.requests_processed = 0
+        self.requests_failed = 0
+
+    def submit(self, line: str) -> DistributedResponse:
+        """Parse and process one textual request line."""
+        try:
+            request = LocalController.parse_request(line)
+        except ParseError as error:
+            self.requests_failed += 1
+            return DistributedResponse(
+                ok=False, request=Request(RequestKind.MATCH), error=str(error)
+            )
+        return self.process(request)
+
+    def process(self, request: Request) -> DistributedResponse:
+        """Process a structured request against the cluster."""
+        self.requests_processed += 1
+        try:
+            if request.kind is RequestKind.ADD:
+                subscription = parse_subscription(
+                    request.sid, request.predicate, budget=request.budget
+                )
+                self.system.add_subscription(subscription)
+                return DistributedResponse(ok=True, request=request)
+            if request.kind is RequestKind.CANCEL:
+                self.system.cancel_subscription(request.sid)
+                return DistributedResponse(ok=True, request=request)
+            event = parse_event(request.event_text)
+            outcome = self.system.match(event, request.k)
+            return DistributedResponse(
+                ok=True, request=request, results=outcome.results, outcome=outcome
+            )
+        except ReproError as error:
+            self.requests_failed += 1
+            return DistributedResponse(ok=False, request=request, error=str(error))
+
+    def run(self, lines: Iterable[str]) -> Iterator[DistributedResponse]:
+        """Process a stream of request lines (skipping blanks/comments)."""
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield self.submit(stripped)

@@ -1,0 +1,39 @@
+"""Top-k merge function handed to the aggregation overlay (paper 6.2).
+
+LOOM is given "a simple merge function which combines sets of top-k
+results from subsets of the data".  Subscriptions are partitioned across
+leaves, so partial result sets are disjoint and merging is a pure k-way
+selection of the highest scores.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.results import MatchResult, sort_results
+
+__all__ = ["merge_topk"]
+
+
+def merge_topk(partials: Sequence[Iterable[MatchResult]], k: int) -> List[MatchResult]:
+    """Merge partial top-k sets into the best ``k`` overall.
+
+    Each partial is assumed internally best-first (as produced by
+    :meth:`TopKMatcher.match`), but correctness does not depend on it —
+    a min-heap of size ``k`` keeps the best across everything.
+
+    Raises ValueError for ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    tiebreak = itertools.count()
+    heap: List[Tuple[float, int, MatchResult]] = []
+    for partial in partials:
+        for result in partial:
+            if len(heap) < k:
+                heapq.heappush(heap, (result.score, next(tiebreak), result))
+            elif result.score > heap[0][0]:
+                heapq.heapreplace(heap, (result.score, next(tiebreak), result))
+    return sort_results([entry[2] for entry in heap])

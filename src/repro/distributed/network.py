@@ -1,0 +1,48 @@
+"""Network latency model for the simulated cluster.
+
+The paper ran its distributed experiments "on a group of blade servers at
+an IBM research center"; this reproduction has no cluster, so network
+costs follow a simple calibrated model: a per-hop base latency, a
+per-result serialisation cost, and small deterministic jitter.  The
+*compute* costs in the simulation (local matching, merging) remain real
+measured wall time — only the wire is modelled.
+
+Defaults approximate a 2014 datacenter LAN: ~200 microseconds base RTT
+share per hop, ~0.2 microseconds per serialised result entry, 10% jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Deterministic per-hop latency: ``base + per_result * n``, jittered."""
+
+    base_seconds: float = 200e-6
+    per_result_seconds: float = 0.2e-6
+    jitter_fraction: float = 0.10
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0 or self.per_result_seconds < 0:
+            raise ValueError("latency components must be non-negative")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}")
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic jitter stream."""
+        return random.Random(f"latency:{self.seed}")
+
+    def hop(self, payload_results: int, rng: random.Random) -> float:
+        """Latency of one hop carrying ``payload_results`` result entries."""
+        if payload_results < 0:
+            raise ValueError(f"payload_results must be >= 0, got {payload_results}")
+        nominal = self.base_seconds + self.per_result_seconds * payload_results
+        if self.jitter_fraction == 0.0:
+            return nominal
+        return nominal * (1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0))

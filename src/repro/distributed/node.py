@@ -1,0 +1,52 @@
+"""A matcher node: one leaf of the distributed system (paper section 6.2).
+
+Each leaf holds a partition of the subscriptions inside its own local
+matcher instance and measures the real wall time of every local match —
+the simulation models only the network, never the compute.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, List, Tuple
+
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.results import MatchResult
+from repro.core.subscriptions import Subscription
+
+__all__ = ["MatcherNode", "MatcherFactory"]
+
+#: A zero-argument callable producing a fresh local matcher.
+MatcherFactory = Callable[[], TopKMatcher]
+
+
+class MatcherNode:
+    """One leaf node wrapping a local top-k matcher."""
+
+    __slots__ = ("node_id", "matcher")
+
+    def __init__(self, node_id: int, matcher: TopKMatcher) -> None:
+        self.node_id = node_id
+        self.matcher = matcher
+
+    def add_subscriptions(self, subscriptions: Iterable[Subscription]) -> None:
+        """Load this node's partition."""
+        for subscription in subscriptions:
+            self.matcher.add_subscription(subscription)
+
+    def cancel_subscription(self, sid: Any) -> None:
+        """Remove one subscription from this node's partition."""
+        self.matcher.cancel_subscription(sid)
+
+    def match_timed(self, event: Event, k: int) -> Tuple[List[MatchResult], float]:
+        """Run the local match and return (results, wall seconds)."""
+        started = time.perf_counter()
+        results = self.matcher.match(event, k)
+        return results, time.perf_counter() - started
+
+    def __len__(self) -> int:
+        return len(self.matcher)
+
+    def __repr__(self) -> str:
+        return f"MatcherNode({self.node_id}, {self.matcher.name}, N={len(self.matcher)})"

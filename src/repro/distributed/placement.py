@@ -1,0 +1,100 @@
+"""Subscription placement strategies for the distributed system.
+
+The paper uses "a simple script on the LOOM controller to distribute
+subscriptions evenly amongst nodes" — round-robin, the default here.
+Two further strategies cover what a deployment needs beyond the paper:
+
+* :class:`HashPlacement` — stateless and stable: a subscription always
+  lands on the same leaf regardless of arrival order, so controllers can
+  be restarted or replicated without a placement log;
+* :class:`LeastLoadedPlacement` — explicitly balances leaf sizes even
+  when subscriptions are also being cancelled (round-robin drifts once
+  cancellations are skewed).
+
+Placement only affects *performance* (partition sizes and hence local
+matching times); correctness is placement-independent because every event
+visits every leaf and the merge is global.  The equivalence tests assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Any, Dict, Optional
+
+from repro.core.subscriptions import Subscription
+
+__all__ = [
+    "PlacementStrategy",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+]
+
+
+class PlacementStrategy(abc.ABC):
+    """Chooses which leaf stores each new subscription."""
+
+    @abc.abstractmethod
+    def place(self, subscription: Subscription, node_count: int) -> int:
+        """Return the target node index in ``[0, node_count)``."""
+
+    def forget(self, sid: Any, node_id: int) -> None:
+        """Notification that ``sid`` was cancelled from ``node_id``.
+
+        Stateless strategies ignore this; load-tracking ones rebalance.
+        """
+
+
+class RoundRobinPlacement(PlacementStrategy):
+    """The paper's even distribution: node ``i`` then ``i+1`` mod L."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, subscription: Subscription, node_count: int) -> int:
+        node_id = self._next % node_count
+        self._next = (node_id + 1) % node_count
+        return node_id
+
+
+class HashPlacement(PlacementStrategy):
+    """Stable placement by a deterministic hash of the sid.
+
+    Uses CRC-32 over ``repr(sid)`` rather than Python's ``hash`` so that
+    placement is identical across processes and interpreter runs
+    (``hash(str)`` is randomized per process).
+    """
+
+    def place(self, subscription: Subscription, node_count: int) -> int:
+        digest = zlib.crc32(repr(subscription.sid).encode("utf-8"))
+        return digest % node_count
+
+
+class LeastLoadedPlacement(PlacementStrategy):
+    """Always picks the currently smallest leaf (ties to the lowest id)."""
+
+    __slots__ = ("_loads",)
+
+    def __init__(self) -> None:
+        self._loads: Dict[int, int] = {}
+
+    def place(self, subscription: Subscription, node_count: int) -> int:
+        best: Optional[int] = None
+        best_load = None
+        for node_id in range(node_count):
+            load = self._loads.get(node_id, 0)
+            if best_load is None or load < best_load:
+                best = node_id
+                best_load = load
+        assert best is not None
+        self._loads[best] = self._loads.get(best, 0) + 1
+        return best
+
+    def forget(self, sid: Any, node_id: int) -> None:
+        current = self._loads.get(node_id, 0)
+        if current > 0:
+            self._loads[node_id] = current - 1

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DuplicateSubscriptionError(ReproError):
+    """A subscription with the same id is already registered."""
+
+    def __init__(self, sid: object) -> None:
+        super().__init__(f"subscription id already registered: {sid!r}")
+        self.sid = sid
+
+
+class UnknownSubscriptionError(ReproError):
+    """The referenced subscription id is not registered."""
+
+    def __init__(self, sid: object) -> None:
+        super().__init__(f"unknown subscription id: {sid!r}")
+        self.sid = sid
+
+
+class SchemaError(ReproError):
+    """An attribute was used inconsistently (e.g. discrete vs interval).
+
+    The paper requires "the selection [of attribute structure] must be
+    consistent for all subscriptions with constraints on that attribute"
+    (paper section 4.2); violating that consistency raises this error.
+    """
+
+
+class InvalidIntervalError(ReproError):
+    """An interval's low endpoint exceeds its high endpoint."""
+
+    def __init__(self, low: object, high: object) -> None:
+        super().__init__(f"invalid interval: low={low!r} > high={high!r}")
+        self.low = low
+        self.high = high
+
+
+class InvalidConstraintError(ReproError):
+    """A constraint was constructed with inconsistent arguments."""
+
+
+class InvalidEventError(ReproError):
+    """An event was constructed with inconsistent arguments."""
+
+
+class BudgetError(ReproError):
+    """Budget window configuration or bookkeeping is invalid."""
+
+
+class MatcherStateError(ReproError):
+    """A matcher was used in a way that violates its lifecycle.
+
+    For example, matching against a statically built BE* tree before
+    :meth:`~repro.baselines.betree.BEStarTreeMatcher.build` was called.
+    """
+
+
+class OverlayError(ReproError):
+    """The distributed overlay was misconfigured."""

@@ -1,0 +1,19 @@
+"""Data-structure substrates used by the matchers (paper Table 1).
+
+* :mod:`repro.structures.rbtree` — red-black ordered map (CLRS ch. 13).
+* :mod:`repro.structures.treeset` — tree sets and the bounded top-k set.
+* :mod:`repro.structures.interval_tree` — augmented AVL interval tree.
+"""
+
+from repro.structures.interval_tree import IntervalEntry, IntervalTree
+from repro.structures.rbtree import RedBlackTree
+from repro.structures.treeset import BoundedTopK, IdTreeSet, ScoredTreeSet
+
+__all__ = [
+    "BoundedTopK",
+    "IdTreeSet",
+    "IntervalEntry",
+    "IntervalTree",
+    "RedBlackTree",
+    "ScoredTreeSet",
+]

@@ -1,0 +1,317 @@
+"""A dynamic interval tree (paper Table 1, "Interval Trees" row).
+
+FX-TM stores one interval tree per ranged attribute; each tree holds the
+interval constraints of every subscription with a constraint on that
+attribute, annotated with the subscription id and weight (paper Algorithm 1
+line 9: ``tree-insert(root, [v, v'], w, sid)``).
+
+The paper cites Arge & Vitter's external-memory interval tree with
+``O(log n)`` insert/delete and ``O(log n + s)`` stabbing output.  In main
+memory the standard equivalent is a height-balanced search tree keyed on
+the low endpoint and augmented with the maximum high endpoint of each
+subtree (CLRS chapter 14.3).  That gives ``O(log n)`` insert/delete and
+output-sensitive overlap enumeration — ``O(s log n)`` worst case,
+``O(log n + s)`` in the common case where overlapping intervals cluster —
+which is the bound that matters for the paper's empirical claims.
+
+This implementation uses an AVL tree (recursive insert/delete naturally
+re-establishes the ``max_high`` augmentation on unwind).  Entries are
+``(low, high, sid, weight)``; duplicates of the same interval by different
+subscriptions are allowed because the search key is ``(low, high, sid)``.
+
+Intervals are closed on both ends: ``[low, high]`` overlaps ``[qlo, qhi]``
+iff ``low <= qhi and high >= qlo``.  Single values are degenerate intervals
+``[v, v]``, matching the paper's encoding of relational predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidIntervalError
+
+__all__ = ["IntervalTree", "IntervalEntry"]
+
+#: An entry as returned from queries: (low, high, sid, weight).
+IntervalEntry = Tuple[float, float, Any, float]
+
+
+class _Node:
+    __slots__ = ("low", "high", "sid", "weight", "left", "right", "height", "max_high")
+
+    def __init__(self, low: float, high: float, sid: Any, weight: float) -> None:
+        self.low = low
+        self.high = high
+        self.sid = sid
+        self.weight = weight
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.height = 1
+        self.max_high = high
+
+    def key(self) -> Tuple[float, float, Any]:
+        return (self.low, self.high, self.sid)
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _max_high(node: Optional[_Node]) -> float:
+    return node.max_high if node is not None else float("-inf")
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.max_high = max(node.high, _max_high(node.left), _max_high(node.right))
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _balance(node: _Node) -> _Node:
+    _update(node)
+    bf = _height(node.left) - _height(node.right)
+    if bf > 1:
+        assert node.left is not None
+        if _height(node.left.left) < _height(node.left.right):
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bf < -1:
+        assert node.right is not None
+        if _height(node.right.right) < _height(node.right.left):
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class IntervalTree:
+    """A dynamic set of weighted, id-tagged intervals with overlap queries.
+
+    >>> tree = IntervalTree()
+    >>> tree.insert(1, 5, "s1", 0.5)
+    >>> tree.insert(4, 9, "s2", -0.2)
+    >>> sorted(sid for _, _, sid, _ in tree.stab(5, 5))
+    ['s1', 's2']
+    >>> tree.delete(1, 5, "s1")
+    >>> [sid for _, _, sid, _ in tree.stab(5, 5)]
+    ['s2']
+    """
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    @classmethod
+    def from_entries(cls, entries: List[IntervalEntry]) -> "IntervalTree":
+        """Bulk-build a perfectly balanced tree in ``O(n log n)``.
+
+        ``entries`` are ``(low, high, sid, weight)`` tuples; duplicates of
+        the same ``(low, high, sid)`` key raise :class:`KeyError`, invalid
+        intervals raise :class:`~repro.errors.InvalidIntervalError` —
+        the same contracts as repeated :meth:`insert`, but with the sort
+        dominating instead of n individual rebalances.  The result is
+        indistinguishable from incremental construction to every query.
+        """
+        for low, high, _sid, _weight in entries:
+            if low > high:
+                raise InvalidIntervalError(low, high)
+        ordered = sorted(entries, key=lambda e: (e[0], e[1], e[2]))
+        for previous, current in zip(ordered, ordered[1:]):
+            if previous[:3] == current[:3]:
+                raise KeyError(f"duplicate interval entry: {current[:3]!r}")
+        tree = cls()
+        tree._root = cls._build_balanced(ordered, 0, len(ordered))
+        tree._size = len(ordered)
+        return tree
+
+    @staticmethod
+    def _build_balanced(
+        ordered: List[IntervalEntry], start: int, stop: int
+    ) -> Optional[_Node]:
+        if start >= stop:
+            return None
+        middle = (start + stop) // 2
+        low, high, sid, weight = ordered[middle]
+        node = _Node(low, high, sid, weight)
+        node.left = IntervalTree._build_balanced(ordered, start, middle)
+        node.right = IntervalTree._build_balanced(ordered, middle + 1, stop)
+        _update(node)
+        return node
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, low: float, high: float, sid: Any, weight: float = 0.0) -> None:
+        """Insert interval ``[low, high]`` for subscription ``sid``.
+
+        ``O(log n)``.  Raises :class:`InvalidIntervalError` when
+        ``low > high`` and :class:`KeyError` when the same
+        ``(low, high, sid)`` triple is already stored.
+        """
+        if low > high:
+            raise InvalidIntervalError(low, high)
+        self._root = self._insert(self._root, low, high, sid, weight)
+        self._size += 1
+
+    def _insert(
+        self, node: Optional[_Node], low: float, high: float, sid: Any, weight: float
+    ) -> _Node:
+        if node is None:
+            return _Node(low, high, sid, weight)
+        key = (low, high, sid)
+        node_key = node.key()
+        if key < node_key:
+            node.left = self._insert(node.left, low, high, sid, weight)
+        elif node_key < key:
+            node.right = self._insert(node.right, low, high, sid, weight)
+        else:
+            raise KeyError(f"duplicate interval entry: {key!r}")
+        return _balance(node)
+
+    def delete(self, low: float, high: float, sid: Any) -> None:
+        """Remove the entry ``(low, high, sid)``; ``O(log n)``.
+
+        Raises :class:`KeyError` when the entry is absent.
+        """
+        self._root = self._delete(self._root, (low, high, sid))
+        self._size -= 1
+
+    def _delete(self, node: Optional[_Node], key: Tuple[float, float, Any]) -> Optional[_Node]:
+        if node is None:
+            raise KeyError(f"interval entry not found: {key!r}")
+        node_key = node.key()
+        if key < node_key:
+            node.left = self._delete(node.left, key)
+        elif node_key < key:
+            node.right = self._delete(node.right, key)
+        else:
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Two children: replace this node's payload with the in-order
+            # successor's, then remove the successor from the right subtree.
+            # The recursive removal rebalances and re-augments every node on
+            # the path back up.
+            holder: List[_Node] = []
+            node.right = self._pop_min(node.right, holder)
+            succ = holder[0]
+            node.low, node.high = succ.low, succ.high
+            node.sid, node.weight = succ.sid, succ.weight
+        return _balance(node)
+
+    def _pop_min(self, node: _Node, holder: List[_Node]) -> Optional[_Node]:
+        """Detach the minimum node of this subtree, appending it to ``holder``.
+
+        Rebalances (and refreshes augmentation of) every node on the path.
+        """
+        if node.left is None:
+            holder.append(node)
+            return node.right
+        node.left = self._pop_min(node.left, holder)
+        return _balance(node)
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._root = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def stab(self, qlo: float, qhi: float) -> List[IntervalEntry]:
+        """Return all entries overlapping ``[qlo, qhi]``.
+
+        This is the paper's ``get-matching-intervals``.  Output-sensitive:
+        subtrees whose ``max_high`` lies below ``qlo`` or whose keys all lie
+        above ``qhi`` are pruned without being visited.
+
+        Raises :class:`InvalidIntervalError` when ``qlo > qhi``.
+        """
+        if qlo > qhi:
+            raise InvalidIntervalError(qlo, qhi)
+        out: List[IntervalEntry] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.max_high < qlo:
+                continue  # nothing in this subtree reaches the query
+            if node.left is not None:
+                stack.append(node.left)
+            if node.low <= qhi:
+                if node.high >= qlo:
+                    out.append((node.low, node.high, node.sid, node.weight))
+                if node.right is not None:
+                    stack.append(node.right)
+            # else: node and its right subtree start beyond the query.
+        return out
+
+    def stab_point(self, value: float) -> List[IntervalEntry]:
+        """Return all entries containing the point ``value``."""
+        return self.stab(value, value)
+
+    def items(self) -> Iterator[IntervalEntry]:
+        """Yield every entry in ``(low, high, sid)`` order."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.low, node.high, node.sid, node.weight)
+            node = node.right
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert AVL balance, key order, and augmentation correctness."""
+
+        def walk(node: Optional[_Node]) -> Tuple[int, float]:
+            if node is None:
+                return 0, float("-inf")
+            left_h, left_mh = walk(node.left)
+            right_h, right_mh = walk(node.right)
+            assert abs(left_h - right_h) <= 1, "AVL balance violated"
+            height = 1 + max(left_h, right_h)
+            assert node.height == height, "stale height"
+            max_high = max(node.high, left_mh, right_mh)
+            assert node.max_high == max_high, "stale max_high augmentation"
+            if node.left is not None:
+                assert node.left.key() < node.key(), "BST order violated (left)"
+            if node.right is not None:
+                assert node.key() < node.right.key(), "BST order violated (right)"
+            return height, max_high
+
+        walk(self._root)
+        count = sum(1 for _ in self.items())
+        assert count == self._size, f"size mismatch: {count} != {self._size}"

@@ -1,0 +1,441 @@
+"""A red-black tree ordered map.
+
+This is the balanced search tree underlying :class:`repro.structures.treeset.TreeSet`
+(paper Table 1, "Tree Set" row, citing CLRS).  It stores ``(key, value)``
+pairs ordered by ``key`` and guarantees ``O(log n)`` insertion, deletion and
+lookup, plus ``O(log n)`` access to the minimum and maximum items.
+
+Keys must be mutually comparable (support ``<``).  Duplicate keys are
+rejected; callers that need duplicates (e.g. several subscriptions with the
+same score) disambiguate by using composite keys such as ``(score, sid)``.
+
+The implementation follows CLRS chapter 13 with an explicit shared sentinel
+``NIL`` node, iterative insert/delete fix-ups, and parent pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["RedBlackTree"]
+
+_RED = True
+_BLACK = False
+
+
+class _Node:
+    """A single red-black tree node.
+
+    ``__slots__`` keeps per-node memory small; the tree allocates one node
+    per stored item, so node size dominates the structure's footprint
+    (relevant to the paper's Figure 5 memory experiments).
+    """
+
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: Any, value: Any, color: bool, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+        self.color = color
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        color = "R" if self.color is _RED else "B"
+        return f"_Node({self.key!r}, {color})"
+
+
+class RedBlackTree:
+    """An ordered map with ``O(log n)`` insert, delete, and min/max access.
+
+    >>> tree = RedBlackTree()
+    >>> tree.insert(2, "two")
+    >>> tree.insert(1, "one")
+    >>> tree.insert(3, "three")
+    >>> tree.min_item()
+    (1, 'one')
+    >>> tree.delete(1)
+    'one'
+    >>> len(tree)
+    2
+    """
+
+    __slots__ = ("_nil", "_root", "_size")
+
+    def __init__(self) -> None:
+        # The sentinel is its own child/parent; its key/value are never read.
+        nil = _Node.__new__(_Node)
+        nil.key = None
+        nil.value = None
+        nil.color = _BLACK
+        nil.left = nil
+        nil.right = nil
+        nil.parent = nil
+        self._nil = nil
+        self._root = nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not self._nil
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in ascending key order.
+
+        Iteration uses an explicit stack, so arbitrarily deep trees do not
+        hit Python's recursion limit.
+        """
+        stack: List[_Node] = []
+        node = self._root
+        nil = self._nil
+        while stack or node is not nil:
+            while node is not nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        """Yield keys in ascending order."""
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        """Yield values in ascending key order."""
+        for _key, value in self.items():
+            yield value
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        node = self._find(key)
+        return default if node is self._nil else node.value
+
+    def min_item(self) -> Tuple[Any, Any]:
+        """Return the ``(key, value)`` pair with the smallest key.
+
+        Raises :class:`KeyError` when the tree is empty.
+        """
+        if self._root is self._nil:
+            raise KeyError("min_item() on empty tree")
+        node = self._minimum(self._root)
+        return node.key, node.value
+
+    def max_item(self) -> Tuple[Any, Any]:
+        """Return the ``(key, value)`` pair with the largest key.
+
+        Raises :class:`KeyError` when the tree is empty.
+        """
+        if self._root is self._nil:
+            raise KeyError("max_item() on empty tree")
+        node = self._root
+        while node.right is not self._nil:
+            node = node.right
+        return node.key, node.value
+
+    def successor_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the smallest ``(key, value)`` pair strictly above ``key``.
+
+        Returns ``None`` when no such pair exists.  ``key`` itself does not
+        need to be present in the tree.
+        """
+        nil = self._nil
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not nil:
+            if key < node.key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        if best is None:
+            return None
+        return best.key, best.value
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` mapping to ``value``.
+
+        Raises :class:`KeyError` if ``key`` is already present — callers
+        needing multiset behaviour should use composite keys.
+        """
+        nil = self._nil
+        parent = nil
+        node = self._root
+        while node is not nil:
+            parent = node
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                raise KeyError(f"duplicate key: {key!r}")
+        fresh = _Node(key, value, _RED, nil)
+        fresh.parent = parent
+        if parent is nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+
+    def replace(self, key: Any, value: Any) -> None:
+        """Insert ``key`` or overwrite the value of an existing ``key``."""
+        node = self._find(key)
+        if node is self._nil:
+            self.insert(key, value)
+        else:
+            node.value = value
+
+    def delete(self, key: Any) -> Any:
+        """Remove ``key`` and return its value.
+
+        Raises :class:`KeyError` when ``key`` is absent.
+        """
+        node = self._find(key)
+        if node is self._nil:
+            raise KeyError(key)
+        value = node.value
+        self._delete_node(node)
+        self._size -= 1
+        return value
+
+    def pop_min(self) -> Tuple[Any, Any]:
+        """Remove and return the ``(key, value)`` pair with the smallest key.
+
+        Raises :class:`KeyError` when the tree is empty.
+        """
+        if self._root is self._nil:
+            raise KeyError("pop_min() on empty tree")
+        node = self._minimum(self._root)
+        result = (node.key, node.value)
+        self._delete_node(node)
+        self._size -= 1
+        return result
+
+    def clear(self) -> None:
+        """Remove every item."""
+        self._root = self._nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Internals (CLRS chapter 13)
+    # ------------------------------------------------------------------
+    def _find(self, key: Any) -> _Node:
+        node = self._root
+        nil = self._nil
+        while node is not nil:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return nil
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _left_rotate(self, x: _Node) -> None:
+        nil = self._nil
+        y = x.right
+        x.right = y.left
+        if y.left is not nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _right_rotate(self, x: _Node) -> None:
+        nil = self._nil
+        y = x.left
+        x.left = y.right
+        if y.right is not nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is _RED:
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color is _RED:
+                    z.parent.color = _BLACK
+                    uncle.color = _BLACK
+                    z.parent.parent.color = _RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._left_rotate(z)
+                    z.parent.color = _BLACK
+                    z.parent.parent.color = _RED
+                    self._right_rotate(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color is _RED:
+                    z.parent.color = _BLACK
+                    uncle.color = _BLACK
+                    z.parent.parent.color = _RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._right_rotate(z)
+                    z.parent.color = _BLACK
+                    z.parent.parent.color = _RED
+                    self._left_rotate(z.parent.parent)
+        self._root.color = _BLACK
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_node(self, z: _Node) -> None:
+        nil = self._nil
+        y = z
+        y_original_color = y.color
+        if z.left is nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color is _BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is _BLACK:
+            if x is x.parent.left:
+                sibling = x.parent.right
+                if sibling.color is _RED:
+                    sibling.color = _BLACK
+                    x.parent.color = _RED
+                    self._left_rotate(x.parent)
+                    sibling = x.parent.right
+                if sibling.left.color is _BLACK and sibling.right.color is _BLACK:
+                    sibling.color = _RED
+                    x = x.parent
+                else:
+                    if sibling.right.color is _BLACK:
+                        sibling.left.color = _BLACK
+                        sibling.color = _RED
+                        self._right_rotate(sibling)
+                        sibling = x.parent.right
+                    sibling.color = x.parent.color
+                    x.parent.color = _BLACK
+                    sibling.right.color = _BLACK
+                    self._left_rotate(x.parent)
+                    x = self._root
+            else:
+                sibling = x.parent.left
+                if sibling.color is _RED:
+                    sibling.color = _BLACK
+                    x.parent.color = _RED
+                    self._right_rotate(x.parent)
+                    sibling = x.parent.left
+                if sibling.right.color is _BLACK and sibling.left.color is _BLACK:
+                    sibling.color = _RED
+                    x = x.parent
+                else:
+                    if sibling.left.color is _BLACK:
+                        sibling.right.color = _BLACK
+                        sibling.color = _RED
+                        self._left_rotate(sibling)
+                        sibling = x.parent.left
+                    sibling.color = x.parent.color
+                    x.parent.color = _BLACK
+                    sibling.left.color = _BLACK
+                    self._right_rotate(x.parent)
+                    x = self._root
+        x.color = _BLACK
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert every red-black tree invariant; raises AssertionError.
+
+        Intended for tests and debugging — it walks the entire tree.
+        Checks: root is black, no red node has a red child, every
+        root-to-leaf path has the same black height, and the in-order
+        traversal is strictly increasing.
+        """
+        nil = self._nil
+        assert self._root.color is _BLACK, "root must be black"
+        assert nil.color is _BLACK, "sentinel must be black"
+
+        def walk(node: _Node) -> int:
+            if node is nil:
+                return 1
+            if node.color is _RED:
+                assert node.left.color is _BLACK, "red node with red left child"
+                assert node.right.color is _BLACK, "red node with red right child"
+            if node.left is not nil:
+                assert node.left.key < node.key, "BST order violated (left)"
+                assert node.left.parent is node, "broken parent pointer (left)"
+            if node.right is not nil:
+                assert node.key < node.right.key, "BST order violated (right)"
+                assert node.right.parent is node, "broken parent pointer (right)"
+            left_bh = walk(node.left)
+            right_bh = walk(node.right)
+            assert left_bh == right_bh, "unequal black heights"
+            return left_bh + (0 if node.color is _RED else 1)
+
+        walk(self._root)
+        count = sum(1 for _ in self.items())
+        assert count == self._size, f"size mismatch: {count} != {self._size}"

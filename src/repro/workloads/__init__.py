@@ -1,0 +1,20 @@
+"""Workload generators for the paper's three evaluation datasets.
+
+* :mod:`repro.workloads.generator` — statistical micro-benchmark data
+  (paper section 7.2, Table 2 column 1);
+* :mod:`repro.workloads.imdb` — IMDB-like statistical twin (section 7.4);
+* :mod:`repro.workloads.yahoo` — Yahoo!-Music-like statistical twin.
+"""
+
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+from repro.workloads.yahoo import YahooWorkload, YahooWorkloadConfig
+
+__all__ = [
+    "IMDBWorkload",
+    "IMDBWorkloadConfig",
+    "MicroWorkload",
+    "MicroWorkloadConfig",
+    "YahooWorkload",
+    "YahooWorkloadConfig",
+]

@@ -1,0 +1,106 @@
+"""Selectivity measurement and width calibration shared by the workloads.
+
+Every workload in this package controls its selectivity (the paper's
+``S/N`` — fraction of subscriptions whose constraints match an event on at
+least one attribute) the same way: interval half-widths are scaled by a
+single factor, and the factor is bisected until a sampled selectivity
+estimate hits the configured target.  Selectivity is monotone in the
+factor (wider intervals can only overlap more), so bisection applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.core.events import Event
+from repro.core.subscriptions import Subscription
+
+__all__ = ["selectivity_of", "bisect_width_scale"]
+
+
+def selectivity_of(subscriptions: List[Subscription], events: List[Event]) -> float:
+    """Empirical S/N: fraction of (sub, event) pairs matching >= 1 attribute.
+
+    Interval constraints match by closed-interval overlap; discrete
+    constraints by equality — the same semantics as
+    :func:`repro.core.scoring.constraint_matches`, inlined over plain
+    tuples because calibration evaluates tens of thousands of pairs.
+    """
+    if not subscriptions or not events:
+        return 0.0
+    views: List[Tuple[Dict[str, Tuple[float, float]], Dict[str, Any]]] = []
+    for event in events:
+        ranged: Dict[str, Tuple[float, float]] = {}
+        discrete: Dict[str, Any] = {}
+        for name, value in event.known_items():
+            if isinstance(value, (int, float)) or hasattr(value, "low"):
+                interval = event.interval_of(name)
+                ranged[name] = (interval.low, interval.high)
+            else:
+                discrete[name] = value
+        views.append((ranged, discrete))
+    hits = 0
+    for subscription in subscriptions:
+        spans = []
+        exacts = []
+        for constraint in subscription.constraints:
+            if constraint.is_ranged or isinstance(constraint.value, (int, float)):
+                interval = constraint.interval()
+                spans.append((constraint.attribute, interval.low, interval.high))
+            else:
+                exacts.append((constraint.attribute, constraint.value))
+        for ranged, discrete in views:
+            matched = False
+            for attribute, lo, hi in spans:
+                span = ranged.get(attribute)
+                if span is not None and lo <= span[1] and hi >= span[0]:
+                    matched = True
+                    break
+            if not matched:
+                for attribute, value in exacts:
+                    if discrete.get(attribute) == value:
+                        matched = True
+                        break
+            if matched:
+                hits += 1
+    return hits / (len(subscriptions) * len(events))
+
+
+def bisect_width_scale(
+    estimate: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    iterations: int = 40,
+    infeasible_hint: str = "",
+) -> float:
+    """Find the width scale at which ``estimate`` reaches ``target``.
+
+    ``estimate`` must be monotone non-decreasing.  Raises ValueError when
+    even the maximum scale cannot reach the target (e.g. the workload's
+    attribute overlap probability caps achievable selectivity), including
+    ``infeasible_hint`` in the message.
+    """
+    ceiling = estimate(high)
+    if target > ceiling + 0.02:
+        raise ValueError(
+            f"target selectivity {target} unreachable (ceiling ~{ceiling:.2f})."
+            f" {infeasible_hint}"
+        )
+    floor = estimate(low)
+    if target < floor - 0.02:
+        raise ValueError(
+            f"target selectivity {target} below the workload's floor "
+            f"~{floor:.2f} (discrete-attribute collisions alone exceed it)."
+            f" {infeasible_hint}"
+        )
+    span = high - low
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        if estimate(mid) < target:
+            low = mid
+        else:
+            high = mid
+        if high - low < span * 1e-5:
+            break
+    return (low + high) / 2.0

@@ -1,0 +1,49 @@
+"""Default experiment parameters (paper Table 2).
+
+The paper's defaults are for a Java implementation on 2014 hardware;
+pure-Python matching is slower by a large constant factor, so the bench
+harness scales ``N`` down by ``REPRO_SCALE`` (see
+:mod:`repro.bench.scale`) while keeping every *relative* parameter — k as
+a percentage of N, M, selectivity — exactly as the paper sets them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GENERATED_N",
+    "GENERATED_M",
+    "GENERATED_UNIVERSE",
+    "GENERATED_SELECTIVITY",
+    "IMDB_N",
+    "IMDB_M",
+    "IMDB_SELECTIVITY",
+    "YAHOO_N",
+    "YAHOO_M_AVG",
+    "YAHOO_ATTRIBUTE_UNIVERSE",
+    "YAHOO_SELECTIVITY",
+    "DEFAULT_K_PERCENT",
+    "DEFAULT_K_PERCENT_ALT",
+]
+
+#: Generated-data defaults (Table 2, column 1).
+GENERATED_N = 100_000
+GENERATED_M = 12
+GENERATED_UNIVERSE = 100
+GENERATED_SELECTIVITY = 0.22
+
+#: IMDB defaults (Table 2, column 2): every record has exactly the three
+#: attributes votes / rating / year.
+IMDB_N = 100_000
+IMDB_M = 3
+IMDB_SELECTIVITY = 0.14
+
+#: Yahoo! Music defaults (Table 2, column 3): two interval attributes plus
+#: sparse discrete genre/artist attributes drawn from a huge universe.
+YAHOO_N = 10_000
+YAHOO_M_AVG = 5.4
+YAHOO_ATTRIBUTE_UNIVERSE = 22_202
+YAHOO_SELECTIVITY = 0.11
+
+#: k defaults to 1% of N; several experiments repeat at 2%.
+DEFAULT_K_PERCENT = 1.0
+DEFAULT_K_PERCENT_ALT = 2.0

@@ -1,0 +1,75 @@
+"""Sampling helpers shared by the workload generators."""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from typing import List
+
+__all__ = ["ZipfSampler", "clipped_gauss", "lognormal_int"]
+
+
+
+class ZipfSampler:
+    """Draws ranks with probability proportional to ``1 / rank**exponent``.
+
+    Used to skew attribute popularity (micro-benchmarks) and genre/artist
+    popularity (Yahoo!-like workload): real pub/sub attribute usage is
+    heavily skewed, and skew is what makes high selectivities reachable.
+    """
+
+    __slots__ = ("_cumulative", "_size")
+
+    def __init__(self, size: int, exponent: float = 1.0) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        weights = [1.0 / (rank ** exponent) for rank in range(1, size + 1)]
+        self._cumulative: List[float] = list(itertools.accumulate(weights))
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank in ``[0, size)``."""
+        point = rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, point)
+
+    def sample_distinct(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` distinct ranks (rejection sampling)."""
+        if count > self._size:
+            raise ValueError(f"cannot draw {count} distinct from {self._size}")
+        chosen: set = set()
+        # Rejection sampling is fast while count << size; fall back to a
+        # shuffle when the caller wants a large fraction of the universe.
+        if count * 3 >= self._size:
+            everything = list(range(self._size))
+            rng.shuffle(everything)
+            return everything[:count]
+        while len(chosen) < count:
+            chosen.add(self.sample(rng))
+        return list(chosen)
+
+
+def clipped_gauss(rng: random.Random, mean: float, sigma: float, low: float, high: float) -> float:
+    """A Gaussian draw clipped into ``[low, high]``."""
+    value = rng.gauss(mean, sigma)
+    if value < low:
+        return low
+    if value > high:
+        return high
+    return value
+
+
+def lognormal_int(rng: random.Random, mu: float, sigma: float, minimum: int = 1) -> int:
+    """A log-normal draw rounded to an int with a floor.
+
+    Vote counts on rating sites are classically log-normal: most items get
+    a handful of votes, a few get millions.
+    """
+    return max(minimum, int(round(math.exp(rng.gauss(mu, sigma)))))

@@ -1,0 +1,242 @@
+"""Statistical micro-benchmark workload (paper section 7.2).
+
+Generates subscriptions and events with the paper's knobs:
+
+* ``n`` subscriptions, each with ``m`` constraints on attributes drawn from
+  a universe of ``universe`` names (defaults 12 out of 100);
+* events with ``event_m`` attributes from the same universe;
+* mixed positive and negative weights ("the generated data contains
+  positive and negative weights");
+* interval values "which may overlap to either side for proration";
+* a calibrated *selectivity* — the fraction of subscriptions matching an
+  event on at least one attribute (``S/N``), the paper's fourth variable.
+
+Attribute popularity is Zipf-skewed so that subscription/event attribute
+overlap is common; given the overlap distribution, interval widths are
+auto-calibrated by bisection so the empirical selectivity hits the
+configured target.  Generation is fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+from repro.workloads.defaults import GENERATED_M, GENERATED_SELECTIVITY, GENERATED_UNIVERSE
+from repro.workloads.distributions import ZipfSampler
+
+__all__ = ["MicroWorkloadConfig", "MicroWorkload"]
+
+
+@dataclass(frozen=True)
+class MicroWorkloadConfig:
+    """Parameters of the generated-data micro-benchmark.
+
+    Defaults mirror Table 2 except ``n``, which callers set explicitly
+    (the harness chooses a scaled value).
+    """
+
+    n: int = 4_000
+    universe: int = GENERATED_UNIVERSE
+    m: int = GENERATED_M
+    event_m: Optional[int] = None  # defaults to m
+    domain_low: float = 0.0
+    domain_high: float = 1_000.0
+    selectivity: float = GENERATED_SELECTIVITY
+    negative_weight_fraction: float = 0.25
+    weight_low: float = 0.1
+    weight_high: float = 2.0
+    zipf_exponent: float = 0.8
+    seed: int = 20141208  # the paper's presentation date
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if not 0 < self.m <= self.universe:
+            raise ValueError(f"need 0 < m <= universe, got m={self.m}, universe={self.universe}")
+        if self.event_m is not None and not 0 < self.event_m <= self.universe:
+            raise ValueError(f"invalid event_m={self.event_m}")
+        if not 0.0 < self.selectivity < 1.0:
+            raise ValueError(f"selectivity must be in (0, 1), got {self.selectivity}")
+        if not 0.0 <= self.negative_weight_fraction <= 1.0:
+            raise ValueError(
+                f"negative_weight_fraction must be in [0, 1], "
+                f"got {self.negative_weight_fraction}"
+            )
+        if self.domain_low >= self.domain_high:
+            raise ValueError("domain_low must be < domain_high")
+
+    @property
+    def effective_event_m(self) -> int:
+        return self.event_m if self.event_m is not None else self.m
+
+    def with_selectivity(self, selectivity: float) -> "MicroWorkloadConfig":
+        """A copy targeting a different selectivity."""
+        return replace(self, selectivity=selectivity)
+
+
+class MicroWorkload:
+    """Deterministic generator of micro-benchmark subscriptions/events.
+
+    >>> workload = MicroWorkload(MicroWorkloadConfig(n=100, seed=1))
+    >>> subs = workload.subscriptions()
+    >>> len(subs)
+    100
+    >>> events = workload.events(5)
+    >>> all(e.size == workload.config.effective_event_m for e in events)
+    True
+    """
+
+    #: Calibration sampling sizes; small but statistically adequate for a
+    #: +-2 percentage-point selectivity tolerance.
+    _CAL_SUBS = 250
+    _CAL_EVENTS = 24
+
+    def __init__(self, config: MicroWorkloadConfig) -> None:
+        self.config = config
+        self._zipf = ZipfSampler(config.universe, config.zipf_exponent)
+        self._width_scale = self._calibrate()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def subscriptions(self, count: Optional[int] = None, sid_offset: int = 0) -> List[Subscription]:
+        """Generate ``count`` (default ``config.n``) subscriptions.
+
+        Subscription ids are consecutive ints from ``sid_offset``.
+        """
+        if count is None:
+            count = self.config.n
+        rng = random.Random(f"{self.config.seed}:subscriptions:{sid_offset}")
+        return [
+            self._subscription(rng, sid_offset + index)
+            for index in range(count)
+        ]
+
+    def events(self, count: int, stream: int = 0) -> List[Event]:
+        """Generate ``count`` events from an independent random stream."""
+        rng = random.Random(f"{self.config.seed}:events:{stream}")
+        return [self._event(rng) for _ in range(count)]
+
+    @property
+    def width_scale(self) -> float:
+        """The calibrated half-width scale of generated intervals."""
+        return self._width_scale
+
+    def measured_selectivity(self, subs: int = 500, events: int = 40) -> float:
+        """Empirical S/N over a fresh sample (for reporting/validation)."""
+        rng = random.Random(f"{self.config.seed}:measure")
+        sample_subs = [self._subscription(rng, index) for index in range(subs)]
+        sample_events = [self._event(rng) for _ in range(events)]
+        return _selectivity_of(sample_subs, sample_events)
+
+    # ------------------------------------------------------------------
+    # Generation internals
+    # ------------------------------------------------------------------
+    def _subscription(self, rng: random.Random, sid: int) -> Subscription:
+        config = self.config
+        attributes = self._zipf.sample_distinct(rng, config.m)
+        constraints = []
+        for attribute in attributes:
+            constraints.append(
+                Constraint(f"a{attribute}", self._interval(rng), self._weight(rng))
+            )
+        return Subscription(sid, constraints)
+
+    def _event(self, rng: random.Random) -> Event:
+        config = self.config
+        attributes = self._zipf.sample_distinct(rng, config.effective_event_m)
+        values = {f"a{attribute}": self._interval(rng) for attribute in attributes}
+        return Event(values)
+
+    def _interval(self, rng: random.Random) -> Interval:
+        config = self.config
+        center = rng.uniform(config.domain_low, config.domain_high)
+        half_width = self._width_scale * rng.uniform(0.5, 1.5)
+        return Interval(
+            max(config.domain_low, center - half_width),
+            min(config.domain_high, center + half_width),
+        )
+
+    def _weight(self, rng: random.Random) -> float:
+        config = self.config
+        magnitude = rng.uniform(config.weight_low, config.weight_high)
+        if rng.random() < config.negative_weight_fraction:
+            return -magnitude
+        return magnitude
+
+    # ------------------------------------------------------------------
+    # Selectivity calibration
+    # ------------------------------------------------------------------
+    def _calibrate(self) -> float:
+        """Bisect the interval half-width until empirical S/N hits target.
+
+        Wider intervals raise the chance a shared attribute's intervals
+        overlap, monotonically raising selectivity, so bisection applies.
+        The ceiling is the probability of sharing >= 1 attribute at all;
+        an infeasible target raises ValueError with the achievable bound.
+        """
+        config = self.config
+        domain = config.domain_high - config.domain_low
+        low, high = domain * 1e-4, domain
+
+        ceiling = self._estimate(high)
+        if config.selectivity > ceiling + 0.02:
+            raise ValueError(
+                f"target selectivity {config.selectivity} unreachable: with "
+                f"m={config.m} of universe={config.universe} "
+                f"(zipf={config.zipf_exponent}) at most ~{ceiling:.2f} of "
+                f"subscriptions share an attribute with an event; raise m, "
+                f"shrink the universe, or raise zipf_exponent"
+            )
+        for _ in range(40):
+            mid = (low + high) / 2.0
+            if self._estimate(mid) < config.selectivity:
+                low = mid
+            else:
+                high = mid
+            if high - low < domain * 1e-5:
+                break
+        return (low + high) / 2.0
+
+    def _estimate(self, width_scale: float) -> float:
+        """Empirical selectivity of a small sample at this width scale."""
+        saved = getattr(self, "_width_scale", None)
+        self._width_scale = width_scale
+        try:
+            rng = random.Random(f"{self.config.seed}:calibration")
+            subs = [self._subscription(rng, index) for index in range(self._CAL_SUBS)]
+            events = [self._event(rng) for _ in range(self._CAL_EVENTS)]
+            return _selectivity_of(subs, events)
+        finally:
+            if saved is not None:
+                self._width_scale = saved
+
+
+def _selectivity_of(subscriptions: List[Subscription], events: List[Event]) -> float:
+    """Fraction of (subscription, event) pairs matching on >= 1 attribute."""
+    if not subscriptions or not events:
+        return 0.0
+    views: List[Dict[str, Tuple[float, float]]] = []
+    for event in events:
+        views.append(
+            {name: (interval.low, interval.high) for name, interval in
+             ((name, event.interval_of(name)) for name, _ in event.known_items())}
+        )
+    hits = 0
+    for subscription in subscriptions:
+        spans = [
+            (c.attribute, c.interval().low, c.interval().high)
+            for c in subscription.constraints
+        ]
+        for view in views:
+            for attribute, lo, hi in spans:
+                span = view.get(attribute)
+                if span is not None and lo <= span[1] and hi >= span[0]:
+                    hits += 1
+                    break
+    return hits / (len(subscriptions) * len(events))

@@ -1,0 +1,113 @@
+"""Workload traces: persist generated workloads for exact re-runs.
+
+Benchmark reproducibility across machines benefits from fixed inputs —
+"each algorithm uses the same set of subscriptions and events for an
+experiment" (paper section 7.1) extends naturally to *each run* using
+the same data.  A trace is a JSON-Lines file with a header followed by
+tagged subscription and event records in the codec wire format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from repro.core.codec import (
+    CodecError,
+    event_from_dict,
+    event_to_dict,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.core.events import Event
+from repro.core.subscriptions import Subscription
+
+__all__ = ["WorkloadTrace", "save_trace", "load_trace"]
+
+_HEADER_KIND = "repro-workload-trace"
+
+
+@dataclass
+class WorkloadTrace:
+    """An in-memory workload: subscriptions plus an event stream."""
+
+    subscriptions: List[Subscription] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """The trace's subscription count (the paper's N)."""
+        return len(self.subscriptions)
+
+
+def save_trace(
+    trace: WorkloadTrace,
+    path: Union[str, os.PathLike],
+) -> None:
+    """Write a trace atomically (via ``<path>.tmp`` + rename)."""
+    temp_path = f"{os.fspath(path)}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        header = {
+            "kind": _HEADER_KIND,
+            "v": 1,
+            "subscriptions": len(trace.subscriptions),
+            "events": len(trace.events),
+            "metadata": trace.metadata,
+        }
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for subscription in trace.subscriptions:
+            record = {"t": "sub", "data": subscription_to_dict(subscription)}
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for event in trace.events:
+            record = {"t": "event", "data": event_to_dict(event)}
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    os.replace(temp_path, path)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> WorkloadTrace:
+    """Read a trace; raises :class:`~repro.core.codec.CodecError` on damage."""
+    trace = WorkloadTrace()
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise CodecError(f"{path}: empty trace file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as error:
+            raise CodecError(f"{path}:1: invalid JSON header: {error}") from None
+        if not isinstance(header, dict) or header.get("kind") != _HEADER_KIND:
+            raise CodecError(f"{path}: not a workload trace")
+        if header.get("v") != 1:
+            raise CodecError(f"{path}: unsupported trace version {header.get('v')!r}")
+        trace.metadata = header.get("metadata", {})
+        for line_number, line in enumerate(handle, start=2):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                raise CodecError(f"{path}:{line_number}: invalid JSON: {error}") from None
+            tag = record.get("t")
+            if tag == "sub":
+                trace.subscriptions.append(subscription_from_dict(record["data"]))
+            elif tag == "event":
+                trace.events.append(event_from_dict(record["data"]))
+            else:
+                raise CodecError(f"{path}:{line_number}: unknown record tag {tag!r}")
+    expected_subs = header.get("subscriptions")
+    if expected_subs is not None and expected_subs != len(trace.subscriptions):
+        raise CodecError(
+            f"{path}: header promises {expected_subs} subscriptions, "
+            f"found {len(trace.subscriptions)} (truncated file?)"
+        )
+    expected_events = header.get("events")
+    if expected_events is not None and expected_events != len(trace.events):
+        raise CodecError(
+            f"{path}: header promises {expected_events} events, "
+            f"found {len(trace.events)} (truncated file?)"
+        )
+    return trace

@@ -1,0 +1,344 @@
+"""BE* tree: build lifecycle, structure, pruning soundness, budget modes."""
+
+import random
+
+import pytest
+
+from repro.baselines.betree import BEStarTreeMatcher
+from repro.baselines.naive import NaiveMatcher
+from repro.core.attributes import Interval
+from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock
+from repro.core.events import Event
+from repro.core.scoring import MAX
+from repro.core.subscriptions import Constraint, Subscription
+
+from .conftest import random_event, random_subscriptions
+
+
+def sub(sid, *constraints, budget=None):
+    return Subscription(sid, list(constraints), budget=budget)
+
+
+class TestConfiguration:
+    def test_only_sum_supported(self):
+        with pytest.raises(ValueError):
+            BEStarTreeMatcher(aggregation=MAX)
+
+    def test_bad_budget_mode(self):
+        with pytest.raises(ValueError):
+            BEStarTreeMatcher(budget_mode="eventually")
+
+    def test_bad_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            BEStarTreeMatcher(leaf_capacity=0)
+
+    def test_bad_refresh_interval(self):
+        with pytest.raises(ValueError):
+            BEStarTreeMatcher(refresh_interval=0)
+
+
+class TestBuildLifecycle:
+    def test_empty_tree(self):
+        matcher = BEStarTreeMatcher()
+        assert matcher.match(Event({"a": 1}), k=1) == []
+        assert matcher.node_count() == 0
+        assert matcher.tree_depth() == 0
+
+    def test_add_marks_dirty_and_match_rebuilds(self):
+        matcher = BEStarTreeMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        assert matcher._dirty
+        results = matcher.match(Event({"a": 5}), k=1)
+        assert not matcher._dirty
+        assert results[0].sid == "s1"
+
+    def test_cancel_marks_dirty(self):
+        matcher = BEStarTreeMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        matcher.ensure_built()
+        matcher.cancel_subscription("s1")
+        assert matcher._dirty
+        assert matcher.match(Event({"a": 5}), k=1) == []
+
+    def test_ensure_built_idempotent(self):
+        matcher = BEStarTreeMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        matcher.ensure_built()
+        root_before = matcher._root
+        matcher.ensure_built()
+        assert matcher._root is root_before
+
+    def test_tree_actually_partitions(self):
+        rng = random.Random(5)
+        matcher = BEStarTreeMatcher(leaf_capacity=4)
+        for s in random_subscriptions(rng, 200):
+            matcher.add_subscription(s)
+        matcher.ensure_built()
+        assert matcher.tree_depth() > 1
+        assert matcher.node_count() > 10
+
+    def test_leaf_capacity_respected_where_splittable(self):
+        rng = random.Random(6)
+        small = BEStarTreeMatcher(leaf_capacity=4)
+        large = BEStarTreeMatcher(leaf_capacity=256)
+        for s in random_subscriptions(rng, 300):
+            small.add_subscription(s)
+            large.add_subscription(s)
+        small.ensure_built()
+        large.ensure_built()
+        assert small.node_count() > large.node_count()
+
+
+class TestPruningSoundness:
+    @pytest.mark.parametrize("leaf_capacity", [1, 4, 64])
+    def test_results_independent_of_leaf_capacity(self, leaf_capacity):
+        rng = random.Random(17)
+        subs = random_subscriptions(rng, 250)
+        oracle = NaiveMatcher(prorate=True)
+        matcher = BEStarTreeMatcher(prorate=True, leaf_capacity=leaf_capacity)
+        for s in subs:
+            oracle.add_subscription(s)
+            matcher.add_subscription(s)
+        matcher.ensure_built()
+        for _ in range(12):
+            event = random_event(rng)
+            assert matcher.match(event, 6) == oracle.match(event, 6)
+
+    def test_identical_interval_subscriptions(self):
+        """Degenerate splits (everything in one bucket) must still work."""
+        matcher = BEStarTreeMatcher(leaf_capacity=2)
+        for index in range(20):
+            matcher.add_subscription(
+                sub(index, Constraint("a", Interval(0, 10), 1.0 + index * 0.1))
+            )
+        results = matcher.match(Event({"a": 5}), k=3)
+        assert [r.sid for r in results] == [19, 18, 17]
+
+    def test_subscriptions_without_partition_attribute(self):
+        matcher = BEStarTreeMatcher(leaf_capacity=2)
+        for index in range(30):
+            matcher.add_subscription(
+                sub(f"a{index}", Constraint("a", Interval(index, index + 1), 1.0))
+            )
+        matcher.add_subscription(sub("b-only", Constraint("b", Interval(0, 100), 5.0)))
+        results = matcher.match(Event({"b": 50}), k=1)
+        assert results[0].sid == "b-only"
+
+    def test_negative_weights_never_pruned_wrongly(self):
+        rng = random.Random(23)
+        subs = random_subscriptions(rng, 200, negative_fraction=0.5)
+        oracle = NaiveMatcher()
+        matcher = BEStarTreeMatcher(leaf_capacity=4)
+        for s in subs:
+            oracle.add_subscription(s)
+            matcher.add_subscription(s)
+        for _ in range(12):
+            event = random_event(rng)
+            assert matcher.match(event, 5) == oracle.match(event, 5)
+
+    def test_discrete_split_correctness(self):
+        matcher = BEStarTreeMatcher(leaf_capacity=2)
+        for index in range(40):
+            matcher.add_subscription(
+                sub(index, Constraint("tag", f"t{index % 10}", 1.0 + index * 0.01))
+            )
+        results = matcher.match(Event({"tag": "t3"}), k=2)
+        assert [r.sid for r in results] == [33, 23]
+
+
+class TestBudgetModes:
+    def _loaded(self, mode, refresh_interval=4):
+        clock = LogicalClock()
+        matcher = BEStarTreeMatcher(
+            budget_tracker=BudgetTracker(clock=clock),
+            budget_mode=mode,
+            refresh_interval=refresh_interval,
+        )
+        for index in range(50):
+            matcher.add_subscription(
+                sub(
+                    index,
+                    Constraint("a", Interval(0, 100), 1.0 + index * 0.01),
+                    budget=BudgetWindowSpec(budget=5, window_length=200),
+                )
+            )
+        matcher.ensure_built()
+        return matcher
+
+    def test_sync_mode_matches_reference(self):
+        clock = LogicalClock()
+        reference = NaiveMatcher(budget_tracker=BudgetTracker(clock=clock))
+        matcher = self._loaded("sync")
+        for index in range(50):
+            reference.add_subscription(
+                sub(
+                    index,
+                    Constraint("a", Interval(0, 100), 1.0 + index * 0.01),
+                    budget=BudgetWindowSpec(budget=5, window_length=200),
+                )
+            )
+        event = Event({"a": 50})
+        for _ in range(40):
+            assert matcher.match(event, 3) == reference.match(event, 3)
+
+    def test_async_mode_runs_and_scores_exactly(self):
+        """Async staleness may reorder pruning, but any returned score is
+        still computed exactly at the leaf."""
+        matcher = self._loaded("async", refresh_interval=8)
+        event = Event({"a": 50})
+        for _ in range(30):
+            results = matcher.match(event, 3)
+            assert len(results) == 3
+            for result in results:
+                assert result.score > 0
+
+    def test_async_refresh_counter_resets(self):
+        matcher = self._loaded("async", refresh_interval=3)
+        event = Event({"a": 50})
+        for _ in range(7):
+            matcher.match(event, 1)
+        assert matcher._matches_since_refresh < 3
+
+
+class TestMultiplierPropagation:
+    def test_propagated_bounds_cover_all_leaves(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        matcher = BEStarTreeMatcher(budget_tracker=tracker, leaf_capacity=2)
+        for index in range(40):
+            matcher.add_subscription(
+                sub(
+                    index,
+                    Constraint("a", Interval(index, index + 2), 1.0),
+                    budget=BudgetWindowSpec(budget=100, window_length=1000),
+                )
+            )
+        matcher.ensure_built()
+        # Leave one subscription massively underspent: its multiplier is
+        # the max; the root's bound must reflect it.
+        for index in range(40):
+            tracker.record_match(index, cost=50.0 if index != 7 else 0.001)
+        clock.tick(500)
+        matcher._propagate_multipliers()
+        expected_max = max(tracker.multiplier(index) for index in range(40))
+        assert matcher._root.mult_bound == pytest.approx(expected_max)
+
+    def test_no_tracker_resets_bounds_to_one(self):
+        matcher = BEStarTreeMatcher(leaf_capacity=2)
+        for index in range(20):
+            matcher.add_subscription(sub(index, Constraint("a", Interval(0, 10), 1.0)))
+        matcher.ensure_built()
+        assert matcher._root.mult_bound == 1.0
+
+
+class TestDynamicMode:
+    def _pair(self, dynamic_kwargs=None):
+        """(dynamic BE*, naive oracle) pair over the same subscriptions."""
+        oracle = NaiveMatcher(prorate=True)
+        matcher = BEStarTreeMatcher(
+            prorate=True, leaf_capacity=4, dynamic=True, **(dynamic_kwargs or {})
+        )
+        return matcher, oracle
+
+    def test_incremental_inserts_stay_correct(self):
+        rng = random.Random(131)
+        subs = random_subscriptions(rng, 200)
+        matcher, oracle = self._pair()
+        # Build with the first half, then insert the rest incrementally
+        # (no rebuild: the dirty flag must stay clear).
+        for s in subs[:100]:
+            matcher.add_subscription(s)
+            oracle.add_subscription(s)
+        matcher.ensure_built()
+        for s in subs[100:]:
+            matcher.add_subscription(s)
+            oracle.add_subscription(s)
+        assert not matcher._dirty
+        for _ in range(15):
+            event = random_event(rng)
+            assert matcher.match(event, 6) == oracle.match(event, 6)
+
+    def test_incremental_removals_stay_correct(self):
+        rng = random.Random(133)
+        subs = random_subscriptions(rng, 200)
+        matcher, oracle = self._pair()
+        for s in subs:
+            matcher.add_subscription(s)
+            oracle.add_subscription(s)
+        matcher.ensure_built()
+        for s in rng.sample(subs, 120):
+            matcher.cancel_subscription(s.sid)
+            oracle.cancel_subscription(s.sid)
+        assert not matcher._dirty
+        for _ in range(15):
+            event = random_event(rng)
+            assert matcher.match(event, 6) == oracle.match(event, 6)
+
+    def test_interleaved_churn(self):
+        rng = random.Random(137)
+        base = random_subscriptions(rng, 150)
+        extra = random_subscriptions(rng, 150)
+        for s, sid in zip(extra, range(1000, 1150)):
+            # re-id the extras so they don't collide with the base set
+            extra[extra.index(s)] = Subscription(sid, s.constraints)
+        matcher, oracle = self._pair()
+        for s in base:
+            matcher.add_subscription(s)
+            oracle.add_subscription(s)
+        matcher.ensure_built()
+        for add, remove in zip(extra, base):
+            matcher.add_subscription(add)
+            oracle.add_subscription(add)
+            matcher.cancel_subscription(remove.sid)
+            oracle.cancel_subscription(remove.sid)
+            if add.sid % 10 == 0:
+                event = random_event(rng)
+                assert matcher.match(event, 5) == oracle.match(event, 5)
+        assert not matcher._dirty
+
+    def test_leaf_splits_occur(self):
+        matcher = BEStarTreeMatcher(leaf_capacity=2, dynamic=True)
+        matcher.add_subscription(sub(0, Constraint("a", Interval(0, 1), 1.0)))
+        matcher.ensure_built()
+        nodes_before = matcher.node_count()
+        for index in range(1, 30):
+            matcher.add_subscription(
+                sub(index, Constraint("a", Interval(index * 3, index * 3 + 1), 1.0))
+            )
+        assert matcher.node_count() > nodes_before
+        assert not matcher._dirty
+        results = matcher.match(Event({"a": Interval(0, 100)}), k=30)
+        assert len(results) == 30
+
+    def test_static_mode_still_rebuilds(self):
+        matcher = BEStarTreeMatcher(leaf_capacity=2, dynamic=False)
+        matcher.add_subscription(sub(0, Constraint("a", Interval(0, 1), 1.0)))
+        matcher.ensure_built()
+        matcher.add_subscription(sub(1, Constraint("a", Interval(5, 6), 1.0)))
+        assert matcher._dirty
+
+    def test_dynamic_with_budget_sync(self):
+        clock = LogicalClock()
+        matcher = BEStarTreeMatcher(
+            prorate=True,
+            leaf_capacity=4,
+            dynamic=True,
+            budget_tracker=BudgetTracker(clock=clock),
+        )
+        reference = NaiveMatcher(
+            prorate=True, budget_tracker=BudgetTracker(clock=LogicalClock())
+        )
+        rng = random.Random(139)
+        for index in range(60):
+            # Distinct weights keep scores tie-free: tie selection at the
+            # k-boundary is implementation-defined (Definition 3) and
+            # would legitimately diverge the two spend histories.
+            constraints = [Constraint("a", Interval(index, index + 30), 1.0 + index * 0.013)]
+            spec = BudgetWindowSpec(budget=5, window_length=200)
+            matcher.add_subscription(Subscription(index, constraints, budget=spec))
+            reference.add_subscription(Subscription(index, constraints, budget=spec))
+        matcher.ensure_built()
+        # Churn then match repeatedly: spend histories must stay aligned.
+        for step in range(30):
+            event = Event({"a": Interval(rng.uniform(0, 50), rng.uniform(50, 90))})
+            assert matcher.match(event, 3) == reference.match(event, 3)

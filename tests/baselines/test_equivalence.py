@@ -1,0 +1,196 @@
+"""The central correctness battery: every matcher against the oracle.
+
+FX-TM, augmented Fagin, and BE* implement identical semantics (summation
+over the expressive model) and must return exactly the naive matcher's
+top-k; classical Fagin implements max() aggregation and must match the
+naive matcher configured the same way.  Budget windows, proration, event
+weights, UNKNOWNs, and set constraints are all crossed in.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.betree import BEStarTreeMatcher
+from repro.baselines.fagin import FaginMatcher
+from repro.baselines.fagin_augmented import AugmentedFaginMatcher
+from repro.baselines.naive import NaiveMatcher
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.scoring import MAX
+from repro.core.subscriptions import Constraint, Subscription
+
+from .conftest import random_event, random_subscriptions
+
+SUM_EQUIVALENT = [FXTMMatcher, AugmentedFaginMatcher, BEStarTreeMatcher]
+
+
+def assert_same_results(got, expected, context=""):
+    assert [r.sid for r in got] == [r.sid for r in expected], context
+    for a, b in zip(got, expected):
+        assert a.score == pytest.approx(b.score, abs=1e-9), (context, a, b)
+
+
+def loaded(matcher_cls, subs, **kwargs):
+    matcher = matcher_cls(**kwargs)
+    for sub in subs:
+        matcher.add_subscription(sub)
+    ensure_built = getattr(matcher, "ensure_built", None)
+    if callable(ensure_built):
+        ensure_built()
+    return matcher
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT)
+@pytest.mark.parametrize("prorate", [False, True])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_sum_matchers_equal_oracle(matcher_cls, prorate, seed):
+    rng = random.Random(seed)
+    subs = random_subscriptions(rng, 300, with_sets=True)
+    oracle = loaded(NaiveMatcher, subs, prorate=prorate)
+    matcher = loaded(matcher_cls, subs, prorate=prorate)
+    for trial in range(25):
+        event = random_event(rng)
+        expected = oracle.match(event, 8)
+        got = matcher.match(event, 8)
+        assert_same_results(got, expected, f"{matcher_cls.__name__} trial {trial}")
+
+
+@pytest.mark.parametrize("variant", ["ta", "fa"])
+@pytest.mark.parametrize("seed", [4, 5])
+def test_fagin_equals_max_oracle(variant, seed):
+    rng = random.Random(seed)
+    subs = random_subscriptions(rng, 300)
+    oracle = loaded(NaiveMatcher, subs, prorate=True, aggregation=MAX)
+    matcher = loaded(FaginMatcher, subs, prorate=True, variant=variant)
+    for trial in range(25):
+        event = random_event(rng)
+        assert_same_results(
+            matcher.match(event, 8), oracle.match(event, 8), f"fagin-{variant} trial {trial}"
+        )
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT)
+def test_event_weights_override(matcher_cls):
+    """Event weights override subscription weights identically everywhere.
+
+    Overriding makes many subscriptions score identically, so the top-k
+    *set* is not unique (Definition 3 leaves ties to the implementation).
+    The check is therefore: identical score sequences, and every returned
+    sid genuinely carries the score reported (validated against a full
+    oracle ranking).
+    """
+    rng = random.Random(77)
+    subs = random_subscriptions(rng, 200)
+    oracle = loaded(NaiveMatcher, subs, prorate=True)
+    matcher = loaded(matcher_cls, subs, prorate=True)
+    for trial in range(15):
+        event = random_event(rng, with_weights=True)
+        full = {r.sid: r.score for r in oracle.match(event, len(subs))}
+        expected = oracle.match(event, 6)
+        got = matcher.match(event, 6)
+        context = f"{matcher_cls.__name__} weighted trial {trial}"
+        assert [r.score for r in got] == pytest.approx(
+            [r.score for r in expected], abs=1e-9
+        ), context
+        for result in got:
+            assert result.score == pytest.approx(full[result.sid], abs=1e-9), context
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT)
+def test_events_with_unknown_attributes(matcher_cls):
+    rng = random.Random(99)
+    subs = random_subscriptions(rng, 150)
+    oracle = loaded(NaiveMatcher, subs, prorate=False)
+    matcher = loaded(matcher_cls, subs, prorate=False)
+    for trial in range(15):
+        event = random_event(rng, m=5)
+        values = dict(event.known_items())
+        # Blank out one attribute.
+        doomed = rng.choice(list(values))
+        values[doomed] = UNKNOWN
+        event = Event(values)
+        assert_same_results(
+            matcher.match(event, 6), oracle.match(event, 6), f"unknown trial {trial}"
+        )
+
+
+@pytest.mark.parametrize(
+    "matcher_cls", [FXTMMatcher, BEStarTreeMatcher, NaiveMatcher]
+)
+def test_budget_window_equivalence_over_time(matcher_cls):
+    """Matchers with identical spend histories stay in lockstep."""
+    rng = random.Random(31)
+    base = random_subscriptions(rng, 150, negative_fraction=0.0)
+    subs = [
+        Subscription(
+            s.sid, s.constraints, budget=BudgetWindowSpec(budget=30, window_length=500)
+        )
+        for s in base
+    ]
+    reference = loaded(
+        NaiveMatcher, subs, prorate=True, budget_tracker=BudgetTracker(clock=LogicalClock())
+    )
+    kwargs = {"budget_mode": "sync"} if matcher_cls is BEStarTreeMatcher else {}
+    matcher = loaded(
+        matcher_cls,
+        subs,
+        prorate=True,
+        budget_tracker=BudgetTracker(clock=LogicalClock()),
+        **kwargs,
+    )
+    for trial in range(60):
+        event = random_event(rng)
+        assert_same_results(
+            matcher.match(event, 5), reference.match(event, 5), f"budget trial {trial}"
+        )
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT)
+def test_after_cancellations(matcher_cls):
+    rng = random.Random(55)
+    subs = random_subscriptions(rng, 200)
+    oracle = loaded(NaiveMatcher, subs, prorate=True)
+    matcher = loaded(matcher_cls, subs, prorate=True)
+    for sub in rng.sample(subs, 120):
+        oracle.cancel_subscription(sub.sid)
+        matcher.cancel_subscription(sub.sid)
+    for trial in range(15):
+        event = random_event(rng)
+        assert_same_results(
+            matcher.match(event, 6), oracle.match(event, 6), f"cancel trial {trial}"
+        )
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT + [FaginMatcher])
+def test_k_of_one(matcher_cls):
+    rng = random.Random(61)
+    subs = random_subscriptions(rng, 100, negative_fraction=0.0)
+    oracle_agg = MAX if matcher_cls is FaginMatcher else None
+    oracle = loaded(
+        NaiveMatcher,
+        subs,
+        prorate=True,
+        **({"aggregation": MAX} if oracle_agg else {}),
+    )
+    matcher = loaded(matcher_cls, subs, prorate=True)
+    for trial in range(10):
+        event = random_event(rng)
+        assert_same_results(matcher.match(event, 1), oracle.match(event, 1))
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT + [FaginMatcher])
+def test_k_larger_than_matches(matcher_cls):
+    subs = [Subscription("only", [Constraint("a", Interval(0, 10), 1.0)])]
+    matcher = loaded(matcher_cls, subs)
+    results = matcher.match(Event({"a": 5}), k=50)
+    assert [r.sid for r in results] == ["only"]
+
+
+@pytest.mark.parametrize("matcher_cls", SUM_EQUIVALENT + [FaginMatcher])
+def test_no_matching_event(matcher_cls):
+    subs = [Subscription("s", [Constraint("a", Interval(0, 1), 1.0)])]
+    matcher = loaded(matcher_cls, subs)
+    assert matcher.match(Event({"zzz": 5}), k=3) == []

@@ -1,0 +1,134 @@
+"""Fagin baseline specifics: aggregation restriction, variants, lists."""
+
+import random
+
+import pytest
+
+from repro.baselines.fagin import FaginMatcher
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.scoring import SUM
+from repro.core.subscriptions import Constraint, Subscription
+
+from .conftest import random_event, random_subscriptions
+
+
+def sub(sid, *constraints):
+    return Subscription(sid, list(constraints))
+
+
+class TestConfiguration:
+    def test_sum_aggregation_rejected(self):
+        """Summation is not monotone with mixed weights (paper 2.3)."""
+        with pytest.raises(ValueError):
+            FaginMatcher(aggregation=SUM)
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ValueError):
+            FaginMatcher(variant="magic")
+
+    def test_default_is_ta_with_max(self):
+        matcher = FaginMatcher()
+        assert matcher.variant == "ta"
+        assert matcher.aggregation.name == "max"
+
+
+class TestMaxSemantics:
+    def test_score_is_best_single_attribute(self):
+        matcher = FaginMatcher()
+        matcher.add_subscription(
+            sub(
+                "s1",
+                Constraint("a", Interval(0, 10), 1.0),
+                Constraint("b", Interval(0, 10), 3.0),
+            )
+        )
+        results = matcher.match(Event({"a": 5, "b": 5}), k=1)
+        assert results[0].score == 3.0
+
+    def test_negative_grades_allowed_under_max(self):
+        matcher = FaginMatcher()
+        matcher.add_subscription(
+            sub(
+                "s1",
+                Constraint("a", Interval(0, 10), -1.0),
+                Constraint("b", Interval(0, 10), 2.0),
+            )
+        )
+        results = matcher.match(Event({"a": 5, "b": 5}), k=1)
+        assert results[0].score == 2.0
+
+    def test_all_negative_filtered(self):
+        matcher = FaginMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), -1.0)))
+        assert matcher.match(Event({"a": 5}), k=1) == []
+
+    def test_prorated_grades(self):
+        matcher = FaginMatcher(prorate=True)
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 2.0)))
+        results = matcher.match(Event({"a": Interval(5, 15)}), k=1)
+        assert results[0].score == pytest.approx(1.0)
+
+    def test_discrete_attribute(self):
+        matcher = FaginMatcher()
+        matcher.add_subscription(sub("s1", Constraint("state", "IN", 1.5)))
+        assert matcher.match(Event({"state": "IN"}), k=1)[0].score == 1.5
+
+    def test_set_constraint(self):
+        matcher = FaginMatcher()
+        matcher.add_subscription(sub("s1", Constraint("state", {"IN", "IL"}, 1.0)))
+        assert matcher.match(Event({"state": "IL"}), k=1)[0].sid == "s1"
+        matcher.cancel_subscription("s1")
+        assert matcher.match(Event({"state": "IL"}), k=1) == []
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_all_three_variants_return_identical_sets(self, seed):
+        rng = random.Random(seed)
+        subs = random_subscriptions(rng, 250)
+        ta = FaginMatcher(variant="ta", prorate=True)
+        fa = FaginMatcher(variant="fa", prorate=True)
+        nra = FaginMatcher(variant="nra", prorate=True)
+        for s in subs:
+            ta.add_subscription(s)
+            fa.add_subscription(s)
+            nra.add_subscription(s)
+        for _ in range(15):
+            event = random_event(rng)
+            expected = ta.match(event, 7)
+            assert fa.match(event, 7) == expected
+            assert nra.match(event, 7) == expected
+
+    def test_nra_exact_scores_small_case(self):
+        matcher = FaginMatcher(variant="nra")
+        matcher.add_subscription(
+            sub(
+                "s1",
+                Constraint("a", Interval(0, 10), 1.0),
+                Constraint("b", Interval(0, 10), 3.0),
+            )
+        )
+        matcher.add_subscription(sub("s2", Constraint("a", Interval(0, 10), 2.0)))
+        results = matcher.match(Event({"a": 5, "b": 5}), k=2)
+        assert results == [("s1", 3.0), ("s2", 2.0)]
+
+
+class TestIndexMaintenance:
+    def test_cancel_cleans_trees(self):
+        matcher = FaginMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        matcher.cancel_subscription("s1")
+        assert "a" not in matcher._trees
+        assert matcher.match(Event({"a": 5}), k=1) == []
+
+    def test_ta_early_termination_visits_less_than_full_lists(self):
+        """With k = 1 TA must stop long before exhausting the lists."""
+        matcher = FaginMatcher()
+        for index in range(200):
+            matcher.add_subscription(
+                sub(index, Constraint("a", Interval(0, 1000), float(index)))
+            )
+        results = matcher.match(Event({"a": 500}), k=1)
+        assert results[0].sid == 199
+        assert results[0].score == 199.0

@@ -1,0 +1,105 @@
+"""Augmented Fagin: score shifting, full-list behaviour, phase timing."""
+
+import random
+
+import pytest
+
+from repro.baselines.fagin_augmented import AugmentedFaginMatcher
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+
+from .conftest import random_event, random_subscriptions
+
+
+def sub(sid, *constraints):
+    return Subscription(sid, list(constraints))
+
+
+class TestShifting:
+    def test_sum_semantics_with_mixed_weights(self):
+        matcher = AugmentedFaginMatcher()
+        matcher.add_subscription(
+            sub(
+                "s1",
+                Constraint("a", Interval(0, 10), 2.0),
+                Constraint("b", Interval(0, 10), -0.5),
+            )
+        )
+        results = matcher.match(Event({"a": 5, "b": 5}), k=1)
+        assert results[0].score == pytest.approx(1.5)
+
+    def test_reports_sum_aggregation(self):
+        assert AugmentedFaginMatcher().aggregation.name == "sum"
+
+    def test_negative_weight_tracking(self):
+        matcher = AugmentedFaginMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), -1.5)))
+        matcher.add_subscription(sub("s2", Constraint("a", Interval(0, 10), -0.5)))
+        assert matcher._stored_negative_magnitude("a") == 1.5
+        matcher.cancel_subscription("s1")
+        assert matcher._stored_negative_magnitude("a") == 0.5
+        matcher.cancel_subscription("s2")
+        assert matcher._stored_negative_magnitude("a") == 0.0
+
+    def test_stored_negative_forces_full_lists(self):
+        """Paper 7.3: one stored negative gives effective S/N of 1.0."""
+        matcher = AugmentedFaginMatcher()
+        # 30 subscriptions on attribute a, only one negative, plus an
+        # event that matches none of the positive constraints directly.
+        for index in range(30):
+            matcher.add_subscription(
+                sub(index, Constraint("a", Interval(0, 10), 1.0 + index * 0.01))
+            )
+        matcher.add_subscription(sub("neg", Constraint("a", Interval(90, 95), -1.0)))
+        lists, _shift = matcher._retrieve_shift_sort(Event({"a": Interval(2, 3)}))
+        assert len(lists) == 1
+        ordered, _grades = lists[0]
+        # Every registered subscription appears, matched or not.
+        assert len(ordered) == 31
+
+    def test_without_negatives_lists_stay_short(self):
+        matcher = AugmentedFaginMatcher()
+        for index in range(30):
+            matcher.add_subscription(
+                sub(index, Constraint("a", Interval(index, index + 0.5), 1.0))
+            )
+        lists, shift = matcher._retrieve_shift_sort(Event({"a": Interval(0, 2)}))
+        ordered, _grades = lists[0]
+        assert shift == 0.0
+        assert len(ordered) < 30
+
+    def test_unmatched_subscriptions_score_zero_not_negative(self):
+        matcher = AugmentedFaginMatcher()
+        matcher.add_subscription(sub("match", Constraint("a", Interval(0, 10), 1.0)))
+        matcher.add_subscription(sub("neg", Constraint("a", Interval(90, 95), -1.0)))
+        results = matcher.match(Event({"a": 5}), k=5)
+        assert [r.sid for r in results] == ["match"]
+
+    def test_phase_timing_recorded(self):
+        matcher = AugmentedFaginMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), -1.0)))
+        matcher.add_subscription(sub("s2", Constraint("a", Interval(0, 10), 2.0)))
+        matcher.match(Event({"a": 5}), k=1)
+        phases = matcher.last_phase_seconds
+        assert set(phases) == {"retrieve_sort", "aggregate"}
+        assert phases["retrieve_sort"] >= 0.0
+        assert phases["aggregate"] >= 0.0
+
+
+class TestRandomisedAgainstShiftlessSum:
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_matches_fxtm_on_nonnegative_data(self, seed):
+        """Without negatives the shift is zero and results equal FX-TM."""
+        from repro.core.matcher import FXTMMatcher
+
+        rng = random.Random(seed)
+        subs = random_subscriptions(rng, 200, negative_fraction=0.0)
+        aug = AugmentedFaginMatcher(prorate=True)
+        fx = FXTMMatcher(prorate=True)
+        for s in subs:
+            aug.add_subscription(s)
+            fx.add_subscription(s)
+        for _ in range(10):
+            event = random_event(rng)
+            assert aug.match(event, 6) == fx.match(event, 6)

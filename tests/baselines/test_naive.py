@@ -1,0 +1,71 @@
+"""The naive oracle itself, on hand-computed cases."""
+
+import pytest
+
+from repro.baselines.naive import NaiveMatcher
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.scoring import MAX
+from repro.core.subscriptions import Constraint, Subscription
+
+
+def sub(sid, *constraints):
+    return Subscription(sid, list(constraints))
+
+
+class TestHandComputed:
+    def test_two_attribute_sum(self):
+        matcher = NaiveMatcher()
+        matcher.add_subscription(
+            sub("s", Constraint("a", Interval(0, 10), 2.0), Constraint("b", Interval(0, 10), 3.0))
+        )
+        assert matcher.match(Event({"a": 1, "b": 1}), k=1)[0].score == 5.0
+
+    def test_partial(self):
+        matcher = NaiveMatcher()
+        matcher.add_subscription(
+            sub("s", Constraint("a", Interval(0, 10), 2.0), Constraint("b", Interval(0, 10), 3.0))
+        )
+        assert matcher.match(Event({"b": 1}), k=1)[0].score == 3.0
+
+    def test_prorated_paper_example(self):
+        """Targeted age [18,24], consumer age [20,30]: fraction 0.4."""
+        matcher = NaiveMatcher(prorate=True)
+        matcher.add_subscription(sub("ad", Constraint("age", Interval(18, 24), 1.0)))
+        results = matcher.match(Event({"age": Interval(20, 30)}), k=1)
+        assert results[0].score == pytest.approx(0.4)
+
+    def test_zero_sum_match_excluded_by_default(self):
+        matcher = NaiveMatcher()
+        matcher.add_subscription(
+            sub("s", Constraint("a", Interval(0, 10), 1.0), Constraint("b", Interval(0, 10), -1.0))
+        )
+        assert matcher.match(Event({"a": 1, "b": 1}), k=1) == []
+
+    def test_zero_sum_match_included_with_flag(self):
+        matcher = NaiveMatcher(include_nonpositive=True)
+        matcher.add_subscription(
+            sub("s", Constraint("a", Interval(0, 10), 1.0), Constraint("b", Interval(0, 10), -1.0))
+        )
+        results = matcher.match(Event({"a": 1, "b": 1}), k=1)
+        assert results[0].score == 0.0
+
+    def test_nonmatching_excluded_even_with_flag(self):
+        """A subscription matching nothing is not a match at all."""
+        matcher = NaiveMatcher(include_nonpositive=True)
+        matcher.add_subscription(sub("s", Constraint("a", Interval(0, 1), 1.0)))
+        assert matcher.match(Event({"zzz": 5}), k=1) == []
+
+    def test_max_aggregation(self):
+        matcher = NaiveMatcher(aggregation=MAX)
+        matcher.add_subscription(
+            sub("s", Constraint("a", Interval(0, 10), 1.0), Constraint("b", Interval(0, 10), 3.0))
+        )
+        assert matcher.match(Event({"a": 1, "b": 1}), k=1)[0].score == 3.0
+
+    def test_ranking(self):
+        matcher = NaiveMatcher()
+        for sid, weight in (("low", 1.0), ("high", 9.0), ("mid", 5.0)):
+            matcher.add_subscription(sub(sid, Constraint("a", Interval(0, 10), weight)))
+        results = matcher.match(Event({"a": 5}), k=2)
+        assert [r.sid for r in results] == ["high", "mid"]

@@ -1,0 +1,188 @@
+"""Property-based equivalence: hypothesis generates whole workloads.
+
+These go beyond the seeded randomized tests in test_equivalence.py by
+letting hypothesis *search* for adversarial structures — empty overlaps,
+identical intervals, single-attribute subscriptions, extreme weights —
+and shrink any failure to a minimal counterexample.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.betree import BEStarTreeMatcher
+from repro.baselines.fagin import FaginMatcher
+from repro.baselines.fagin_augmented import AugmentedFaginMatcher
+from repro.baselines.naive import NaiveMatcher
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.scoring import MAX
+from repro.core.subscriptions import Constraint, Subscription
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_ATTRIBUTES = [f"a{i}" for i in range(5)]
+
+interval_values = st.tuples(
+    st.integers(0, 40), st.integers(0, 15)
+).map(lambda pair: Interval(pair[0], pair[0] + pair[1]))
+
+discrete_values = st.sampled_from(["x", "y", "z"])
+
+weights = st.one_of(
+    st.floats(0.1, 3.0, allow_nan=False),
+    st.floats(-3.0, -0.1, allow_nan=False),
+)
+
+
+@st.composite
+def constraints(draw):
+    attribute = draw(st.sampled_from(_ATTRIBUTES))
+    if attribute == "a0":  # one discrete attribute in the universe
+        value = draw(discrete_values)
+    else:
+        value = draw(interval_values)
+    return Constraint(attribute, value, draw(weights))
+
+
+@st.composite
+def subscriptions(draw, sid):
+    count = draw(st.integers(1, 4))
+    chosen = {}
+    for _ in range(count):
+        constraint = draw(constraints())
+        chosen[constraint.attribute] = constraint
+    return Subscription(sid, list(chosen.values()))
+
+
+@st.composite
+def subscription_sets(draw):
+    count = draw(st.integers(1, 25))
+    return [draw(subscriptions(sid)) for sid in range(count)]
+
+
+@st.composite
+def events(draw):
+    count = draw(st.integers(1, 5))
+    values = {}
+    for _ in range(count):
+        attribute = draw(st.sampled_from(_ATTRIBUTES))
+        if attribute == "a0":
+            values[attribute] = draw(discrete_values)
+        else:
+            values[attribute] = draw(interval_values)
+    return Event(values)
+
+
+def _load(matcher_cls, subs, **kwargs):
+    matcher = matcher_cls(**kwargs)
+    for subscription in subs:
+        matcher.add_subscription(subscription)
+    ensure_built = getattr(matcher, "ensure_built", None)
+    if callable(ensure_built):
+        ensure_built()
+    return matcher
+
+
+def _scores(results):
+    return [round(result.score, 9) for result in results]
+
+
+def _tie_free_sids(results, oracle, event, n):
+    """sids of results whose score is globally unique.
+
+    Tied scores make the top-k *set* non-unique (Definition 3 leaves tie
+    selection to the implementation), so sid-level comparisons are only
+    meaningful where the score appears exactly once in the full ranking.
+    """
+    from collections import Counter
+
+    full = oracle.match(event, max(n, 1))
+    counts = Counter(_scores(full))
+    return [r.sid for r in results if counts[round(r.score, 9)] == 1]
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(subscription_sets(), events(), st.integers(1, 8), st.booleans())
+def test_fxtm_equals_oracle(subs, event, k, prorate):
+    oracle = _load(NaiveMatcher, subs, prorate=prorate)
+    fxtm = _load(FXTMMatcher, subs, prorate=prorate)
+    expected = oracle.match(event, k)
+    got = fxtm.match(event, k)
+    assert _scores(got) == pytest.approx(_scores(expected), abs=1e-9)
+    n = len(subs)
+    assert _tie_free_sids(got, oracle, event, n) == _tie_free_sids(expected, oracle, event, n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(subscription_sets(), events(), st.integers(1, 6))
+def test_betree_equals_oracle(subs, event, k):
+    oracle = _load(NaiveMatcher, subs, prorate=True)
+    betree = _load(BEStarTreeMatcher, subs, prorate=True, leaf_capacity=2)
+    expected = oracle.match(event, k)
+    got = betree.match(event, k)
+    assert _scores(got) == pytest.approx(_scores(expected), abs=1e-9)
+    n = len(subs)
+    assert _tie_free_sids(got, oracle, event, n) == _tie_free_sids(expected, oracle, event, n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(subscription_sets(), events(), st.integers(1, 6))
+def test_augmented_fagin_equals_oracle(subs, event, k):
+    oracle = _load(NaiveMatcher, subs, prorate=True)
+    augmented = _load(AugmentedFaginMatcher, subs, prorate=True)
+    expected = oracle.match(event, k)
+    got = augmented.match(event, k)
+    assert _scores(got) == pytest.approx(_scores(expected), abs=1e-9)
+    n = len(subs)
+    assert _tie_free_sids(got, oracle, event, n) == _tie_free_sids(expected, oracle, event, n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(subscription_sets(), events(), st.integers(1, 6))
+def test_fagin_equals_max_oracle(subs, event, k):
+    oracle = _load(NaiveMatcher, subs, prorate=True, aggregation=MAX)
+    fagin = _load(FaginMatcher, subs, prorate=True)
+    expected = oracle.match(event, k)
+    got = fagin.match(event, k)
+    assert _scores(got) == pytest.approx(_scores(expected), abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(subscription_sets(), events(), st.integers(1, 8))
+def test_topk_is_prefix_of_topn(subs, event, k):
+    """Asking for k results returns a prefix of asking for more."""
+    fxtm = _load(FXTMMatcher, subs, prorate=True)
+    small = fxtm.match(event, k)
+    large = fxtm.match(event, k + 5)
+    assert _scores(large)[: len(small)] == _scores(small)
+
+
+@settings(max_examples=50, deadline=None)
+@given(subscription_sets(), events())
+def test_scores_sorted_and_positive(subs, event):
+    """Definition 3: results ordered best-first, all scores > 0."""
+    fxtm = _load(FXTMMatcher, subs, prorate=True)
+    results = fxtm.match(event, 10)
+    scores = _scores(results)
+    assert scores == sorted(scores, reverse=True)
+    assert all(score > 0 for score in scores)
+
+
+@settings(max_examples=40, deadline=None)
+@given(subscription_sets(), events(), st.data())
+def test_cancel_is_remove_from_results(subs, event, data):
+    """Cancelling a subscription removes exactly it from the ranking."""
+    fxtm = _load(FXTMMatcher, subs, prorate=True)
+    before = fxtm.match(event, len(subs))
+    if not before:
+        return
+    victim = data.draw(st.sampled_from([r.sid for r in before]))
+    fxtm.cancel_subscription(victim)
+    after = fxtm.match(event, len(subs))
+    assert [r.sid for r in after] == [r.sid for r in before if r.sid != victim]

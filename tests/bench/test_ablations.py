@@ -1,0 +1,48 @@
+"""Ablation variants must be behaviourally identical to stock FX-TM."""
+
+import random
+
+import pytest
+
+from repro.bench.ablations import FXTMFullSortMatcher, FXTMLinearIndexMatcher
+from repro.core.matcher import FXTMMatcher
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+@pytest.mark.parametrize("variant_cls", [FXTMLinearIndexMatcher, FXTMFullSortMatcher])
+@pytest.mark.parametrize("prorate", [False, True])
+def test_ablation_variants_match_stock(variant_cls, prorate):
+    rng = random.Random(101)
+    subs = random_subscriptions(rng, 200)
+    stock = FXTMMatcher(prorate=prorate)
+    variant = variant_cls(prorate=prorate)
+    for sub in subs:
+        stock.add_subscription(sub)
+        variant.add_subscription(sub)
+    for _ in range(15):
+        event = random_event(rng)
+        assert variant.match(event, 6) == stock.match(event, 6)
+
+
+def test_linear_index_supports_cancel():
+    rng = random.Random(102)
+    subs = random_subscriptions(rng, 80)
+    variant = FXTMLinearIndexMatcher()
+    for sub in subs:
+        variant.add_subscription(sub)
+    for sub in subs[:40]:
+        variant.cancel_subscription(sub.sid)
+    stock = FXTMMatcher()
+    for sub in subs[40:]:
+        stock.add_subscription(sub)
+    event = random_event(rng)
+    assert variant.match(event, 5) == stock.match(event, 5)
+
+
+def test_names_distinguish_variants():
+    assert FXTMLinearIndexMatcher.name != FXTMFullSortMatcher.name != FXTMMatcher.name

@@ -1,0 +1,70 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.charts import render_ascii_chart
+from repro.bench.harness import FigureResult, Series
+
+
+def figure_with(series_values):
+    figure = FigureResult("figX", "demo", "N", "ms")
+    for label, points in series_values.items():
+        series = Series(label=label)
+        for x, y in points:
+            series.add(x, y)
+        figure.series.append(series)
+    return figure
+
+
+class TestRenderAsciiChart:
+    def test_contains_title_axis_and_legend(self):
+        figure = figure_with({"fast": [(1, 1.0), (2, 2.0)], "slow": [(1, 10.0), (2, 20.0)]})
+        chart = render_ascii_chart(figure)
+        assert "figX: demo" in chart
+        assert "(N)" in chart
+        assert "o fast" in chart
+        assert "x slow" in chart
+        assert "log" in chart
+
+    def test_faster_series_plots_lower(self):
+        figure = figure_with({"fast": [(1, 1.0)], "slow": [(1, 100.0)]})
+        lines = render_ascii_chart(figure).splitlines()
+        rows_with_o = [index for index, line in enumerate(lines) if "o" in line and "|" in line]
+        rows_with_x = [
+            index
+            for index, line in enumerate(lines)
+            if "x" in line and "|" in line and "max" not in line
+        ]
+        assert min(rows_with_x) < min(rows_with_o)  # slow (higher y) nearer the top
+
+    def test_nonpositive_values_force_linear(self):
+        figure = figure_with({"s": [(1, 0.0), (2, 5.0)]})
+        assert "linear" in render_ascii_chart(figure)
+
+    def test_empty_figure(self):
+        figure = FigureResult("f", "t", "x", "y")
+        assert "(no data)" in render_ascii_chart(figure)
+
+    def test_dimension_validation(self):
+        figure = figure_with({"s": [(1, 1.0)]})
+        with pytest.raises(ValueError):
+            render_ascii_chart(figure, width=4)
+        with pytest.raises(ValueError):
+            render_ascii_chart(figure, height=2)
+
+    def test_series_subset_selection(self):
+        figure = figure_with({"a": [(1, 1.0)], "b": [(1, 2.0)]})
+        chart = render_ascii_chart(figure, series_labels=["b"])
+        assert "o b" in chart
+        assert " a" not in chart.splitlines()[-1]
+
+    def test_single_point_series(self):
+        figure = figure_with({"dot": [(5, 3.3)]})
+        chart = render_ascii_chart(figure)
+        assert "o" in chart
+
+    def test_y_extent_labels_present(self):
+        figure = figure_with({"s": [(1, 0.5), (2, 50.0)]})
+        chart = render_ascii_chart(figure)
+        assert "0.5" in chart
+        assert "50" in chart

@@ -1,0 +1,115 @@
+"""The executable paper-claim checks."""
+
+import pytest
+
+from repro.bench.claims import PAPER_CLAIMS, evaluate_claims, render_verdicts
+from repro.bench.harness import FigureResult, Series
+
+
+def figure(figure_id, series_points):
+    result = FigureResult(figure_id, "synthetic", "x", "y")
+    for label, points in series_points.items():
+        series = Series(label=label)
+        for x, y in points:
+            series.add(x, y)
+        result.series.append(series)
+    return result
+
+
+def claim(claim_id):
+    for candidate in PAPER_CLAIMS:
+        if candidate.claim_id == claim_id:
+            return candidate
+    raise KeyError(claim_id)
+
+
+class TestIndividualClaims:
+    def test_fxtm_k_scaling_held_and_failed(self):
+        check = claim("3a-fxtm-k").check
+        flat = figure("fig3a", {"fx-tm": [(1, 1.0), (20, 1.5)]})
+        assert check(flat)
+        linear = figure("fig3a", {"fx-tm": [(1, 1.0), (20, 20.0)]})
+        assert not check(linear)
+
+    def test_augmented_gap(self):
+        check = claim("3a-augmented").check
+        wide = figure(
+            "fig3a",
+            {"fx-tm": [(1, 1.0), (20, 1.5)], "fagin-augmented": [(1, 8.0), (20, 15.0)]},
+        )
+        assert check(wide)
+        narrow = figure(
+            "fig3a",
+            {"fx-tm": [(1, 1.0), (20, 1.5)], "fagin-augmented": [(1, 1.5), (20, 2.0)]},
+        )
+        assert not check(narrow)
+
+    def test_bestar_selectivity_convergence(self):
+        check = claim("3f-bestar-s").check
+        converging = figure(
+            "fig3f",
+            {"fx-tm": [(0.05, 0.3), (0.85, 5.0)], "be-star": [(0.05, 6.0), (0.85, 10.0)]},
+        )
+        assert check(converging)
+        constant_gap = figure(
+            "fig3f",
+            {"fx-tm": [(0.05, 1.0), (0.85, 1.0)], "be-star": [(0.05, 5.0), (0.85, 5.0)]},
+        )
+        assert not check(constant_gap)
+
+    def test_storage_identity(self):
+        check = claim("5a-same-storage").check
+        same = figure(
+            "fig5a", {"fx-tm": [(1, 100.0), (2, 200.0)], "fagin": [(1, 101.0), (2, 201.0)]}
+        )
+        assert check(same)
+        different = figure(
+            "fig5a", {"fx-tm": [(1, 100.0), (2, 200.0)], "fagin": [(1, 150.0), (2, 300.0)]}
+        )
+        assert not check(different)
+
+    def test_distribution_optimum(self):
+        check = claim("7-optimum").check
+        u_shaped = figure(
+            "fig7",
+            {
+                "fx-tm total": [(1, 5.0), (9, 2.0), (27, 1.5), (81, 2.5)],
+                "be-star total": [(1, 30.0), (9, 8.0), (27, 4.0), (81, 5.0)],
+            },
+        )
+        assert check(u_shaped)
+        monotone_up = figure(
+            "fig7",
+            {
+                "fx-tm total": [(1, 1.0), (9, 2.0), (27, 3.0)],
+                "be-star total": [(1, 1.0), (9, 2.0), (27, 3.0)],
+            },
+        )
+        assert not check(monotone_up)
+
+
+class TestEvaluation:
+    def test_missing_figures_skip(self):
+        verdicts = evaluate_claims({})
+        assert all(v.held is None for v in verdicts)
+        assert len(verdicts) == len(PAPER_CLAIMS)
+
+    def test_broken_figure_fails_not_raises(self):
+        # A fig3a without the expected series: the claim fails cleanly.
+        verdicts = evaluate_claims({"fig3a": figure("fig3a", {"unrelated": [(1, 1.0)]})})
+        fig3a_verdicts = [v for v in verdicts if v.figure == "fig3a"]
+        assert all(v.held is False for v in fig3a_verdicts)
+
+    def test_render(self):
+        verdicts = evaluate_claims({})
+        text = render_verdicts(verdicts)
+        assert "SKIPPED" in text
+        assert f"{len(PAPER_CLAIMS)} skipped" in text
+
+    def test_every_claim_has_unique_id(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_claims_cover_every_figure_family(self):
+        figures = {c.figure for c in PAPER_CLAIMS}
+        assert {"fig3a", "fig3f", "fig4a", "fig5a", "fig6a", "fig7"}.issubset(figures)

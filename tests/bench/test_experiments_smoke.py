@@ -1,0 +1,198 @@
+"""Smoke tests: every figure function runs at minuscule scale and returns
+structurally sound results.  Timing magnitudes are NOT asserted here —
+shape claims live in tests/integration/test_paper_shapes.py.
+"""
+
+import pytest
+
+from repro.bench import ablations, fig3, fig4, fig5, fig6, fig7, table1
+from repro.bench.run_all import EXPERIMENTS
+
+TINY_N = 150
+TINY_EVENTS = 3
+
+
+def assert_sound(result, expect_series=None):
+    assert result.series, result.figure
+    for series in result.series:
+        assert len(series.x_values) == len(series.y_values)
+        assert all(y >= 0 for y in series.y_values), series.label
+    if expect_series is not None:
+        assert {s.label for s in result.series} == set(expect_series)
+
+
+class TestFig3:
+    def test_fig3a(self):
+        result = fig3.fig3a_k_sweep(
+            n=TINY_N, k_percents=(1.0, 10.0), event_count=TINY_EVENTS
+        )
+        assert_sound(result, ["fx-tm", "be-star", "fagin", "fagin-augmented"])
+        assert result.series[0].x_values == [1.0, 10.0]
+
+    def test_fig3bc(self):
+        result = fig3.fig3bc_n_sweep(
+            k_percent=1.0, base_n=TINY_N, multipliers=(0.5, 1.0), event_count=TINY_EVENTS
+        )
+        assert_sound(result)
+        assert result.figure == "fig3b"
+        assert fig3.fig3bc_n_sweep(
+            k_percent=2.0, base_n=TINY_N, multipliers=(1.0,), event_count=TINY_EVENTS
+        ).figure == "fig3c"
+
+    def test_fig3de(self):
+        result = fig3.fig3de_m_sweep(
+            k_percent=1.0, n=TINY_N, m_values=(5, 12), event_count=TINY_EVENTS
+        )
+        assert_sound(result)
+        assert result.series[0].x_values == [5.0, 12.0]
+
+    def test_fig3f(self):
+        result = fig3.fig3f_selectivity_sweep(
+            n=TINY_N, selectivities=(0.1, 0.4), event_count=TINY_EVENTS
+        )
+        assert_sound(result)
+
+
+class TestFig4:
+    @pytest.mark.parametrize("dataset", ["imdb", "yahoo"])
+    def test_k_sweep(self, dataset):
+        result = fig4.fig4_k_sweep(
+            dataset, n=TINY_N, k_percents=(1.0, 5.0), event_count=TINY_EVENTS
+        )
+        assert_sound(result, ["fx-tm", "be-star", "fagin"])
+
+    def test_n_sweep(self):
+        result = fig4.fig4_n_sweep(
+            "imdb", k_percent=1.0, base_n=TINY_N, multipliers=(0.5, 1.0),
+            event_count=TINY_EVENTS,
+        )
+        assert_sound(result)
+        assert result.figure == "fig4b"
+
+    def test_bad_dataset(self):
+        with pytest.raises(ValueError):
+            fig4.fig4_k_sweep("netflix", n=TINY_N)
+
+
+class TestFig5:
+    def test_storage_vs_n(self):
+        result = fig5.fig5a_storage_vs_n(base_n=TINY_N, multipliers=(0.5, 1.0))
+        assert_sound(result)
+        # Storage must grow with N for every algorithm.
+        for series in result.series:
+            assert series.y_values[1] > series.y_values[0]
+
+    def test_storage_vs_m(self):
+        result = fig5.fig5b_storage_vs_m(n=TINY_N, m_values=(5, 12))
+        for series in result.series:
+            assert series.y_values[1] > series.y_values[0]
+
+    def test_storage_realworld(self):
+        result = fig5.fig5cd_storage_realworld("imdb", base_n=TINY_N, multipliers=(1.0,))
+        assert_sound(result)
+        assert result.figure == "fig5c"
+
+    def test_matching_vs_k(self):
+        result = fig5.fig5eg_matching_vs_k(
+            "yahoo", n=TINY_N, k_percents=(1.0, 5.0), event_count=2
+        )
+        assert_sound(result)
+        assert result.figure == "fig5g"
+
+    def test_matching_vs_n(self):
+        result = fig5.fig5fh_matching_vs_n(
+            "imdb", base_n=TINY_N, multipliers=(0.5, 1.0), event_count=2
+        )
+        assert_sound(result)
+        assert result.figure == "fig5f"
+
+
+class TestFig6:
+    def test_overhead_bars(self):
+        result = fig6.fig6_budget_overhead("imdb", n=TINY_N, event_count=TINY_EVENTS)
+        assert result.notes["algorithms"] == ["fx-tm", "fagin", "be-star"]
+        no_budget = result.series_by_label("no-budget")
+        with_budget = result.series_by_label("budget-sync")
+        assert len(no_budget.y_values) == 3
+        assert len(with_budget.y_values) == 3
+        async_series = result.series_by_label("budget-async")
+        assert len(async_series.y_values) == 1  # BE* only
+
+    def test_budget_window_attachment(self):
+        from repro.bench.fig6 import with_budget_windows
+        from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+
+        subs = IMDBWorkload(IMDBWorkloadConfig(n=20)).subscriptions()
+        wrapped = with_budget_windows(subs)
+        assert all(s.budget is not None for s in wrapped)
+        assert all(
+            1_000_000 <= s.budget.window_length <= 10_000_000 for s in wrapped
+        )
+        assert all(10_000 <= s.budget.budget <= 100_000 for s in wrapped)
+        # Deterministic per seed.
+        again = with_budget_windows(subs)
+        assert [s.budget.budget for s in wrapped] == [s.budget.budget for s in again]
+
+
+class TestFig7:
+    def test_distributed(self):
+        result = fig7.fig7_distributed(
+            n=400, node_counts=(1, 3, 9), k=5, event_count=2
+        )
+        labels = {s.label for s in result.series}
+        assert labels == {"fx-tm local", "fx-tm total", "be-star local", "be-star total"}
+        local = result.series_by_label("fx-tm local")
+        # Structural smoke only: at this tiny scale (sub-100us partitions,
+        # 2 events) timing order is noise under parallel test load — the
+        # real shape claim lives in tests/integration/test_paper_shapes.py.
+        assert len(local.y_values) == 3
+        assert all(y > 0 for y in local.y_values)
+        total = result.series_by_label("fx-tm total")
+        assert all(t > l for t, l in zip(total.y_values, local.y_values))
+
+
+class TestTable1:
+    def test_ops_measured(self):
+        result = table1.table1_structure_ops(sizes=(200, 800))
+        labels = {s.label for s in result.series}
+        assert "tree-insert" in labels
+        assert "treeset-remove-min" in labels
+        assert "hmap-get" in labels
+        for series in result.series:
+            assert all(y > 0 for y in series.y_values)
+
+
+class TestAblations:
+    def test_index_ablation(self):
+        result = ablations.ablation_index_structure(n_values=(100, 200), event_count=2)
+        assert_sound(result, ["interval-tree", "linear-scan"])
+
+    def test_topk_ablation(self):
+        result = ablations.ablation_topk_structure(n_values=(100,), event_count=2)
+        assert_sound(result, ["bounded-topk", "full-sort"])
+
+    def test_betree_leaf_ablation(self):
+        result = ablations.ablation_betree_leaf_capacity(
+            capacities=(4, 64), n=TINY_N, event_count=2
+        )
+        assert_sound(result, ["be-star"])
+
+
+class TestRunAllRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        expected = {
+            "table1",
+            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+            "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+            "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
+            "fig6a", "fig6b",
+            "fig7",
+        }
+        assert expected.issubset(set(EXPERIMENTS))
+
+    def test_run_all_cli_list(self, capsys):
+        from repro.bench.run_all import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "fig7" in out

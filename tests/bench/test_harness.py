@@ -1,0 +1,142 @@
+"""Benchmark harness machinery."""
+
+import csv
+import random
+
+import pytest
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    FigureResult,
+    Series,
+    load_subscriptions,
+    make_matcher,
+    measure_matching,
+)
+from repro.core.attributes import AttributeKind, Schema
+from repro.core.events import Event
+from repro.core.attributes import Interval
+from repro.core.subscriptions import Constraint, Subscription
+
+
+def tiny_subs(n=30):
+    rng = random.Random(3)
+    return [
+        Subscription(
+            i, [Constraint("a", Interval(rng.uniform(0, 50), rng.uniform(50, 100)), 1.0)]
+        )
+        for i in range(n)
+    ]
+
+
+class TestMakeMatcher:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_builds_every_algorithm(self, name):
+        matcher = make_matcher(name)
+        assert matcher.prorate is True
+        assert len(matcher) == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_matcher("quantum-matcher")
+
+    def test_schema_copied_not_shared(self):
+        schema = Schema({"x": AttributeKind.DISCRETE})
+        a = make_matcher("fx-tm", schema=schema)
+        b = make_matcher("fx-tm", schema=schema)
+        assert a.schema is not b.schema
+        assert a.schema.kind_of("x") is AttributeKind.DISCRETE
+
+    def test_with_budget_creates_tracker(self):
+        matcher = make_matcher("fx-tm", with_budget=True)
+        assert matcher.budget_tracker is not None
+
+    def test_extra_kwargs_forwarded(self):
+        matcher = make_matcher("be-star", leaf_capacity=7)
+        assert matcher.leaf_capacity == 7
+
+
+class TestMeasurement:
+    def test_load_subscriptions_counts(self):
+        matcher = make_matcher("fx-tm")
+        elapsed = load_subscriptions(matcher, tiny_subs())
+        assert len(matcher) == 30
+        assert elapsed >= 0
+
+    def test_load_builds_betree(self):
+        matcher = make_matcher("be-star")
+        load_subscriptions(matcher, tiny_subs())
+        assert not matcher._dirty
+
+    def test_measure_matching_stats(self):
+        matcher = make_matcher("fx-tm")
+        load_subscriptions(matcher, tiny_subs())
+        events = [Event({"a": float(v)}) for v in (10, 20, 30)]
+        stats = measure_matching(matcher, events, k=3)
+        assert stats.samples == 3
+        assert stats.mean_ms > 0
+        assert stats.min_ms <= stats.mean_ms <= stats.max_ms
+        assert "ms" in str(stats)
+
+    def test_measure_requires_events(self):
+        matcher = make_matcher("fx-tm")
+        with pytest.raises(ValueError):
+            measure_matching(matcher, [], k=1)
+
+
+class TestSeriesAndFigure:
+    def test_series_add_and_at(self):
+        series = Series(label="x")
+        series.add(1.0, 10.0, 0.5)
+        series.add(2.0, 20.0)
+        assert series.at(1.0) == 10.0
+        assert series.at(2.0) == 20.0
+        with pytest.raises(KeyError):
+            series.at(3.0)
+
+    def test_figure_series_by_label(self):
+        figure = FigureResult("f", "t", "x", "y", series=[Series(label="a")])
+        assert figure.series_by_label("a").label == "a"
+        with pytest.raises(KeyError):
+            figure.series_by_label("missing")
+
+    def test_render_text_contains_data(self):
+        figure = FigureResult("fig9", "demo", "N", "ms")
+        series = Series(label="algo")
+        series.add(100.0, 1.5)
+        series.add(200.0, 3.0)
+        figure.series.append(series)
+        text = figure.render_text()
+        assert "fig9" in text
+        assert "algo" in text
+        assert "1.5" in text and "3.0" in text
+
+    def test_render_handles_ragged_series(self):
+        figure = FigureResult("f", "t", "x", "y")
+        full = Series(label="full")
+        full.add(1.0, 10.0)
+        full.add(2.0, 20.0)
+        sparse = Series(label="sparse")
+        sparse.add(2.0, 99.0)
+        figure.series = [full, sparse]
+        lines = figure.render_text().splitlines()
+        row2 = [line for line in lines if line.startswith("2")][0]
+        assert "99.0" in row2
+        row1 = [line for line in lines if line.startswith("1")][0]
+        assert "99" not in row1
+
+    def test_render_empty(self):
+        text = FigureResult("f", "t", "x", "y").render_text()
+        assert "no data" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        figure = FigureResult("fig0", "t", "N", "ms")
+        series = Series(label="algo")
+        series.add(10.0, 1.0, 0.1)
+        figure.series.append(series)
+        path = tmp_path / "out.csv"
+        figure.write_csv(str(path))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["figure", "series", "N", "ms", "std"]
+        assert rows[1] == ["fig0", "algo", "10.0", "1.0", "0.1"]

@@ -1,0 +1,100 @@
+"""Memory metering and experiment scaling."""
+
+import pytest
+
+from repro.bench.memory import deep_sizeof, matching_peak_bytes, storage_bytes
+from repro.bench.scale import events_per_point, scale_factor, scaled
+from repro.bench.harness import load_subscriptions, make_matcher
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+
+
+class TestDeepSizeof:
+    def test_atomic(self):
+        assert deep_sizeof(42) > 0
+        assert deep_sizeof("hello") > 0
+
+    def test_container_larger_than_empty(self):
+        assert deep_sizeof([1, 2, 3]) > deep_sizeof([])
+
+    def test_nested_counts_children(self):
+        flat = deep_sizeof([0])
+        nested = deep_sizeof([[0, 1, 2], [3, 4, 5]])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared])
+
+    def test_cycles_terminate(self):
+        a = []
+        a.append(a)
+        assert deep_sizeof(a) > 0
+
+    def test_slotted_objects(self):
+        constraint = Constraint("a", Interval(0, 1), 1.0)
+        assert deep_sizeof(constraint) > deep_sizeof(0)
+
+    def test_dict_keys_and_values(self):
+        assert deep_sizeof({"key": list(range(50))}) > deep_sizeof({"key": None})
+
+
+class TestMatcherMemory:
+    def subs(self, n):
+        return [
+            Subscription(i, [Constraint("a", Interval(i, i + 10), 1.0)]) for i in range(n)
+        ]
+
+    def test_storage_grows_with_n(self):
+        small = make_matcher("fx-tm")
+        load_subscriptions(small, self.subs(20))
+        large = make_matcher("fx-tm")
+        load_subscriptions(large, self.subs(200))
+        assert storage_bytes(large) > storage_bytes(small)
+
+    def test_matching_peak_positive(self):
+        matcher = make_matcher("fx-tm")
+        load_subscriptions(matcher, self.subs(50))
+        mean_peak, max_peak = matching_peak_bytes(
+            matcher, [Event({"a": 25.0})], k=5
+        )
+        assert 0 < mean_peak <= max_peak
+
+    def test_matching_peak_requires_events(self):
+        matcher = make_matcher("fx-tm")
+        with pytest.raises(ValueError):
+            matching_peak_bytes(matcher, [], k=1)
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 0.02
+        assert scaled(100_000) == 2_000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scale_factor() == 0.5
+        assert scaled(1000) == 500
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.000001")
+        assert scaled(100, minimum=10) == 10
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ValueError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_events_per_point(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVENTS", raising=False)
+        assert events_per_point() == 15
+        monkeypatch.setenv("REPRO_EVENTS", "3")
+        assert events_per_point() == 3
+        monkeypatch.setenv("REPRO_EVENTS", "0")
+        with pytest.raises(ValueError):
+            events_per_point()

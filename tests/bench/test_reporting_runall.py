@@ -1,0 +1,78 @@
+"""The markdown report generator and run_all end to end."""
+
+import os
+
+import pytest
+
+from repro.bench.claims import ClaimVerdict
+from repro.bench.harness import FigureResult, Series
+from repro.bench.reporting import render_markdown_report
+
+
+def sample_results():
+    figure = FigureResult("fig3a", "k sweep", "k", "ms", notes={"N": 100})
+    series = Series(label="fx-tm")
+    series.add(1.0, 0.5)
+    series.add(10.0, 0.8)
+    figure.series.append(series)
+    return {"fig3a": figure}
+
+
+class TestMarkdownReport:
+    def test_contains_configuration_and_tables(self):
+        report = render_markdown_report(sample_results(), elapsed_seconds=12.5)
+        assert "# Reproduction run report" in report
+        assert "REPRO_SCALE" in report
+        assert "12.5s" in report
+        assert "### fig3a: k sweep" in report
+        assert "| k | fx-tm |" in report
+        assert "0.5000" in report
+
+    def test_verdict_section(self):
+        verdicts = [
+            ClaimVerdict("a", "fig3a", "holds", True),
+            ClaimVerdict("b", "fig3a", "broke", False),
+            ClaimVerdict("c", "fig9", "absent", None),
+        ]
+        report = render_markdown_report(sample_results(), verdicts)
+        assert "✅ held" in report
+        assert "❌ failed" in report
+        assert "⏭ skipped" in report
+        assert "**1 held, 1 failed, 1 skipped.**" in report
+
+    def test_empty_figure_noted(self):
+        report = render_markdown_report({"figX": FigureResult("figX", "t", "x", "y")})
+        assert "(no data)" in report
+
+
+class TestRunAllEndToEnd:
+    def test_tiny_run_writes_csv_and_report(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.run_all import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.002")
+        monkeypatch.setenv("REPRO_EVENTS", "2")
+        report = tmp_path / "REPORT.md"
+        code = main(
+            [
+                "--only",
+                "table1,fig3a",
+                "--out",
+                str(tmp_path),
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "fig3a.csv").exists()
+        text = report.read_text()
+        assert "### fig3a" in text
+        assert "### table1" in text
+        out = capsys.readouterr().out
+        assert "experiments done" in out
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        from repro.bench.run_all import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99", "--out", str(tmp_path)])

@@ -1,0 +1,178 @@
+"""Intervals, UNKNOWN, attribute kinds, and schemas."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import UNKNOWN, AttributeKind, Interval, Schema
+from repro.errors import InvalidIntervalError, SchemaError
+
+
+class TestUnknown:
+    def test_singleton(self):
+        from repro.core.attributes import _Unknown
+
+        assert _Unknown() is UNKNOWN
+
+    def test_repr(self):
+        assert repr(UNKNOWN) == "UNKNOWN"
+
+    def test_pickle_roundtrips_to_singleton(self):
+        assert pickle.loads(pickle.dumps(UNKNOWN)) is UNKNOWN
+
+
+class TestAttributeKind:
+    def test_discrete_is_not_ranged(self):
+        assert not AttributeKind.DISCRETE.is_ranged
+
+    def test_ranges_are_ranged(self):
+        assert AttributeKind.RANGE_CONTINUOUS.is_ranged
+        assert AttributeKind.RANGE_DISCRETE.is_ranged
+
+    def test_proration_constants(self):
+        """Definition 2: C = 0 continuous, C = 1 discrete intervals."""
+        assert AttributeKind.RANGE_CONTINUOUS.proration_constant == 0
+        assert AttributeKind.RANGE_DISCRETE.proration_constant == 1
+        assert AttributeKind.DISCRETE.proration_constant == 0
+
+
+class TestInterval:
+    def test_construction(self):
+        interval = Interval(1, 5)
+        assert interval.low == 1
+        assert interval.high == 5
+
+    def test_reversed_endpoints_raise(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 1)
+
+    def test_point(self):
+        point = Interval.point(3)
+        assert point.low == point.high == 3
+        assert point.is_point
+
+    def test_immutable(self):
+        interval = Interval(0, 1)
+        with pytest.raises(AttributeError):
+            interval.low = 5
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert Interval(1, 2) != Interval(1, 3)
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+        assert Interval(1, 2) != (1, 2)
+
+    def test_unpacking(self):
+        low, high = Interval(3, 7)
+        assert (low, high) == (3, 7)
+
+    def test_overlaps(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+        assert Interval(1, 5).overlaps(Interval(0, 1))
+        assert not Interval(1, 5).overlaps(Interval(6, 9))
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_contains_point(self):
+        interval = Interval(2, 4)
+        assert interval.contains_point(2)
+        assert interval.contains_point(4)
+        assert interval.contains_point(3)
+        assert not interval.contains_point(4.001)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(2, 8))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).contains(Interval(2, 11))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 9)) == Interval(5, 5)
+        assert Interval(0, 5).intersection(Interval(6, 9)) is None
+
+    def test_width(self):
+        assert Interval(2, 5).width() == 3
+        assert Interval(2, 5).width(proration_constant=1) == 4
+        assert Interval(3, 3).width() == 0
+
+    def test_relational_encodings(self):
+        """Paper: 'a predicate x>100 ... is expressed as x in [101, MAX_INT]'."""
+        gt = Interval.greater_than(100)
+        assert gt.low == 101
+        assert gt.high == Interval.MAX_VALUE
+        assert Interval.at_least(2.5) == Interval(2.5, float("inf"))
+        lt = Interval.less_than(100)
+        assert lt.high == 99
+        assert lt.low == Interval.MIN_VALUE
+        assert Interval.at_most(7) == Interval(float("-inf"), 7)
+
+    def test_coerce(self):
+        assert Interval.coerce(5) == Interval(5, 5)
+        assert Interval.coerce((1, 2)) == Interval(1, 2)
+        original = Interval(0, 1)
+        assert Interval.coerce(original) is original
+        with pytest.raises(InvalidIntervalError):
+            Interval.coerce((1, 2, 3))
+
+    def test_repr_roundtrip(self):
+        interval = Interval(1.5, 2.5)
+        assert eval(repr(interval)) == interval  # noqa: S307 - test only
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(-50, 50), st.integers(0, 30),
+    st.integers(-50, 50), st.integers(0, 30),
+)
+def test_property_overlap_symmetric_and_consistent(a_low, a_width, b_low, b_width):
+    """overlaps() is symmetric and agrees with intersection() != None."""
+    a = Interval(a_low, a_low + a_width)
+    b = Interval(b_low, b_low + b_width)
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlaps(b) == (a.intersection(b) is not None)
+
+
+class TestSchema:
+    def test_declare_and_lookup(self):
+        schema = Schema()
+        schema.declare("age", AttributeKind.RANGE_DISCRETE)
+        assert schema.kind_of("age") is AttributeKind.RANGE_DISCRETE
+        assert "age" in schema
+        assert "state" not in schema
+
+    def test_redeclare_same_kind_ok(self):
+        schema = Schema()
+        schema.declare("x", AttributeKind.DISCRETE)
+        schema.declare("x", AttributeKind.DISCRETE)
+        assert len(schema) == 1
+
+    def test_conflicting_redeclare_raises(self):
+        """Paper 4.2: structure selection 'must be consistent'."""
+        schema = Schema()
+        schema.declare("x", AttributeKind.DISCRETE)
+        with pytest.raises(SchemaError):
+            schema.declare("x", AttributeKind.RANGE_CONTINUOUS)
+
+    def test_resolve_pins_first_use(self):
+        schema = Schema()
+        kind = schema.resolve("y", AttributeKind.RANGE_CONTINUOUS)
+        assert kind is AttributeKind.RANGE_CONTINUOUS
+        assert schema.kind_of("y") is AttributeKind.RANGE_CONTINUOUS
+
+    def test_frozen_schema_rejects_new_attributes(self):
+        schema = Schema({"a": AttributeKind.DISCRETE}, frozen=True)
+        schema.declare("a", AttributeKind.DISCRETE)  # re-affirm is fine
+        with pytest.raises(SchemaError):
+            schema.declare("b", AttributeKind.DISCRETE)
+
+    def test_copy_is_independent_and_unfrozen(self):
+        schema = Schema({"a": AttributeKind.DISCRETE}, frozen=True)
+        clone = schema.copy()
+        clone.declare("b", AttributeKind.RANGE_CONTINUOUS)
+        assert "b" in clone
+        assert "b" not in schema
+
+    def test_items(self):
+        schema = Schema({"a": AttributeKind.DISCRETE})
+        assert dict(schema.items()) == {"a": AttributeKind.DISCRETE}

@@ -1,0 +1,271 @@
+"""Budget windows: Definition 4, pacing curves, spend tracking."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import (
+    BudgetTracker,
+    BudgetWindowSpec,
+    BudgetWindowState,
+    LogicalClock,
+    PacingCurve,
+    WallClock,
+)
+from repro.errors import BudgetError, UnknownSubscriptionError
+
+
+class TestClocks:
+    def test_logical_clock_starts_at_zero(self):
+        assert LogicalClock().now() == 0.0
+
+    def test_logical_clock_ticks(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1.0
+        assert clock.tick(2.5) == 3.5
+        assert clock.now() == 3.5
+
+    def test_logical_clock_rejects_backwards(self):
+        with pytest.raises(BudgetError):
+            LogicalClock().tick(-1)
+
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+
+class TestPacingCurve:
+    def test_uniform_by_default(self):
+        assert PacingCurve().is_uniform
+
+    def test_uniform_needs_no_table(self):
+        with pytest.raises(BudgetError):
+            PacingCurve().cumulative_table(0, 10)
+
+    def test_custom_curve_table_monotone(self):
+        curve = PacingCurve(lambda t: t, resolution=16)
+        table = curve.cumulative_table(0.0, 4.0)
+        assert len(table) == 17
+        assert table[0] == 0.0
+        assert all(b >= a for a, b in zip(table, table[1:]))
+        # integral of t over [0,4] = 8; trapezoid on linear g is exact.
+        assert table[-1] == pytest.approx(8.0)
+
+    def test_negative_curve_rejected(self):
+        curve = PacingCurve(lambda t: -1.0)
+        with pytest.raises(BudgetError):
+            curve.cumulative_table(0, 1)
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(BudgetError):
+            PacingCurve(resolution=1)
+
+
+class TestBudgetWindowSpec:
+    def test_valid(self):
+        spec = BudgetWindowSpec(budget=100, window_length=50)
+        assert spec.budget == 100.0
+        assert spec.window_length == 50.0
+        assert spec.curve.is_uniform
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetWindowSpec(budget=0, window_length=1)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetWindowSpec(budget=1, window_length=0)
+
+    def test_immutable(self):
+        spec = BudgetWindowSpec(budget=1, window_length=1)
+        with pytest.raises(AttributeError):
+            spec.budget = 5
+
+
+class TestBudgetWindowState:
+    def spec(self, **kw):
+        kw.setdefault("budget", 100.0)
+        kw.setdefault("window_length", 1000.0)
+        return BudgetWindowSpec(**kw)
+
+    def test_initial_state(self):
+        """Paper 3.2: begin = add time, spent = 0, end = begin + window."""
+        state = BudgetWindowState(self.spec(), begin_time=5.0)
+        assert state.begin_time == 5.0
+        assert state.end_time == 1005.0
+        assert state.spent == 0.0
+        assert not state.exhausted
+
+    def test_ideal_fraction_uniform(self):
+        state = BudgetWindowState(self.spec(), begin_time=0.0)
+        assert state.ideal_fraction(0.0) == 0.0
+        assert state.ideal_fraction(250.0) == pytest.approx(0.25)
+        assert state.ideal_fraction(1000.0) == 1.0
+        assert state.ideal_fraction(5000.0) == 1.0
+        assert state.ideal_fraction(-10.0) == 0.0
+
+    def test_definition4_exact_value(self):
+        """multiplier = (budget/spent) x (partial/total integral)."""
+        state = BudgetWindowState(self.spec(), begin_time=0.0)
+        state.record_spend(50.0)
+        # At t = 500: (100/50) * 0.5 = 1.0 — exactly on pace.
+        assert state.multiplier(500.0) == pytest.approx(1.0)
+        assert state.raw_multiplier(500.0) == pytest.approx(1.0)
+
+    def test_overspending_shrinks_multiplier(self):
+        """Paper 3.2: 'must be less than 1 for subscriptions matching too often'."""
+        state = BudgetWindowState(self.spec(), begin_time=0.0)
+        state.record_spend(80.0)
+        assert state.multiplier(500.0) < 1.0
+
+    def test_underspending_grows_multiplier(self):
+        state = BudgetWindowState(self.spec(), begin_time=0.0)
+        state.record_spend(10.0)
+        assert state.multiplier(500.0) > 1.0
+
+    def test_zero_spend_boosts_to_cap(self):
+        state = BudgetWindowState(self.spec(), begin_time=0.0, max_multiplier=10.0)
+        assert state.multiplier(500.0) == 10.0
+        assert math.isinf(state.raw_multiplier(500.0))
+
+    def test_neutral_before_time_elapses(self):
+        state = BudgetWindowState(self.spec(), begin_time=0.0)
+        assert state.multiplier(0.0) == 1.0
+        assert state.raw_multiplier(0.0) == 1.0
+
+    def test_clamping(self):
+        state = BudgetWindowState(
+            self.spec(), begin_time=0.0, min_multiplier=0.5, max_multiplier=2.0
+        )
+        state.record_spend(1000.0)  # massive overspend
+        assert state.multiplier(999.0) == 0.5
+        state2 = BudgetWindowState(
+            self.spec(), begin_time=0.0, min_multiplier=0.5, max_multiplier=2.0
+        )
+        state2.record_spend(0.001)
+        assert state2.multiplier(999.0) == 2.0
+
+    def test_bad_clamp_bounds_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetWindowState(self.spec(), 0.0, min_multiplier=5.0, max_multiplier=1.0)
+
+    def test_negative_spend_rejected(self):
+        state = BudgetWindowState(self.spec(), 0.0)
+        with pytest.raises(BudgetError):
+            state.record_spend(-1.0)
+
+    def test_exhaustion(self):
+        state = BudgetWindowState(self.spec(budget=2.0), 0.0)
+        state.record_spend()
+        assert not state.exhausted
+        state.record_spend()
+        assert state.exhausted
+
+    def test_custom_pacing_curve_front_loaded(self):
+        """A front-loaded g(t) expects most spend early."""
+        curve = PacingCurve(lambda t: max(0.0, 1000.0 - t), resolution=256)
+        spec = BudgetWindowSpec(budget=100, window_length=1000, curve=curve)
+        state = BudgetWindowState(spec, begin_time=0.0)
+        # Half the window elapsed -> 3/4 of a front-loaded budget is due.
+        assert state.ideal_fraction(500.0) == pytest.approx(0.75, rel=1e-2)
+
+    def test_custom_curve_zero_integral_rejected(self):
+        curve = PacingCurve(lambda t: 0.0, resolution=8)
+        spec = BudgetWindowSpec(budget=1, window_length=10, curve=curve)
+        with pytest.raises(BudgetError):
+            BudgetWindowState(spec, begin_time=0.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(1, 1e6, allow_nan=False),
+    st.floats(0.01, 1e6, allow_nan=False),
+    st.floats(0, 2e6, allow_nan=False),
+)
+def test_property_multiplier_within_clamps(budget, spent, now):
+    """The clamped multiplier never escapes [min, max]."""
+    state = BudgetWindowState(
+        BudgetWindowSpec(budget=budget, window_length=1e6),
+        begin_time=0.0,
+        min_multiplier=0.1,
+        max_multiplier=10.0,
+    )
+    state.record_spend(spent)
+    assert 0.1 <= state.multiplier(now) <= 10.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(1, 1000), st.floats(0.5, 1000), st.floats(1, 999))
+def test_property_on_pace_is_neutral(budget, _unused, now):
+    """Spending exactly the ideal fraction gives multiplier 1."""
+    state = BudgetWindowState(
+        BudgetWindowSpec(budget=budget, window_length=1000.0), begin_time=0.0
+    )
+    ideal = budget * state.ideal_fraction(now)
+    if ideal <= 0:
+        return
+    state.record_spend(ideal)
+    assert state.multiplier(now) == pytest.approx(1.0)
+
+
+class TestBudgetTracker:
+    def test_register_and_multiplier(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        tracker.register("s1", BudgetWindowSpec(budget=10, window_length=100))
+        assert "s1" in tracker
+        assert len(tracker) == 1
+        assert tracker.multiplier("s1") == 1.0  # no time elapsed
+
+    def test_none_spec_not_tracked(self):
+        tracker = BudgetTracker()
+        tracker.register("s1", None)
+        assert "s1" not in tracker
+        assert tracker.multiplier("s1") == 1.0
+
+    def test_record_match_and_clock_interaction(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        tracker.register("s1", BudgetWindowSpec(budget=10, window_length=100))
+        tracker.record_match("s1")
+        clock.tick(50)
+        # spent 1 of 10 at half window: (10/1) * 0.5 = 5.0.
+        assert tracker.multiplier("s1") == pytest.approx(5.0)
+
+    def test_unregister(self):
+        tracker = BudgetTracker()
+        tracker.register("s1", BudgetWindowSpec(budget=1, window_length=1))
+        tracker.unregister("s1")
+        assert "s1" not in tracker
+        tracker.unregister("never-there")  # no-op
+
+    def test_state_of_unknown_raises(self):
+        with pytest.raises(UnknownSubscriptionError):
+            BudgetTracker().state_of("ghost")
+
+    def test_record_match_untracked_is_noop(self):
+        BudgetTracker().record_match("ghost")
+
+    def test_multiplier_bounds_empty(self):
+        assert BudgetTracker().multiplier_bounds() == (1.0, 1.0)
+
+    def test_multiplier_bounds_straddle_one(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        tracker.register("fast", BudgetWindowSpec(budget=10, window_length=100))
+        tracker.register("slow", BudgetWindowSpec(budget=10, window_length=100))
+        tracker.record_match("fast", cost=9)  # way overspent
+        tracker.record_match("slow", cost=0.1)
+        clock.tick(50)
+        low, high = tracker.multiplier_bounds()
+        assert low < 1.0 < high
+
+    def test_tracked_sids(self):
+        tracker = BudgetTracker()
+        tracker.register("a", BudgetWindowSpec(budget=1, window_length=1))
+        tracker.register("b", BudgetWindowSpec(budget=1, window_length=1))
+        assert set(tracker.tracked_sids()) == {"a", "b"}

@@ -1,0 +1,71 @@
+"""Property tests on Definition 4's behaviour."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetWindowSpec, BudgetWindowState, PacingCurve
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(10, 1e4),   # budget
+    st.floats(1, 999),    # now (inside the window)
+    st.floats(0.1, 1e4),  # spend A
+    st.floats(0.1, 1e4),  # spend B
+)
+def test_multiplier_antitone_in_spend(budget, now, spend_a, spend_b):
+    """More spend never raises the multiplier (throttling is monotone)."""
+    low, high = sorted((spend_a, spend_b))
+    assume(low < high)
+    state_low = BudgetWindowState(BudgetWindowSpec(budget=budget, window_length=1000), 0.0)
+    state_high = BudgetWindowState(BudgetWindowSpec(budget=budget, window_length=1000), 0.0)
+    state_low.record_spend(low)
+    state_high.record_spend(high)
+    assert state_high.multiplier(now) <= state_low.multiplier(now) + 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(10, 1e4),
+    st.floats(1, 1e4),
+    st.floats(1, 999),
+    st.floats(1, 999),
+)
+def test_multiplier_monotone_in_time(budget, spend, time_a, time_b):
+    """With fixed spend, waiting never lowers the multiplier."""
+    early, late = sorted((time_a, time_b))
+    state = BudgetWindowState(BudgetWindowSpec(budget=budget, window_length=1000), 0.0)
+    state.record_spend(spend)
+    assert state.multiplier(late) >= state.multiplier(early) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(0, 2000), st.floats(0, 2000))
+def test_ideal_fraction_monotone_and_bounded(time_a, time_b):
+    state = BudgetWindowState(BudgetWindowSpec(budget=10, window_length=1000), 0.0)
+    early, late = sorted((time_a, time_b))
+    fraction_early = state.ideal_fraction(early)
+    fraction_late = state.ideal_fraction(late)
+    assert 0.0 <= fraction_early <= fraction_late <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 6))
+def test_nonuniform_curve_interpolation_matches_analytic(power):
+    """Trapezoid tables track the analytic integral of t^p closely."""
+    curve = PacingCurve(lambda t, p=power: t ** p, resolution=2048)
+    spec = BudgetWindowSpec(budget=10, window_length=1.0, curve=curve)
+    state = BudgetWindowState(spec, begin_time=0.0)
+    for now in (0.1, 0.25, 0.5, 0.75, 0.9):
+        analytic = now ** (power + 1)  # integral_0^now t^p dt / integral_0^1
+        assert state.ideal_fraction(now) == pytest.approx(analytic, rel=5e-3, abs=5e-4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(1, 1e6), st.floats(1, 1e6), st.floats(0, 1e6))
+def test_expired_iff_time_or_budget(budget, window, now):
+    state = BudgetWindowState(BudgetWindowSpec(budget=budget, window_length=window), 0.0)
+    assert state.expired(now) == (now >= window)
+    state.record_spend(budget)
+    assert state.expired(now)

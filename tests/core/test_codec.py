@@ -1,0 +1,221 @@
+"""JSON wire format: exact round-tripping and strict validation."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.budget import BudgetWindowSpec, PacingCurve
+from repro.core.codec import (
+    CodecError,
+    dumps_event,
+    dumps_subscription,
+    event_from_dict,
+    event_to_dict,
+    loads_event,
+    loads_subscription,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+
+
+class TestSubscriptionRoundTrip:
+    def test_basic(self):
+        sub = Subscription(
+            "ad-1",
+            [
+                Constraint("age", Interval(18, 24), 2.0),
+                Constraint("state", "Indiana", 1.0),
+            ],
+        )
+        assert loads_subscription(dumps_subscription(sub)) == sub
+
+    def test_set_constraint(self):
+        sub = Subscription("s", [Constraint("state", {"IN", "IL", "WI"}, 1.0)])
+        assert loads_subscription(dumps_subscription(sub)) == sub
+
+    def test_negative_weights(self):
+        sub = Subscription("s", [Constraint("age", Interval(0, 17), -2.0)])
+        assert loads_subscription(dumps_subscription(sub)) == sub
+
+    def test_infinite_endpoints(self):
+        sub = Subscription("s", [Constraint("x", Interval.at_least(100), 1.0)])
+        restored = loads_subscription(dumps_subscription(sub))
+        assert restored.constraint_on("x").interval() == Interval(100, float("inf"))
+
+    def test_budget_round_trip(self):
+        sub = Subscription(
+            "s",
+            [Constraint("a", 1)],
+            budget=BudgetWindowSpec(budget=100, window_length=5000),
+        )
+        restored = loads_subscription(dumps_subscription(sub))
+        assert restored.budget.budget == 100.0
+        assert restored.budget.window_length == 5000.0
+
+    def test_custom_curve_rejected(self):
+        sub = Subscription(
+            "s",
+            [Constraint("a", 1)],
+            budget=BudgetWindowSpec(
+                budget=1, window_length=1, curve=PacingCurve(lambda t: t)
+            ),
+        )
+        with pytest.raises(CodecError):
+            dumps_subscription(sub)
+
+    def test_wire_format_is_stable_json(self):
+        sub = Subscription("s", [Constraint("a", Interval(1, 2), 0.5)])
+        payload = json.loads(dumps_subscription(sub))
+        assert payload["v"] == 1
+        assert payload["sid"] == "s"
+        assert payload["constraints"][0] == {
+            "a": "a",
+            "value": {"t": "interval", "lo": 1, "hi": 2},
+            "w": 0.5,
+        }
+
+    def test_random_round_trips(self):
+        rng = random.Random(9)
+        for trial in range(30):
+            constraints = []
+            for index in range(rng.randint(1, 6)):
+                kind = rng.randrange(3)
+                if kind == 0:
+                    low = rng.uniform(-100, 100)
+                    value = Interval(low, low + rng.uniform(0, 50))
+                elif kind == 1:
+                    value = f"word-{rng.randint(0, 9)}"
+                else:
+                    value = frozenset(f"m{rng.randint(0, 9)}" for _ in range(3))
+                constraints.append(Constraint(f"a{index}", value, rng.uniform(-2, 2)))
+            sub = Subscription(f"sid-{trial}", constraints)
+            assert loads_subscription(dumps_subscription(sub)) == sub
+
+
+class TestEventRoundTrip:
+    def test_basic(self):
+        event = Event({"age": Interval(18, 29), "state": "Indiana", "x": 5})
+        assert loads_event(dumps_event(event)) == event
+
+    def test_unknown(self):
+        event = Event({"lName": UNKNOWN, "age": 21})
+        restored = loads_event(dumps_event(event))
+        assert restored == event
+        assert not restored.is_known("lName")
+
+    def test_weights(self):
+        event = Event({"a": 1, "b": 2}, weights={"a": 3.0})
+        restored = loads_event(dumps_event(event))
+        assert restored.weight_for("a") == 3.0
+        assert restored.weight_for("b") is None
+
+    def test_bool_scalar(self):
+        event = Event({"genre:12": True})
+        assert loads_event(dumps_event(event)) == event
+
+
+class TestValidation:
+    def test_bad_json(self):
+        with pytest.raises(CodecError):
+            loads_subscription("{not json")
+        with pytest.raises(CodecError):
+            loads_event("[1,2")
+
+    def test_wrong_version(self):
+        with pytest.raises(CodecError):
+            subscription_from_dict({"v": 99, "sid": "s", "constraints": []})
+        with pytest.raises(CodecError):
+            event_from_dict({"v": 99, "values": {"a": {"t": "scalar", "value": 1}}})
+
+    def test_missing_fields(self):
+        with pytest.raises(CodecError):
+            subscription_from_dict({"v": 1, "constraints": [{"a": "x", "value": {}}]})
+        with pytest.raises(CodecError):
+            subscription_from_dict({"v": 1, "sid": "s", "constraints": []})
+        with pytest.raises(CodecError):
+            event_from_dict({"v": 1})
+
+    def test_malformed_values(self):
+        with pytest.raises(CodecError):
+            subscription_from_dict(
+                {"v": 1, "sid": "s", "constraints": [{"a": "x", "value": {"t": "wat"}}]}
+            )
+        with pytest.raises(CodecError):
+            subscription_from_dict(
+                {
+                    "v": 1,
+                    "sid": "s",
+                    "constraints": [
+                        {"a": "x", "value": {"t": "interval", "lo": "a", "hi": 2}}
+                    ],
+                }
+            )
+        with pytest.raises(CodecError):
+            subscription_from_dict(
+                {
+                    "v": 1,
+                    "sid": "s",
+                    "constraints": [{"a": "x", "value": {"t": "set", "members": []}}],
+                }
+            )
+
+    def test_non_object_payloads(self):
+        with pytest.raises(CodecError):
+            subscription_from_dict("not a dict")
+        with pytest.raises(CodecError):
+            event_from_dict(42)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            # interval missing an endpoint
+            {"v": 1, "sid": "s", "constraints": [{"a": "x", "value": {"t": "interval", "lo": 1}}]},
+            # interval with lo > hi
+            {"v": 1, "sid": "s", "constraints": [{"a": "x", "value": {"t": "interval", "lo": 1, "hi": 0}}]},
+            # non-numeric weight
+            {"v": 1, "sid": "s", "constraints": [{"a": "x", "value": {"t": "scalar", "value": 1}, "w": "heavy"}]},
+            # empty attribute name
+            {"v": 1, "sid": "s", "constraints": [{"a": "", "value": {"t": "scalar", "value": 1}}]},
+            # unhashable set member
+            {"v": 1, "sid": "s", "constraints": [{"a": "x", "value": {"t": "set", "members": [[1, 2]]}}]},
+            # invalid budget amount
+            {"v": 1, "sid": "s", "constraints": [{"a": "x", "value": {"t": "scalar", "value": 1}}], "budget": {"budget": -1, "window": 1}},
+            # duplicate attribute
+            {"v": 1, "sid": "s", "constraints": [
+                {"a": "x", "value": {"t": "scalar", "value": 1}},
+                {"a": "x", "value": {"t": "scalar", "value": 2}},
+            ]},
+        ],
+        ids=[
+            "interval-missing-endpoint",
+            "interval-reversed",
+            "string-weight",
+            "empty-attribute",
+            "unhashable-set-member",
+            "negative-budget",
+            "duplicate-attribute",
+        ],
+    )
+    def test_deep_garbage_raises_codec_error_only(self, payload):
+        with pytest.raises(CodecError):
+            subscription_from_dict(payload)
+
+    def test_event_weight_for_absent_attribute_is_codec_error(self):
+        with pytest.raises(CodecError):
+            event_from_dict(
+                {"v": 1, "values": {"a": {"t": "scalar", "value": 1}}, "weights": {"b": 1.0}}
+            )
+
+    def test_matcher_accepts_decoded_subscriptions(self):
+        """Decoded objects feed straight into a matcher — the wire works."""
+        from repro.core.matcher import FXTMMatcher
+
+        sub = Subscription("ad", [Constraint("age", Interval(18, 24), 2.0)])
+        matcher = FXTMMatcher(prorate=True)
+        matcher.add_subscription(loads_subscription(dumps_subscription(sub)))
+        event = loads_event(dumps_event(Event({"age": Interval(20, 22)})))
+        assert matcher.match(event, 1)[0].sid == "ad"

@@ -1,0 +1,194 @@
+"""Concurrency: RW lock semantics, thread-safe wrapper, parallel FX-TM."""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.attributes import Interval
+from repro.core.concurrent import ParallelFXTMMatcher, ReadWriteLock, ThreadSafeMatcher
+from repro.core.budget import BudgetTracker
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.subscriptions import Constraint, Subscription
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+class TestReadWriteLock:
+    def test_multiple_readers(self):
+        lock = ReadWriteLock()
+        active = []
+
+        def reader(index):
+            with lock.read_locked():
+                active.append(index)
+                time.sleep(0.05)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert len(active) == 4
+        # Four 50ms readers overlapping: well under 4 x 50ms serial time.
+        assert elapsed < 0.15
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        log = []
+
+        def writer():
+            with lock.write_locked():
+                log.append("w-start")
+                time.sleep(0.05)
+                log.append("w-end")
+
+        def reader():
+            time.sleep(0.01)  # let the writer in first
+            with lock.read_locked():
+                log.append("r")
+
+        writer_thread = threading.Thread(target=writer)
+        reader_thread = threading.Thread(target=reader)
+        writer_thread.start()
+        reader_thread.start()
+        writer_thread.join()
+        reader_thread.join()
+        assert log == ["w-start", "w-end", "r"]
+
+    def test_writers_mutually_exclusive(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0, "max_inside": 0}
+        inside = [0]
+        guard = threading.Lock()
+
+        def writer():
+            for _ in range(50):
+                with lock.write_locked():
+                    with guard:
+                        inside[0] += 1
+                        counter["max_inside"] = max(counter["max_inside"], inside[0])
+                    counter["value"] += 1
+                    with guard:
+                        inside[0] -= 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 200
+        assert counter["max_inside"] == 1
+
+
+class TestThreadSafeMatcher:
+    def test_transparent_results(self):
+        inner = FXTMMatcher(prorate=True)
+        safe = ThreadSafeMatcher(FXTMMatcher(prorate=True))
+        sub = Subscription("s", [Constraint("a", Interval(0, 10), 1.0)])
+        inner.add_subscription(sub)
+        safe.add_subscription(sub)
+        event = Event({"a": 5})
+        assert safe.match(event, 1) == inner.match(event, 1)
+        assert len(safe) == 1
+        assert "s" in safe
+        assert safe.name == "fx-tm"
+
+    def test_budgeted_matcher_degrades_to_exclusive(self):
+        safe = ThreadSafeMatcher(FXTMMatcher(budget_tracker=BudgetTracker()))
+        assert safe._exclusive_match
+
+    def test_concurrent_churn_never_corrupts(self):
+        """Matches racing adds/cancels: every match returns a consistent
+        snapshot and the final state equals the serial outcome."""
+        rng = random.Random(3)
+        subs = random_subscriptions(rng, 120)
+        safe = ThreadSafeMatcher(FXTMMatcher(prorate=True))
+        for sub in subs[:60]:
+            safe.add_subscription(sub)
+        errors = []
+        stop = threading.Event()
+
+        def matcher_worker():
+            worker_rng = random.Random(99)
+            while not stop.is_set():
+                try:
+                    results = safe.match(random_event(worker_rng), 5)
+                    scores = [r.score for r in results]
+                    assert scores == sorted(scores, reverse=True)
+                except Exception as error:  # pragma: no cover - test guard
+                    errors.append(error)
+                    return
+
+        def churn_worker():
+            try:
+                for sub in subs[60:]:
+                    safe.add_subscription(sub)
+                for sub in subs[:30]:
+                    safe.cancel_subscription(sub.sid)
+            except Exception as error:  # pragma: no cover - test guard
+                errors.append(error)
+
+        matchers = [threading.Thread(target=matcher_worker) for _ in range(3)]
+        churner = threading.Thread(target=churn_worker)
+        for thread in matchers:
+            thread.start()
+        churner.start()
+        churner.join()
+        stop.set()
+        for thread in matchers:
+            thread.join()
+        assert not errors
+        assert len(safe) == 90
+
+
+class TestParallelFXTM:
+    @pytest.mark.parametrize("prorate", [False, True])
+    def test_equals_serial_fxtm(self, prorate):
+        rng = random.Random(7)
+        subs = random_subscriptions(rng, 250, with_sets=True)
+        serial = FXTMMatcher(prorate=prorate)
+        with ParallelFXTMMatcher(max_workers=4, prorate=prorate) as parallel:
+            for sub in subs:
+                serial.add_subscription(sub)
+                parallel.add_subscription(sub)
+            for _ in range(20):
+                event = random_event(rng)
+                assert parallel.match(event, 8) == serial.match(event, 8)
+
+    def test_event_weights(self):
+        rng = random.Random(8)
+        subs = random_subscriptions(rng, 150)
+        serial = FXTMMatcher(prorate=True)
+        with ParallelFXTMMatcher(prorate=True) as parallel:
+            for sub in subs:
+                serial.add_subscription(sub)
+                parallel.add_subscription(sub)
+            for _ in range(10):
+                event = random_event(rng, with_weights=True)
+                got = parallel.match(event, 5)
+                expected = serial.match(event, 5)
+                assert [r.score for r in got] == pytest.approx(
+                    [r.score for r in expected]
+                )
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelFXTMMatcher(max_workers=0)
+
+    def test_usable_after_close_serially_fails_gracefully(self):
+        parallel = ParallelFXTMMatcher()
+        parallel.add_subscription(
+            Subscription("s", [Constraint("a", Interval(0, 10), 1.0)])
+        )
+        parallel.close()
+        with pytest.raises(RuntimeError):
+            parallel.match(Event({"a": 5}), 1)

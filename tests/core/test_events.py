@@ -1,0 +1,118 @@
+"""Event construction, UNKNOWN handling, and weights."""
+
+import pytest
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.events import Event
+from repro.errors import InvalidEventError
+
+
+class TestConstruction:
+    def test_basic(self):
+        event = Event({"age": Interval(18, 29), "state": "Indiana"})
+        assert set(event.attributes) == {"age", "state"}
+        assert event.size == 2
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event({})
+
+    def test_bad_attribute_name_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event({"": 1})
+        with pytest.raises(InvalidEventError):
+            Event({42: 1})
+
+    def test_immutable(self):
+        event = Event({"a": 1})
+        with pytest.raises(AttributeError):
+            event._values = {}
+
+    def test_weight_for_absent_attribute_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event({"a": 1}, weights={"b": 1.0})
+
+    def test_non_numeric_weight_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event({"a": 1}, weights={"a": "heavy"})
+
+    def test_paper_intro_example(self):
+        """{fName: Jack, lName: UNKNOWN, age: [18..29], state: Indiana}."""
+        event = Event(
+            {
+                "fName": "Jack",
+                "lName": UNKNOWN,
+                "age": Interval(18, 29),
+                "state": "Indiana",
+            }
+        )
+        assert event.is_known("fName")
+        assert not event.is_known("lName")
+        assert event.interval_of("age") == Interval(18, 29)
+
+
+class TestAccessors:
+    def test_value_of(self):
+        event = Event({"a": 5})
+        assert event.value_of("a") == 5
+        with pytest.raises(KeyError):
+            event.value_of("b")
+
+    def test_is_known_for_missing_attribute(self):
+        event = Event({"a": 1})
+        assert not event.is_known("zzz")
+
+    def test_known_items_skips_unknown(self):
+        event = Event({"a": 1, "b": UNKNOWN, "c": "x"})
+        assert dict(event.known_items()) == {"a": 1, "c": "x"}
+
+    def test_interval_of_coerces_numbers(self):
+        event = Event({"a": 7})
+        assert event.interval_of("a") == Interval(7, 7)
+
+    def test_interval_of_unknown_raises(self):
+        event = Event({"a": UNKNOWN})
+        with pytest.raises(InvalidEventError):
+            event.interval_of("a")
+
+    def test_interval_of_discrete_raises(self):
+        event = Event({"a": "word"})
+        with pytest.raises(InvalidEventError):
+            event.interval_of("a")
+
+    def test_weights(self):
+        event = Event({"a": 1, "b": 2}, weights={"a": 3.0})
+        assert event.has_weights
+        assert event.weight_for("a") == 3.0
+        assert event.weight_for("b") is None
+
+    def test_no_weights(self):
+        event = Event({"a": 1})
+        assert not event.has_weights
+        assert event.weight_for("a") is None
+
+
+class TestValueProtocol:
+    def test_equality(self):
+        a = Event({"x": Interval(1, 2)})
+        b = Event({"x": Interval(1, 2)})
+        assert a == b
+        assert not (a != b)
+
+    def test_inequality_on_weights(self):
+        a = Event({"x": 1}, weights={"x": 1.0})
+        b = Event({"x": 1})
+        assert a != b
+
+    def test_hash_consistency(self):
+        a = Event({"x": 1, "y": "s"})
+        b = Event({"y": "s", "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_to_other_types(self):
+        assert Event({"x": 1}).__eq__(42) is NotImplemented
+
+    def test_repr_mentions_weights(self):
+        assert "weights" in repr(Event({"x": 1}, weights={"x": 2.0}))
+        assert "weights" not in repr(Event({"x": 1}))

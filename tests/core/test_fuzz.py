@@ -1,0 +1,101 @@
+"""Fuzzing the text and wire decoders: garbage in, typed errors out.
+
+A parser that raises ``KeyError`` or ``IndexError`` on malformed input
+leaks implementation details into callers' error handling; every decoder
+in this library must either succeed or raise its own
+:class:`~repro.errors.ReproError` subclass.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import CodecError, event_from_dict, subscription_from_dict
+from repro.core.parser import ParseError, parse_event, parse_subscription
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_parse_subscription_never_leaks(text):
+    try:
+        parse_subscription("sid", text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_parse_event_never_leaks(text):
+    try:
+        parse_event(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.text(
+        alphabet="abc[]{}(),.:=<>@'\" 0123456789andinUNKNOWN∧&",
+        max_size=80,
+    )
+)
+def test_parse_grammar_alphabet_never_leaks(text):
+    """Even strings built from the grammar's own alphabet stay typed."""
+    for parse in (lambda: parse_subscription("s", text), lambda: parse_event(text)):
+        try:
+            parse()
+        except ParseError:
+            pass
+
+
+# JSON-ish structures to throw at the wire decoders.
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-10, 10),
+        st.floats(-5, 5, allow_nan=False),
+        st.text(max_size=8),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_values)
+def test_subscription_decoder_never_leaks(payload):
+    try:
+        subscription_from_dict(payload)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_values)
+def test_event_decoder_never_leaks(payload):
+    try:
+        event_from_dict(payload)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["v", "sid", "constraints", "budget", "extra"]),
+        json_values,
+        max_size=5,
+    )
+)
+def test_subscription_decoder_shaped_garbage(payload):
+    """Payloads with the right top-level keys but wrong innards."""
+    try:
+        subscription_from_dict(payload)
+    except CodecError:
+        pass

@@ -1,0 +1,119 @@
+"""The TopKMatcher template: lifecycle shared by every algorithm."""
+
+import pytest
+
+from repro.core.attributes import Interval, Schema
+from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock, WallClock
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.core.results import MatchResult
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import DuplicateSubscriptionError, UnknownSubscriptionError
+
+
+class RecordingMatcher(TopKMatcher):
+    """Minimal concrete matcher that records the template's calls."""
+
+    name = "recording"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.indexed = []
+        self.deindexed = []
+        self.matched = []
+
+    def _index_subscription(self, subscription):
+        self.indexed.append(subscription.sid)
+
+    def _deindex_subscription(self, subscription):
+        self.deindexed.append(subscription.sid)
+
+    def _match_topk(self, event, k):
+        self.matched.append((event, k))
+        return [MatchResult(sid, 1.0) for sid in list(self.subscriptions)[:k]]
+
+
+def sub(sid, budget=None):
+    return Subscription(sid, [Constraint("a", Interval(0, 1))], budget=budget)
+
+
+class TestLifecycle:
+    def test_add_indexes_once(self):
+        matcher = RecordingMatcher()
+        matcher.add_subscription(sub("s1"))
+        assert matcher.indexed == ["s1"]
+        assert len(matcher) == 1
+
+    def test_duplicate_add_does_not_index(self):
+        matcher = RecordingMatcher()
+        matcher.add_subscription(sub("s1"))
+        with pytest.raises(DuplicateSubscriptionError):
+            matcher.add_subscription(sub("s1"))
+        assert matcher.indexed == ["s1"]
+        assert len(matcher) == 1
+
+    def test_cancel_deindexes(self):
+        matcher = RecordingMatcher()
+        matcher.add_subscription(sub("s1"))
+        matcher.cancel_subscription("s1")
+        assert matcher.deindexed == ["s1"]
+        assert len(matcher) == 0
+
+    def test_cancel_unknown_touches_nothing(self):
+        matcher = RecordingMatcher()
+        with pytest.raises(UnknownSubscriptionError):
+            matcher.cancel_subscription("ghost")
+        assert matcher.deindexed == []
+
+    def test_match_validates_k(self):
+        matcher = RecordingMatcher()
+        with pytest.raises(ValueError):
+            matcher.match(Event({"a": 1}), 0)
+        assert matcher.matched == []
+
+    def test_default_schema_created(self):
+        assert isinstance(RecordingMatcher().schema, Schema)
+
+    def test_repr_contains_size(self):
+        matcher = RecordingMatcher()
+        matcher.add_subscription(sub("s1"))
+        assert "N=1" in repr(matcher)
+
+
+class TestBudgetTemplate:
+    def test_budget_registration_and_unregistration(self):
+        tracker = BudgetTracker(clock=LogicalClock())
+        matcher = RecordingMatcher(budget_tracker=tracker)
+        matcher.add_subscription(
+            sub("paced", budget=BudgetWindowSpec(budget=5, window_length=10))
+        )
+        assert "paced" in tracker
+        matcher.cancel_subscription("paced")
+        assert "paced" not in tracker
+
+    def test_settle_charges_winners_and_ticks(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        matcher = RecordingMatcher(budget_tracker=tracker)
+        matcher.add_subscription(
+            sub("w1", budget=BudgetWindowSpec(budget=5, window_length=10))
+        )
+        matcher.add_subscription(
+            sub("w2", budget=BudgetWindowSpec(budget=5, window_length=10))
+        )
+        matcher.match(Event({"a": 1}), 2)
+        assert tracker.state_of("w1").spent == 1.0
+        assert tracker.state_of("w2").spent == 1.0
+        assert clock.now() == 1.0
+
+    def test_wall_clock_not_ticked(self):
+        tracker = BudgetTracker(clock=WallClock())
+        matcher = RecordingMatcher(budget_tracker=tracker)
+        matcher.add_subscription(sub("s"))
+        matcher.match(Event({"a": 1}), 1)  # must not raise
+
+    def test_no_tracker_no_settling(self):
+        matcher = RecordingMatcher()
+        matcher.add_subscription(sub("s"))
+        results = matcher.match(Event({"a": 1}), 1)
+        assert results == [MatchResult("s", 1.0)]

@@ -1,0 +1,327 @@
+"""FX-TM matcher: Algorithm 1 (add/cancel) and Algorithm 2 (matching)."""
+
+import pytest
+
+from repro.core.attributes import UNKNOWN, AttributeKind, Interval, Schema
+from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher, _DiscreteAttributeIndex, _RangedAttributeIndex
+from repro.core.scoring import MAX
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import (
+    DuplicateSubscriptionError,
+    SchemaError,
+    UnknownSubscriptionError,
+)
+
+
+def sub(sid, *constraints, budget=None):
+    return Subscription(sid, list(constraints), budget=budget)
+
+
+class TestSubscriptionLifecycle:
+    def test_add_creates_structures(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            sub("s1", Constraint("age", Interval(1, 2)), Constraint("state", "IN"))
+        )
+        assert len(matcher) == 1
+        assert isinstance(matcher._master_index["age"], _RangedAttributeIndex)
+        assert isinstance(matcher._master_index["state"], _DiscreteAttributeIndex)
+
+    def test_add_duplicate_sid_raises(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", 1)))
+        with pytest.raises(DuplicateSubscriptionError):
+            matcher.add_subscription(sub("s1", Constraint("b", 2)))
+
+    def test_cancel_removes_empty_structures(self):
+        """Paper 4.3: 'Empty structures may be removed from the master index.'"""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(1, 2))))
+        matcher.cancel_subscription("s1")
+        assert "a" not in matcher._master_index
+        assert len(matcher) == 0
+
+    def test_cancel_keeps_shared_structures(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(1, 2))))
+        matcher.add_subscription(sub("s2", Constraint("a", Interval(3, 4))))
+        matcher.cancel_subscription("s1")
+        assert "a" in matcher._master_index
+        assert len(matcher._master_index["a"]) == 1
+
+    def test_cancel_unknown_raises(self):
+        with pytest.raises(UnknownSubscriptionError):
+            FXTMMatcher().cancel_subscription("ghost")
+
+    def test_cancel_returns_subscription(self):
+        matcher = FXTMMatcher()
+        original = sub("s1", Constraint("a", 1))
+        matcher.add_subscription(original)
+        assert matcher.cancel_subscription("s1") is original
+
+    def test_get_subscription(self):
+        matcher = FXTMMatcher()
+        original = sub("s1", Constraint("a", 1))
+        matcher.add_subscription(original)
+        assert matcher.get_subscription("s1") is original
+        with pytest.raises(UnknownSubscriptionError):
+            matcher.get_subscription("nope")
+
+    def test_contains(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", 1)))
+        assert "s1" in matcher
+        assert "s2" not in matcher
+
+    def test_readd_after_cancel(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(1, 2))))
+        matcher.cancel_subscription("s1")
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(5, 6))))
+        results = matcher.match(Event({"a": Interval(5, 5)}), k=1)
+        assert results[0].sid == "s1"
+
+    def test_schema_conflict_raises(self):
+        schema = Schema({"a": AttributeKind.RANGE_CONTINUOUS})
+        matcher = FXTMMatcher(schema=schema)
+        with pytest.raises(SchemaError):
+            matcher.add_subscription(sub("s1", Constraint("a", "discrete-word")))
+
+    def test_rejected_add_leaves_matcher_untouched(self):
+        """Exception safety: a schema conflict on the *second* constraint
+        must not leave the first constraint half-indexed."""
+        schema = Schema({"b": AttributeKind.RANGE_CONTINUOUS})
+        matcher = FXTMMatcher(schema=schema)
+        matcher.add_subscription(sub("ok", Constraint("a", Interval(0, 10), 1.0)))
+        with pytest.raises(SchemaError):
+            matcher.add_subscription(
+                sub(
+                    "bad",
+                    Constraint("a", Interval(0, 10), 1.0),
+                    Constraint("b", "discrete-word"),
+                )
+            )
+        assert "bad" not in matcher
+        assert len(matcher) == 1
+        # The 'a' structure holds exactly the surviving subscription.
+        results = matcher.match(Event({"a": 5}), k=10)
+        assert [r.sid for r in results] == ["ok"]
+
+    def test_rejected_add_unregisters_budget(self):
+        from repro.core.budget import BudgetTracker, BudgetWindowSpec
+
+        schema = Schema({"b": AttributeKind.RANGE_CONTINUOUS})
+        tracker = BudgetTracker()
+        matcher = FXTMMatcher(schema=schema, budget_tracker=tracker)
+        with pytest.raises(SchemaError):
+            matcher.add_subscription(
+                Subscription(
+                    "bad",
+                    [Constraint("b", "word")],
+                    budget=BudgetWindowSpec(budget=10, window_length=10),
+                )
+            )
+        assert "bad" not in tracker
+
+
+class TestMatching:
+    def test_invalid_k(self):
+        matcher = FXTMMatcher()
+        with pytest.raises(ValueError):
+            matcher.match(Event({"a": 1}), k=0)
+
+    def test_empty_matcher_returns_nothing(self):
+        assert FXTMMatcher().match(Event({"a": 1}), k=5) == []
+
+    def test_single_match(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 2.0)))
+        results = matcher.match(Event({"a": 5}), k=3)
+        assert results == [("s1", 2.0)]
+
+    def test_results_best_first(self):
+        matcher = FXTMMatcher()
+        for index, weight in enumerate((1.0, 3.0, 2.0)):
+            matcher.add_subscription(sub(f"s{index}", Constraint("a", Interval(0, 10), weight)))
+        results = matcher.match(Event({"a": 5}), k=3)
+        assert [r.sid for r in results] == ["s1", "s2", "s0"]
+
+    def test_k_truncates(self):
+        matcher = FXTMMatcher()
+        for index in range(10):
+            matcher.add_subscription(
+                sub(f"s{index}", Constraint("a", Interval(0, 10), 1.0 + index))
+            )
+        assert len(matcher.match(Event({"a": 5}), k=4)) == 4
+
+    def test_fewer_matches_than_k(self):
+        """Definition 3 allows returning fewer than k results."""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 1), 1.0)))
+        assert len(matcher.match(Event({"a": 0.5}), k=10)) == 1
+
+    def test_partial_matching_sums_only_matched(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            sub(
+                "s1",
+                Constraint("a", Interval(0, 10), 2.0),
+                Constraint("b", Interval(0, 10), 4.0),
+            )
+        )
+        results = matcher.match(Event({"a": 5, "b": 99}), k=1)
+        assert results[0].score == 2.0
+
+    def test_negative_total_excluded_by_default(self):
+        """Definition 3: members need score > 0."""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), -1.0)))
+        assert matcher.match(Event({"a": 5}), k=5) == []
+
+    def test_include_nonpositive_flag(self):
+        matcher = FXTMMatcher(include_nonpositive=True)
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), -1.0)))
+        results = matcher.match(Event({"a": 5}), k=5)
+        assert results == [("s1", -1.0)]
+
+    def test_mixed_sign_weights(self):
+        """Paper 1.1(c): non-monotonic aggregation native to FX-TM."""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            sub(
+                "pol",
+                Constraint("income", Interval(50_000, 200_000), 1.0),
+                Constraint("age", Interval(0, 17), -2.0),
+            )
+        )
+        adult = Event({"income": 80_000, "age": 30})
+        minor = Event({"income": 80_000, "age": 15})
+        assert matcher.match(adult, k=1)[0].score == 1.0
+        assert matcher.match(minor, k=1) == []  # 1.0 - 2.0 < 0
+
+    def test_unknown_event_attribute_skipped(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            sub("s1", Constraint("a", Interval(0, 10), 1.0), Constraint("b", Interval(0, 10), 1.0))
+        )
+        results = matcher.match(Event({"a": 5, "b": UNKNOWN}), k=1)
+        assert results[0].score == 1.0
+
+    def test_event_attribute_without_structure_ignored(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        results = matcher.match(Event({"a": 5, "unindexed": 7}), k=1)
+        assert results[0].score == 1.0
+
+    def test_discrete_attribute_matching(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("state", "IN", 1.5)))
+        assert matcher.match(Event({"state": "IN"}), k=1)[0].score == 1.5
+        assert matcher.match(Event({"state": "IL"}), k=1) == []
+
+    def test_set_constraint_matches_any_member_once(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("state", {"IN", "IL", "WI"}, 2.0)))
+        for state in ("IN", "IL", "WI"):
+            results = matcher.match(Event({"state": state}), k=1)
+            assert results[0].score == 2.0
+        assert matcher.match(Event({"state": "OH"}), k=1) == []
+
+    def test_proration(self):
+        matcher = FXTMMatcher(prorate=True)
+        matcher.add_subscription(sub("s1", Constraint("age", Interval(18, 24), 1.0)))
+        results = matcher.match(Event({"age": Interval(20, 30)}), k=1)
+        assert results[0].score == pytest.approx(0.4)
+
+    def test_proration_discrete_interval_constant(self):
+        schema = Schema({"year": AttributeKind.RANGE_DISCRETE})
+        matcher = FXTMMatcher(schema=schema, prorate=True)
+        matcher.add_subscription(sub("s1", Constraint("year", Interval(2000, 2004), 1.0)))
+        results = matcher.match(Event({"year": Interval(2003, 2006)}), k=1)
+        # overlap [2003,2004] = 2 integers; event [2003,2006] = 4 -> 0.5.
+        assert results[0].score == pytest.approx(0.5)
+
+    def test_event_weights_override(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            sub("s1", Constraint("a", Interval(0, 10), 1.0), Constraint("b", Interval(0, 10), 1.0))
+        )
+        results = matcher.match(Event({"a": 5, "b": 5}, weights={"a": 5.0, "b": 0.5}), k=1)
+        assert results[0].score == pytest.approx(5.5)
+
+    def test_max_aggregation(self):
+        matcher = FXTMMatcher(aggregation=MAX)
+        matcher.add_subscription(
+            sub("s1", Constraint("a", Interval(0, 10), 1.0), Constraint("b", Interval(0, 10), 3.0))
+        )
+        assert matcher.match(Event({"a": 5, "b": 5}), k=1)[0].score == 3.0
+
+    def test_tie_handling_is_deterministic(self):
+        matcher = FXTMMatcher()
+        for sid in ("b", "a", "c", "d"):
+            matcher.add_subscription(sub(sid, Constraint("x", Interval(0, 10), 1.0)))
+        first = matcher.match(Event({"x": 5}), k=2)
+        second = matcher.match(Event({"x": 5}), k=2)
+        assert first == second
+        assert len(first) == 2
+
+    def test_point_event_values(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        assert matcher.match(Event({"a": 10}), k=1)[0].sid == "s1"
+        assert matcher.match(Event({"a": 10.001}), k=1) == []
+
+
+class TestBudgetIntegration:
+    def test_budget_multiplier_applied(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        matcher = FXTMMatcher(budget_tracker=tracker)
+        matcher.add_subscription(
+            sub(
+                "s1",
+                Constraint("a", Interval(0, 10), 1.0),
+                budget=BudgetWindowSpec(budget=10, window_length=100),
+            )
+        )
+        event = Event({"a": 5})
+        first = matcher.match(event, k=1)
+        assert first[0].score == 1.0  # no time elapsed: neutral
+        # One spend recorded, clock ticked once by the settle step.
+        assert tracker.state_of("s1").spent == 1.0
+        assert clock.now() == 1.0
+
+    def test_overspent_subscription_loses_rank(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        matcher = FXTMMatcher(budget_tracker=tracker)
+        matcher.add_subscription(
+            sub(
+                "paced",
+                Constraint("a", Interval(0, 10), 1.0),
+                budget=BudgetWindowSpec(budget=2, window_length=1_000_000),
+            )
+        )
+        matcher.add_subscription(sub("steady", Constraint("a", Interval(0, 10), 0.9)))
+        event = Event({"a": 5})
+        # Burn the paced subscription's budget quickly.
+        for _ in range(30):
+            matcher.match(event, k=2)
+        results = matcher.match(event, k=2)
+        # The paced subscription overspent early (2-match budget over a
+        # huge window): its multiplier collapses below steady's raw 0.9.
+        assert results[0].sid == "steady"
+
+    def test_clock_ticks_once_per_match(self):
+        clock = LogicalClock()
+        matcher = FXTMMatcher(budget_tracker=BudgetTracker(clock=clock))
+        matcher.add_subscription(sub("s1", Constraint("a", Interval(0, 10), 1.0)))
+        for _ in range(5):
+            matcher.match(Event({"a": 5}), k=1)
+        assert clock.now() == 5.0
+
+    def test_budget_multiplier_without_tracker_is_one(self):
+        matcher = FXTMMatcher()
+        assert matcher.budget_multiplier("anything") == 1.0

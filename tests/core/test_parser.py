@@ -1,0 +1,170 @@
+"""The textual subscription/event grammar."""
+
+import pytest
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.budget import BudgetWindowSpec
+from repro.core.parser import ParseError, parse_constraint, parse_event, parse_subscription
+
+
+class TestConstraintForms:
+    def test_interval_comma(self):
+        constraint = parse_constraint("age in [18, 24]")
+        assert constraint.attribute == "age"
+        assert constraint.value == Interval(18, 24)
+        assert constraint.weight == 1.0
+
+    def test_interval_dotdot(self):
+        assert parse_constraint("age in [18 .. 24]").value == Interval(18, 24)
+
+    def test_weight_suffix(self):
+        assert parse_constraint("age in [1, 2] : 2.5").weight == 2.5
+
+    def test_negative_weight(self):
+        assert parse_constraint("age in [1, 2] : -0.5").weight == -0.5
+
+    def test_default_weight_override(self):
+        assert parse_constraint("age in [1, 2]", default_weight=3.0).weight == 3.0
+
+    def test_set_membership(self):
+        constraint = parse_constraint("state in {Indiana, Illinois}")
+        assert constraint.value == frozenset({"Indiana", "Illinois"})
+
+    def test_set_of_numbers(self):
+        assert parse_constraint("zip in {47906, 47907}").value == frozenset({47906, 47907})
+
+    def test_equality_number_becomes_point(self):
+        assert parse_constraint("x = 5").value == Interval(5, 5)
+        assert parse_constraint("x == 5").value == Interval(5, 5)
+
+    def test_equality_word_stays_discrete(self):
+        assert parse_constraint("state = Indiana").value == "Indiana"
+
+    def test_quoted_string_value(self):
+        assert parse_constraint("name = 'Jack Sparrow'").value == "Jack Sparrow"
+        assert parse_constraint('name = "Jack"').value == "Jack"
+
+    def test_strict_greater_integer_encoding(self):
+        """Paper 3.1: x > 100 is x in [101, MAX_INT]."""
+        constraint = parse_constraint("x > 100")
+        assert constraint.value == Interval(101, float("inf"))
+
+    def test_relational_operators(self):
+        assert parse_constraint("x >= 2.5").value == Interval(2.5, float("inf"))
+        assert parse_constraint("x < 10").value == Interval(float("-inf"), 9)
+        assert parse_constraint("x <= 10.5").value == Interval(float("-inf"), 10.5)
+
+    def test_strict_on_float_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("x > 1.5")
+
+    def test_float_endpoints(self):
+        assert parse_constraint("x in [1.5, 2.5]").value == Interval(1.5, 2.5)
+
+    def test_negative_endpoints(self):
+        assert parse_constraint("x in [-5, -2]").value == Interval(-5, -2)
+
+
+class TestSubscriptionPredicates:
+    def test_single_constraint(self):
+        sub = parse_subscription("s1", "age in [1, 2]")
+        assert sub.sid == "s1"
+        assert sub.size == 1
+
+    def test_and_chain(self):
+        sub = parse_subscription(
+            "s1", "age in [18, 24] : 2.0 and state in {Indiana} : 1.0 and x > 5"
+        )
+        assert sub.size == 3
+        assert sub.attributes == ("age", "state", "x")
+
+    def test_alternative_and_spellings(self):
+        assert parse_subscription("s", "a in [1,2] && b in [3,4]").size == 2
+        assert parse_subscription("s", "a in [1,2] ∧ b in [3,4]").size == 2
+        assert parse_subscription("s", "a in [1,2] AND b in [3,4]").size == 2
+
+    def test_budget_passthrough(self):
+        spec = BudgetWindowSpec(budget=10, window_length=100)
+        sub = parse_subscription("s", "a in [1,2]", budget=spec)
+        assert sub.budget is spec
+
+    def test_paper_example(self):
+        """(age in [18,24] AND state in {Indiana, Illinois, Wisconsin})."""
+        sub = parse_subscription(
+            "spring-break",
+            "age in [18, 24] and state in {Indiana, Illinois, Wisconsin}",
+        )
+        assert sub.constraint_on("age").value == Interval(18, 24)
+        assert sub.constraint_on("state").value == frozenset(
+            {"Indiana", "Illinois", "Wisconsin"}
+        )
+
+    def test_garbage_between_constraints_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("s", "a in [1,2] or b in [3,4]")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("s", "a in [1,2] extra")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("s", "")
+
+    def test_unterminated_interval_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("s", "a in [1, 2")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_subscription("s", "a in [1, 2] ?? b")
+        assert "position" in str(excinfo.value)
+
+
+class TestEventSyntax:
+    def test_basic(self):
+        event = parse_event("age: [18 .. 29], state: Indiana")
+        assert event.interval_of("age") == Interval(18, 29)
+        assert event.value_of("state") == "Indiana"
+
+    def test_unknown_keyword(self):
+        """Paper's example: lName: UNKNOWN."""
+        event = parse_event("lName: UNKNOWN, age: 21")
+        assert not event.is_known("lName")
+        assert event.is_known("age")
+
+    def test_numbers_and_strings(self):
+        event = parse_event("x: 5, y: 2.5, name: 'a b'")
+        assert event.value_of("x") == 5
+        assert event.value_of("y") == 2.5
+        assert event.value_of("name") == "a b"
+
+    def test_event_weights(self):
+        """Paper 3.1: events may carry weights overriding subscriptions."""
+        event = parse_event("age: [18..29] @ 2.0, state: Indiana")
+        assert event.has_weights
+        assert event.weight_for("age") == 2.0
+        assert event.weight_for("state") is None
+
+    def test_missing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_event("a: 1 b: 2")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_event("a:")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ParseError):
+            parse_event("a: 1 @ heavy")
+
+    def test_roundtrip_through_matcher(self):
+        from repro.core.matcher import FXTMMatcher
+
+        matcher = FXTMMatcher(prorate=True)
+        matcher.add_subscription(
+            parse_subscription("ad", "age in [18, 24] : 2.0 and state in {Indiana} : 1.0")
+        )
+        results = matcher.match(parse_event("age: [20 .. 30], state: Indiana"), k=1)
+        assert results[0].sid == "ad"
+        assert results[0].score == pytest.approx(0.4 * 2.0 + 1.0)

@@ -1,0 +1,161 @@
+"""Grammar renderers: model -> text -> model round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.events import Event
+from repro.core.parser import (
+    ParseError,
+    parse_event,
+    parse_subscription,
+    render_event,
+    render_subscription,
+)
+from repro.core.subscriptions import Constraint, Subscription
+
+
+class TestRenderSubscription:
+    def test_interval_constraint(self):
+        sub = Subscription("s", [Constraint("age", Interval(18, 24), 2.0)])
+        assert render_subscription(sub) == "age in [18, 24] : 2.0"
+
+    def test_set_constraint_sorted(self):
+        sub = Subscription("s", [Constraint("st", {"b", "a"}, 1.0)])
+        assert render_subscription(sub) == "st in {a, b} : 1.0"
+
+    def test_open_ended_intervals_use_relational_forms(self):
+        sub = Subscription(
+            "s",
+            [
+                Constraint("hi", Interval.at_least(100), 1.0),
+                Constraint("lo", Interval.at_most(5.5), 1.0),
+            ],
+        )
+        text = render_subscription(sub)
+        assert "hi >= 100" in text
+        assert "lo <= 5.5" in text
+
+    def test_fully_unbounded_rejected(self):
+        sub = Subscription(
+            "s", [Constraint("x", Interval(float("-inf"), float("inf")), 1.0)]
+        )
+        with pytest.raises(ParseError):
+            render_subscription(sub)
+
+    def test_discrete_equality(self):
+        sub = Subscription("s", [Constraint("state", "Indiana", 0.5)])
+        assert render_subscription(sub) == "state = Indiana : 0.5"
+
+    def test_string_with_spaces_quoted(self):
+        sub = Subscription("s", [Constraint("name", "Jack Sparrow", 1.0)])
+        assert "'Jack Sparrow'" in render_subscription(sub)
+
+    def test_round_trip(self):
+        sub = Subscription(
+            "s",
+            [
+                Constraint("age", Interval(18, 24), 2.0),
+                Constraint("state", {"IN", "IL"}, -1.5),
+                Constraint("income", Interval.at_least(40000), 0.25),
+            ],
+        )
+        assert parse_subscription("s", render_subscription(sub)) == sub
+
+
+class TestRenderEvent:
+    def test_basic(self):
+        event = Event({"age": Interval(18, 29), "state": "Indiana"})
+        text = render_event(event)
+        assert "age: [18 .. 29]" in text
+        assert "state: Indiana" in text
+
+    def test_unknown(self):
+        assert "lName: UNKNOWN" in render_event(Event({"lName": UNKNOWN, "a": 1}))
+
+    def test_weights(self):
+        event = Event({"age": Interval(1, 2)}, weights={"age": 3.0})
+        assert "@ 3.0" in render_event(event)
+
+    def test_round_trip(self):
+        event = Event(
+            {"age": Interval(18.5, 29.0), "state": "Indiana", "x": 5, "u": UNKNOWN},
+            weights={"age": 2.0, "x": 0.5},
+        )
+        assert parse_event(render_event(event)) == event
+
+
+# ----------------------------------------------------------------------
+# Property: anything the model can express (within grammar limits)
+# round-trips exactly.
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(-1000, 1000, allow_nan=False).filter(lambda x: x == x),
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyzABC _-.",
+        min_size=1,
+        max_size=12,
+    ).filter(lambda s: s.strip() == s and s != "UNKNOWN" and "'" not in s),
+)
+
+renderable_values = st.one_of(
+    st.tuples(st.integers(-500, 500), st.integers(0, 100)).map(
+        lambda pair: Interval(pair[0], pair[0] + pair[1])
+    ),
+    st.integers(-100, 100).map(lambda v: Interval.at_least(v)),
+    st.integers(-100, 100).map(lambda v: Interval.at_most(v)),
+    st.sampled_from(["alpha", "beta", "gamma", "two words"]),
+    st.sets(st.sampled_from(["m1", "m2", "m3", "m4"]), min_size=1, max_size=3).map(
+        frozenset
+    ),
+)
+
+
+@st.composite
+def renderable_subscriptions(draw):
+    count = draw(st.integers(1, 5))
+    constraints = []
+    for index in range(count):
+        value = draw(renderable_values)
+        weight = draw(st.floats(-5, 5, allow_nan=False))
+        constraints.append(Constraint(f"attr{index}", value, weight))
+    return Subscription("sid", constraints)
+
+
+@settings(max_examples=100, deadline=None)
+@given(renderable_subscriptions())
+def test_property_subscription_round_trip(sub):
+    assert parse_subscription("sid", render_subscription(sub)) == sub
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.one_of(
+            st.tuples(st.integers(-100, 100), st.integers(0, 50)).map(
+                lambda pair: Interval(pair[0], pair[0] + pair[1])
+            ),
+            st.sampled_from(["x", "y", "hello world"]),
+            st.integers(-50, 50),
+            st.just(UNKNOWN),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    st.data(),
+)
+def test_property_event_round_trip(values, data):
+    known = [name for name, value in values.items() if value is not UNKNOWN]
+    weights = None
+    if known and data.draw(st.booleans()):
+        weighted = data.draw(
+            st.lists(st.sampled_from(known), unique=True, min_size=1)
+        )
+        weights = {
+            name: data.draw(st.floats(0.1, 9.9, allow_nan=False)) for name in weighted
+        }
+    event = Event(values, weights=weights)
+    assert parse_event(render_event(event)) == event

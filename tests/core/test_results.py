@@ -1,0 +1,31 @@
+"""Result ordering and determinism."""
+
+from repro.core.results import MatchResult, sort_results
+
+
+class TestSortResults:
+    def test_best_first(self):
+        results = [MatchResult("a", 1.0), MatchResult("b", 3.0), MatchResult("c", 2.0)]
+        assert [r.sid for r in sort_results(results)] == ["b", "c", "a"]
+
+    def test_ties_break_deterministically(self):
+        results = [MatchResult("b", 1.0), MatchResult("a", 1.0)]
+        once = sort_results(list(results))
+        twice = sort_results(list(reversed(results)))
+        assert once == twice
+
+    def test_mixed_sid_types(self):
+        results = [MatchResult(2, 1.0), MatchResult("a", 1.0), MatchResult(1, 1.0)]
+        ordered = sort_results(results)
+        assert {r.sid for r in ordered} == {1, 2, "a"}
+        assert ordered == sort_results(list(reversed(results)))
+
+    def test_empty(self):
+        assert sort_results([]) == []
+
+    def test_namedtuple_fields(self):
+        result = MatchResult("sid-1", 2.5)
+        assert result.sid == "sid-1"
+        assert result.score == 2.5
+        sid, score = result
+        assert (sid, score) == ("sid-1", 2.5)

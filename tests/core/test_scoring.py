@@ -1,0 +1,255 @@
+"""Scoring: Definitions 1 and 2, proration, aggregations, weight override."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import UNKNOWN, AttributeKind, Interval, Schema
+from repro.core.events import Event
+from repro.core.scoring import (
+    MAX,
+    MIN,
+    SUM,
+    constraint_matches,
+    constraint_score,
+    infer_kind,
+    prorate_fraction,
+    score_subscription,
+)
+from repro.core.subscriptions import Constraint, Subscription
+
+
+class TestProrateFraction:
+    def test_full_overlap(self):
+        assert prorate_fraction(Interval(10, 20), Interval(0, 100)) == 1.0
+
+    def test_partial_overlap(self):
+        """Paper's example shape: targeted [18,24], consumer [20,30]."""
+        fraction = prorate_fraction(Interval(20, 30), Interval(18, 24))
+        assert fraction == pytest.approx(0.4)  # overlap [20,24] / width 10
+
+    def test_no_overlap(self):
+        assert prorate_fraction(Interval(0, 5), Interval(6, 10)) == 0.0
+
+    def test_touching_endpoints_continuous(self):
+        assert prorate_fraction(Interval(0, 5), Interval(5, 10)) == 0.0
+
+    def test_touching_endpoints_discrete(self):
+        """With C = 1 a shared endpoint is one shared integer."""
+        fraction = prorate_fraction(Interval(0, 5), Interval(5, 10), proration_constant=1)
+        assert fraction == pytest.approx(1 / 6)
+
+    def test_discrete_constant_full(self):
+        """Definition 2's C 'accounts for the overlapping at the endpoints'."""
+        assert prorate_fraction(Interval(3, 5), Interval(0, 10), proration_constant=1) == 1.0
+
+    def test_point_event_inside(self):
+        assert prorate_fraction(Interval(5, 5), Interval(0, 10)) == 1.0
+
+    def test_point_event_outside(self):
+        assert prorate_fraction(Interval(50, 50), Interval(0, 10)) == 0.0
+
+    def test_unbounded_event_finite_constraint(self):
+        assert prorate_fraction(Interval(0, float("inf")), Interval(0, 10)) == 0.0
+
+    def test_unbounded_event_unbounded_constraint(self):
+        assert prorate_fraction(
+            Interval(0, float("inf")), Interval(5, float("inf"))
+        ) == 1.0
+
+    def test_fraction_in_unit_range_discrete_point(self):
+        assert prorate_fraction(Interval(4, 4), Interval(4, 4), proration_constant=1) == 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(-100, 100), st.integers(0, 50),
+    st.integers(-100, 100), st.integers(0, 50),
+    st.sampled_from([0, 1]),
+)
+def test_property_fraction_bounds(e_low, e_width, c_low, c_width, constant):
+    """Prorated fractions always land in [0, 1]."""
+    fraction = prorate_fraction(
+        Interval(e_low, e_low + e_width),
+        Interval(c_low, c_low + c_width),
+        proration_constant=constant,
+    )
+    assert 0.0 <= fraction <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(-50, 50), st.integers(1, 30), st.integers(-50, 50), st.integers(1, 30))
+def test_property_containment_gives_full_fraction(e_low, e_width, pad_left, pad_right):
+    """An event interval inside the constraint prorates to exactly 1."""
+    event = Interval(e_low, e_low + e_width)
+    constraint = Interval(e_low - abs(pad_left), e_low + e_width + abs(pad_right))
+    assert prorate_fraction(event, constraint) == pytest.approx(1.0)
+
+
+class TestConstraintMatches:
+    def test_interval_overlap(self):
+        constraint = Constraint("a", Interval(10, 20))
+        event = Event({"a": Interval(15, 30)})
+        assert constraint_matches(constraint, event, AttributeKind.RANGE_CONTINUOUS)
+
+    def test_interval_disjoint(self):
+        constraint = Constraint("a", Interval(10, 20))
+        event = Event({"a": Interval(21, 30)})
+        assert not constraint_matches(constraint, event, AttributeKind.RANGE_CONTINUOUS)
+
+    def test_discrete_equality(self):
+        constraint = Constraint("state", "IN")
+        assert constraint_matches(constraint, Event({"state": "IN"}), AttributeKind.DISCRETE)
+        assert not constraint_matches(constraint, Event({"state": "IL"}), AttributeKind.DISCRETE)
+
+    def test_set_membership(self):
+        constraint = Constraint("state", {"IN", "IL"})
+        assert constraint_matches(constraint, Event({"state": "IL"}), AttributeKind.DISCRETE)
+        assert not constraint_matches(constraint, Event({"state": "WI"}), AttributeKind.DISCRETE)
+
+    def test_unknown_never_matches(self):
+        """Paper 3.1: delta(e) on UNKNOWN evaluates to false."""
+        constraint = Constraint("a", Interval(0, 100))
+        event = Event({"a": UNKNOWN})
+        assert not constraint_matches(constraint, event, AttributeKind.RANGE_CONTINUOUS)
+
+    def test_missing_never_matches(self):
+        constraint = Constraint("a", Interval(0, 100))
+        event = Event({"b": 5})
+        assert not constraint_matches(constraint, event, AttributeKind.RANGE_CONTINUOUS)
+
+    def test_point_value_event(self):
+        constraint = Constraint("a", Interval(0, 10))
+        assert constraint_matches(constraint, Event({"a": 7}), AttributeKind.RANGE_CONTINUOUS)
+
+
+class TestConstraintScore:
+    def test_unmatched_scores_zero(self):
+        constraint = Constraint("a", Interval(0, 1), weight=5.0)
+        assert constraint_score(constraint, Event({"a": 9}), AttributeKind.RANGE_CONTINUOUS) == 0.0
+
+    def test_matched_without_proration_uses_full_weight(self):
+        constraint = Constraint("a", Interval(0, 10), weight=2.0)
+        event = Event({"a": Interval(5, 20)})
+        assert constraint_score(constraint, event, AttributeKind.RANGE_CONTINUOUS) == 2.0
+
+    def test_prorated(self):
+        constraint = Constraint("a", Interval(0, 10), weight=2.0)
+        event = Event({"a": Interval(5, 15)})  # half inside
+        score = constraint_score(constraint, event, AttributeKind.RANGE_CONTINUOUS, prorate=True)
+        assert score == pytest.approx(1.0)
+
+    def test_prorated_negative_weight(self):
+        constraint = Constraint("a", Interval(0, 10), weight=-2.0)
+        event = Event({"a": Interval(5, 15)})
+        score = constraint_score(constraint, event, AttributeKind.RANGE_CONTINUOUS, prorate=True)
+        assert score == pytest.approx(-1.0)
+
+    def test_discrete_never_prorated(self):
+        constraint = Constraint("s", "x", weight=3.0)
+        event = Event({"s": "x"})
+        assert constraint_score(constraint, event, AttributeKind.DISCRETE, prorate=True) == 3.0
+
+    def test_override_weight(self):
+        """Algorithm 2 line 33: event weights replace subscription weights."""
+        constraint = Constraint("a", Interval(0, 10), weight=2.0)
+        event = Event({"a": 5})
+        score = constraint_score(
+            constraint, event, AttributeKind.RANGE_CONTINUOUS, override_weight=7.0
+        )
+        assert score == 7.0
+
+
+class TestAggregations:
+    def test_sum_properties(self):
+        assert SUM.zero == 0.0
+        assert SUM.combine(1.0, 2.5) == 3.5
+        assert not SUM.monotone_with_mixed_signs
+
+    def test_max_properties(self):
+        assert MAX.zero == float("-inf")
+        assert MAX.combine(1.0, 0.5) == 1.0
+        assert MAX.monotone_with_mixed_signs
+
+    def test_min_properties(self):
+        assert MIN.zero == float("inf")
+        assert MIN.combine(1.0, 0.5) == 0.5
+
+    def test_paper_monotonicity_example(self):
+        """Paper 2.3: component scores {.2, .2, -.1} break sum monotonicity."""
+        running = [SUM.zero]
+        for component in (0.2, 0.2, -0.1):
+            running.append(SUM.combine(running[-1], component))
+        assert running[1:] == pytest.approx([0.2, 0.4, 0.3])
+        deltas = [b - a for a, b in zip(running[1:], running[2:])]
+        assert any(d < 0 for d in deltas) and any(d > 0 for d in deltas)
+
+
+class TestScoreSubscription:
+    def make(self):
+        schema = Schema()
+        sub = Subscription(
+            "s",
+            [
+                Constraint("a", Interval(0, 10), weight=2.0),
+                Constraint("b", Interval(0, 10), weight=-1.0),
+                Constraint("c", "tag", weight=0.5),
+            ],
+        )
+        return schema, sub
+
+    def test_definition1_sum_of_matching(self):
+        schema, sub = self.make()
+        event = Event({"a": 5, "b": 50, "c": "tag"})
+        assert score_subscription(sub, event, schema) == pytest.approx(2.5)
+
+    def test_mixed_signs(self):
+        schema, sub = self.make()
+        event = Event({"a": 5, "b": 5, "c": "tag"})
+        assert score_subscription(sub, event, schema) == pytest.approx(1.5)
+
+    def test_partial_match_missing_attribute(self):
+        """Paper 1.1(d): missing data does not disqualify a match."""
+        schema, sub = self.make()
+        event = Event({"a": 5})
+        assert score_subscription(sub, event, schema) == pytest.approx(2.0)
+
+    def test_no_match_scores_zero(self):
+        schema, sub = self.make()
+        event = Event({"a": 99, "b": 99, "c": "other"})
+        assert score_subscription(sub, event, schema) == 0.0
+
+    def test_no_match_with_max_aggregation_scores_zero(self):
+        schema, sub = self.make()
+        event = Event({"a": 99})
+        assert score_subscription(sub, event, schema, aggregation=MAX) == 0.0
+
+    def test_max_aggregation(self):
+        schema, sub = self.make()
+        event = Event({"a": 5, "c": "tag"})
+        assert score_subscription(sub, event, schema, aggregation=MAX) == 2.0
+
+    def test_prorated_definition2(self):
+        schema = Schema()
+        sub = Subscription("s", [Constraint("a", Interval(18, 24), weight=1.0)])
+        event = Event({"a": Interval(20, 30)})
+        assert score_subscription(sub, event, schema, prorate=True) == pytest.approx(0.4)
+
+    def test_event_weight_override(self):
+        schema, sub = self.make()
+        event = Event({"a": 5, "c": "tag"}, weights={"a": 10.0, "c": 1.0})
+        assert score_subscription(sub, event, schema) == pytest.approx(11.0)
+
+    def test_event_weights_zero_out_unweighted_attributes(self):
+        schema, sub = self.make()
+        # Event carries weights, but not for "c": c's contribution drops.
+        event = Event({"a": 5, "c": "tag"}, weights={"a": 10.0})
+        assert score_subscription(sub, event, schema) == pytest.approx(10.0)
+
+    def test_infer_kind(self):
+        assert infer_kind(Constraint("a", Interval(0, 1))) is AttributeKind.RANGE_CONTINUOUS
+        assert infer_kind(Constraint("a", 5)) is AttributeKind.RANGE_CONTINUOUS
+        assert infer_kind(Constraint("a", "word")) is AttributeKind.DISCRETE
+        assert infer_kind(Constraint("a", {"x", "y"})) is AttributeKind.DISCRETE

@@ -1,0 +1,162 @@
+"""Matcher snapshots: save / restore round trips."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeKind, Interval, Schema
+from repro.core.budget import BudgetWindowSpec
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.snapshot import SnapshotError, load_matcher, restore_into, save_matcher
+from repro.core.subscriptions import Constraint, Subscription
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+@pytest.fixture
+def populated():
+    rng = random.Random(17)
+    matcher = FXTMMatcher(
+        prorate=True,
+        schema=Schema({"votes": AttributeKind.RANGE_DISCRETE}),
+    )
+    for sub in random_subscriptions(rng, 80, with_sets=True):
+        matcher.add_subscription(sub)
+    matcher.add_subscription(
+        Subscription(
+            "budgeted",
+            [Constraint("votes", Interval(1, 100), 1.0)],
+            budget=BudgetWindowSpec(budget=50, window_length=1000),
+        )
+    )
+    return matcher
+
+
+class TestRoundTrip:
+    def test_save_returns_count(self, populated, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        assert save_matcher(populated, path) == 81
+
+    def test_load_rebuilds_equivalent_matcher(self, populated, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        restored = load_matcher(path)
+        assert type(restored) is FXTMMatcher
+        assert restored.prorate is True
+        assert len(restored) == len(populated)
+        rng = random.Random(5)
+        for _ in range(10):
+            event = random_event(rng)
+            assert restored.match(event, 6) == populated.match(event, 6)
+
+    def test_schema_kinds_survive(self, populated, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        restored = load_matcher(path)
+        assert restored.schema.kind_of("votes") is AttributeKind.RANGE_DISCRETE
+
+    def test_budget_spec_survives_state_does_not(self, populated, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        restored = load_matcher(path)
+        budget = restored.get_subscription("budgeted").budget
+        assert budget is not None
+        assert budget.budget == 50.0
+
+    def test_restore_into_existing(self, populated, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        fresh = FXTMMatcher(prorate=True)
+        assert restore_into(fresh, path) == 81
+        assert len(fresh) == 81
+
+    def test_factory_override(self, populated, tmp_path):
+        from repro.baselines.naive import NaiveMatcher
+
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        restored = load_matcher(
+            path, factory=lambda schema, prorate: NaiveMatcher(schema=schema, prorate=prorate)
+        )
+        assert type(restored) is NaiveMatcher
+        assert len(restored) == 81
+
+    def test_atomic_overwrite(self, populated, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        save_matcher(populated, path)  # second save replaces cleanly
+        assert len(load_matcher(path)) == 81
+        assert not (tmp_path / "snap.jsonl.tmp").exists()
+
+
+class TestValidation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SnapshotError):
+            load_matcher(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"kind": "something-else", "v": 1}) + "\n")
+        with pytest.raises(SnapshotError):
+            load_matcher(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "vNext.jsonl"
+        path.write_text(json.dumps({"kind": "repro-matcher-snapshot", "v": 2}) + "\n")
+        with pytest.raises(SnapshotError):
+            load_matcher(path)
+
+    def test_corrupt_body_line(self, tmp_path, populated):
+        path = tmp_path / "snap.jsonl"
+        save_matcher(populated, path)
+        with open(path, "a") as handle:
+            handle.write("{broken\n")
+        fresh = FXTMMatcher()
+        with pytest.raises(SnapshotError):
+            restore_into(fresh, path)
+
+    def test_unknown_algorithm_needs_factory(self, tmp_path):
+        path = tmp_path / "custom.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "repro-matcher-snapshot",
+                    "v": 1,
+                    "algorithm": "my-matcher",
+                    "prorate": False,
+                    "schema": {},
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(SnapshotError):
+            load_matcher(path)
+        restored = load_matcher(
+            path, factory=lambda schema, prorate: FXTMMatcher(schema=schema, prorate=prorate)
+        )
+        assert len(restored) == 0
+
+    def test_unknown_schema_kind(self, tmp_path):
+        path = tmp_path / "badschema.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "repro-matcher-snapshot",
+                    "v": 1,
+                    "algorithm": "fx-tm",
+                    "prorate": False,
+                    "schema": {"x": "quantum"},
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(SnapshotError):
+            load_matcher(path)

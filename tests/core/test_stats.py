@@ -1,0 +1,145 @@
+"""Running statistics and the instrumented matcher wrapper."""
+
+import math
+import statistics as stdlib_stats
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.stats import InstrumentedMatcher, MatcherStats, RunningStats
+from repro.core.subscriptions import Constraint, Subscription
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.record(5.0)
+        assert stats.count == 1
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.min == stats.max == 5.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        for sample in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.record(sample)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.0)
+        assert stats.min == 2.0
+        assert stats.max == 9.0
+
+    def test_merge_equals_combined_stream(self):
+        left = RunningStats()
+        right = RunningStats()
+        combined = RunningStats()
+        for index in range(10):
+            left.record(index)
+            combined.record(index)
+        for index in range(100, 120):
+            right.record(index)
+            combined.record(index)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.min == combined.min
+        assert left.max == combined.max
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.record(1.0)
+        stats.merge(RunningStats())
+        assert stats.count == 1
+        empty = RunningStats()
+        empty.merge(stats)
+        assert empty.mean == 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=100))
+def test_property_welford_matches_stdlib(samples):
+    stats = RunningStats()
+    for sample in samples:
+        stats.record(sample)
+    assert stats.mean == pytest.approx(stdlib_stats.fmean(samples), rel=1e-9, abs=1e-6)
+    assert stats.variance == pytest.approx(
+        stdlib_stats.pvariance(samples), rel=1e-6, abs=1e-3
+    )
+
+
+class TestInstrumentedMatcher:
+    def build(self):
+        wrapped = InstrumentedMatcher(FXTMMatcher(prorate=True))
+        wrapped.add_subscription(
+            Subscription("s1", [Constraint("a", Interval(0, 10), 2.0)])
+        )
+        wrapped.add_subscription(
+            Subscription("s2", [Constraint("a", Interval(0, 10), 1.0)])
+        )
+        return wrapped
+
+    def test_transparent_results(self):
+        wrapped = self.build()
+        plain = FXTMMatcher(prorate=True)
+        plain.add_subscription(Subscription("s1", [Constraint("a", Interval(0, 10), 2.0)]))
+        plain.add_subscription(Subscription("s2", [Constraint("a", Interval(0, 10), 1.0)]))
+        event = Event({"a": 5})
+        assert wrapped.match(event, 2) == plain.match(event, 2)
+
+    def test_counters(self):
+        wrapped = self.build()
+        event = Event({"a": 5})
+        for _ in range(4):
+            wrapped.match(event, 1)
+        wrapped.match(Event({"zzz": 1}), 1)  # no results
+        wrapped.cancel_subscription("s2")
+        stats = wrapped.stats
+        assert stats.adds == 2
+        assert stats.cancels == 1
+        assert stats.matches == 5
+        assert stats.empty_matches == 1
+        assert stats.match_seconds.count == 5
+        assert stats.results_returned.mean == pytest.approx(4 / 5)
+
+    def test_serves_by_sid(self):
+        wrapped = self.build()
+        for _ in range(3):
+            wrapped.match(Event({"a": 5}), 2)
+        assert wrapped.stats.serves_by_sid == {"s1": 3, "s2": 3}
+        top = wrapped.stats.top_served(limit=1)
+        assert top[0][1] == 3
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        wrapped = self.build()
+        wrapped.match(Event({"a": 5}), 1)
+        snapshot = wrapped.stats.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["matches"] == 1
+        assert snapshot["match_ms_mean"] > 0
+
+    def test_container_protocol_delegation(self):
+        wrapped = self.build()
+        assert len(wrapped) == 2
+        assert "s1" in wrapped
+        assert wrapped.name == "fx-tm"
+        assert wrapped.get_subscription("s1").sid == "s1"
+        assert wrapped.budget_tracker is None
+        assert wrapped.schema is wrapped.inner.schema
+
+    def test_empty_stats(self):
+        stats = MatcherStats()
+        assert stats.top_served() == []
+        assert stats.snapshot()["match_ms_max"] == 0.0

@@ -1,0 +1,138 @@
+"""Constraints and subscriptions."""
+
+import pytest
+
+from repro.core.attributes import Interval
+from repro.core.budget import BudgetWindowSpec
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import InvalidConstraintError
+
+
+class TestConstraint:
+    def test_basic(self):
+        constraint = Constraint("age", Interval(18, 24), weight=2.0)
+        assert constraint.attribute == "age"
+        assert constraint.weight == 2.0
+        assert constraint.is_ranged
+
+    def test_default_weight(self):
+        assert Constraint("a", 1).weight == 1.0
+
+    def test_negative_weight_allowed(self):
+        """Paper 1.1(c): mixed positive and negative weights."""
+        assert Constraint("a", 1, weight=-0.5).weight == -0.5
+
+    def test_bad_attribute_raises(self):
+        with pytest.raises(InvalidConstraintError):
+            Constraint("", 1)
+        with pytest.raises(InvalidConstraintError):
+            Constraint(None, 1)
+
+    def test_bad_weight_raises(self):
+        with pytest.raises(InvalidConstraintError):
+            Constraint("a", 1, weight="big")
+
+    def test_immutable(self):
+        constraint = Constraint("a", 1)
+        with pytest.raises(AttributeError):
+            constraint.weight = 3.0
+
+    def test_interval_coercion(self):
+        assert Constraint("a", 5).interval() == Interval(5, 5)
+        assert Constraint("a", Interval(1, 2)).interval() == Interval(1, 2)
+
+    def test_interval_of_discrete_raises(self):
+        with pytest.raises(InvalidConstraintError):
+            Constraint("a", "word").interval()
+
+    def test_discrete_value(self):
+        constraint = Constraint("state", "Indiana")
+        assert not constraint.is_ranged
+        assert not constraint.is_set
+
+    def test_set_constraint(self):
+        """Paper intro: state in {Indiana, Illinois, Wisconsin}."""
+        constraint = Constraint("state", {"Indiana", "Illinois", "Wisconsin"})
+        assert constraint.is_set
+        assert constraint.value == frozenset({"Indiana", "Illinois", "Wisconsin"})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            Constraint("state", set())
+
+    def test_equality_and_hash(self):
+        a = Constraint("x", Interval(1, 2), 1.5)
+        b = Constraint("x", Interval(1, 2), 1.5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Constraint("x", Interval(1, 2), 2.0)
+        assert a.__eq__("not a constraint") is NotImplemented
+
+
+class TestSubscription:
+    def test_basic(self):
+        sub = Subscription(
+            "ad-1",
+            [Constraint("age", Interval(18, 24), 2.0), Constraint("state", "IN", 1.0)],
+        )
+        assert sub.sid == "ad-1"
+        assert sub.size == 2
+        assert sub.attributes == ("age", "state")
+
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            Subscription("s", [])
+
+    def test_duplicate_attribute_rejected(self):
+        """Paper 4.1: 'each delta_i is on a different attribute a_i'."""
+        with pytest.raises(InvalidConstraintError):
+            Subscription("s", [Constraint("a", 1), Constraint("a", 2)])
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            Subscription("s", ["not a constraint"])
+
+    def test_immutable(self):
+        sub = Subscription("s", [Constraint("a", 1)])
+        with pytest.raises(AttributeError):
+            sub.sid = "other"
+
+    def test_constraint_on(self):
+        c1 = Constraint("a", 1)
+        sub = Subscription("s", [c1])
+        assert sub.constraint_on("a") is c1
+        assert sub.constraint_on("b") is None
+
+    def test_iteration(self):
+        constraints = [Constraint("a", 1), Constraint("b", 2)]
+        sub = Subscription("s", constraints)
+        assert list(sub) == constraints
+
+    def test_max_positive_score_ignores_negatives(self):
+        sub = Subscription(
+            "s",
+            [
+                Constraint("a", 1, weight=2.0),
+                Constraint("b", 2, weight=-1.0),
+                Constraint("c", 3, weight=0.5),
+            ],
+        )
+        assert sub.max_positive_score() == 2.5
+
+    def test_budget_attachment(self):
+        spec = BudgetWindowSpec(budget=100, window_length=1000)
+        sub = Subscription("s", [Constraint("a", 1)], budget=spec)
+        assert sub.budget is spec
+
+    def test_equality(self):
+        a = Subscription("s", [Constraint("a", 1)])
+        b = Subscription("s", [Constraint("a", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Subscription("t", [Constraint("a", 1)])
+        assert a.__eq__(7) is NotImplemented
+
+    def test_repr_shows_predicate(self):
+        sub = Subscription("s", [Constraint("age", Interval(1, 2), 0.5)])
+        text = repr(sub)
+        assert "age" in text and "0.5" in text

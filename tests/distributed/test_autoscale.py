@@ -1,0 +1,65 @@
+"""Automatic distribution-degree planning (the paper's future work)."""
+
+import random
+
+import pytest
+
+from repro.core.matcher import FXTMMatcher
+from repro.distributed.autoscale import plan_distribution
+from repro.distributed.network import LatencyModel
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(71)
+    subs = random_subscriptions(rng, 400)
+    events = [random_event(rng) for _ in range(3)]
+    return subs, events
+
+
+class TestPlanDistribution:
+    def test_returns_valid_plan(self, workload):
+        subs, events = workload
+        plan = plan_distribution(
+            lambda: FXTMMatcher(prorate=True), subs, events, k=10, max_nodes=40
+        )
+        assert 1 <= plan.node_count <= 40
+        assert plan.predicted_total_seconds > 0
+        assert len(plan.candidates) == 40
+        best = min(plan.candidates, key=lambda item: item[1])
+        assert plan.node_count == best[0]
+
+    def test_high_network_cost_prefers_fewer_nodes(self, workload):
+        subs, events = workload
+        cheap = plan_distribution(
+            lambda: FXTMMatcher(prorate=True),
+            subs,
+            events,
+            k=10,
+            max_nodes=40,
+            latency=LatencyModel(base_seconds=1e-6, jitter_fraction=0.0),
+        )
+        expensive = plan_distribution(
+            lambda: FXTMMatcher(prorate=True),
+            subs,
+            events,
+            k=10,
+            max_nodes=40,
+            latency=LatencyModel(base_seconds=50e-3, jitter_fraction=0.0),
+        )
+        assert expensive.node_count <= cheap.node_count
+
+    def test_validation(self, workload):
+        subs, events = workload
+        with pytest.raises(ValueError):
+            plan_distribution(FXTMMatcher, [], events, k=1)
+        with pytest.raises(ValueError):
+            plan_distribution(FXTMMatcher, subs, [], k=1)
+        with pytest.raises(ValueError):
+            plan_distribution(FXTMMatcher, subs, events, k=1, max_nodes=0)

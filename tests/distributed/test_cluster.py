@@ -1,0 +1,139 @@
+"""The distributed system: correctness vs centralized, timing accounting."""
+
+import random
+
+import pytest
+
+from repro.baselines.betree import BEStarTreeMatcher
+from repro.core.matcher import FXTMMatcher
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.network import LatencyModel
+from repro.errors import OverlayError, UnknownSubscriptionError
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+@pytest.fixture
+def subs():
+    return random_subscriptions(random.Random(41), 240)
+
+
+@pytest.fixture
+def events():
+    rng = random.Random(43)
+    return [random_event(rng) for _ in range(8)]
+
+
+class TestDistributionCorrectness:
+    @pytest.mark.parametrize("node_count", [1, 2, 3, 7, 9])
+    def test_equals_centralized_fxtm(self, subs, events, node_count):
+        central = FXTMMatcher(prorate=True)
+        for sub in subs:
+            central.add_subscription(sub)
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=node_count
+        )
+        system.add_subscriptions(subs)
+        for event in events:
+            outcome = system.match(event, 10)
+            expected = central.match(event, 10)
+            assert [r.sid for r in outcome.results] == [r.sid for r in expected]
+
+    def test_equals_centralized_bestar(self, subs, events):
+        central = BEStarTreeMatcher(prorate=True)
+        for sub in subs:
+            central.add_subscription(sub)
+        system = DistributedTopKSystem(
+            lambda: BEStarTreeMatcher(prorate=True), node_count=5
+        )
+        system.add_subscriptions(subs)
+        for event in events:
+            outcome = system.match(event, 6)
+            assert [r.sid for r in outcome.results] == [
+                r.sid for r in central.match(event, 6)
+            ]
+
+    def test_round_robin_distribution_even(self, subs):
+        system = DistributedTopKSystem(FXTMMatcher, node_count=7)
+        system.add_subscriptions(subs)
+        sizes = [len(node) for node in system.nodes]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == len(subs) == len(system)
+
+    def test_cancel_reaches_owner(self, subs, events):
+        system = DistributedTopKSystem(lambda: FXTMMatcher(prorate=True), node_count=4)
+        system.add_subscriptions(subs)
+        target = subs[0].sid
+        system.cancel_subscription(target)
+        assert len(system) == len(subs) - 1
+        for event in events:
+            assert all(r.sid != target for r in system.match(event, 20).results)
+
+    def test_cancel_unknown_raises(self):
+        system = DistributedTopKSystem(FXTMMatcher, node_count=2)
+        with pytest.raises(UnknownSubscriptionError):
+            system.cancel_subscription("ghost")
+
+    def test_bad_node_count(self):
+        with pytest.raises(OverlayError):
+            DistributedTopKSystem(FXTMMatcher, node_count=0)
+
+
+class TestTimingAccounting:
+    def test_outcome_fields(self, subs, events):
+        system = DistributedTopKSystem(lambda: FXTMMatcher(prorate=True), node_count=6)
+        system.add_subscriptions(subs)
+        outcome = system.match(events[0], 5)
+        assert len(outcome.local_seconds) == 6
+        assert all(t > 0 for t in outcome.local_seconds)
+        assert outcome.total_seconds > outcome.max_local_seconds
+        assert outcome.mean_local_seconds <= outcome.max_local_seconds
+        assert outcome.aggregation_seconds > 0
+        assert outcome.merge_compute_seconds >= 0
+
+    def test_total_includes_network_base(self, subs, events):
+        slow_network = LatencyModel(base_seconds=10e-3, jitter_fraction=0.0)
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=3,
+            latency=slow_network,
+        )
+        system.add_subscriptions(subs)
+        outcome = system.match(events[0], 5)
+        # Dissemination + 1 aggregation hop + return hop >= 3 base hops.
+        assert outcome.total_seconds >= 30e-3
+
+    def test_deterministic_jitter(self):
+        model = LatencyModel(seed=5)
+        first = [model.hop(10, model.rng()) for _ in range(3)]
+        second = [model.hop(10, model.rng()) for _ in range(3)]
+        assert first == second
+
+
+class TestLatencyModel:
+    def test_hop_components(self):
+        model = LatencyModel(base_seconds=1e-3, per_result_seconds=1e-6, jitter_fraction=0.0)
+        rng = model.rng()
+        assert model.hop(0, rng) == pytest.approx(1e-3)
+        assert model.hop(1000, rng) == pytest.approx(2e-3)
+
+    def test_jitter_bounds(self):
+        model = LatencyModel(base_seconds=1e-3, per_result_seconds=0.0, jitter_fraction=0.1)
+        rng = model.rng()
+        for _ in range(100):
+            assert 0.9e-3 <= model.hop(0, rng) <= 1.1e-3
+
+    def test_negative_payload_rejected(self):
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.hop(-1, model.rng())
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_seconds=-1)
+        with pytest.raises(ValueError):
+            LatencyModel(jitter_fraction=1.5)

@@ -1,0 +1,67 @@
+"""The distributed controller speaks the local controller's protocol."""
+
+import pytest
+
+from repro.core.controller import LocalController
+from repro.core.matcher import FXTMMatcher
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.controller import DistributedController
+
+
+STREAM = [
+    "ADD ad-1 age in [18, 24] : 2.0 and state in {Indiana} : 1.0",
+    "ADD ad-2 age in [30, 50] : 1.5",
+    "ADD ad-3 state in {Indiana} : 0.5 BUDGET 100 WINDOW 5000",
+    "MATCH 3 age: [20 .. 22], state: Indiana",
+    "CANCEL ad-2",
+    "MATCH 3 age: [35 .. 40]",
+]
+
+
+@pytest.fixture
+def controller():
+    system = DistributedTopKSystem(lambda: FXTMMatcher(prorate=True), node_count=3)
+    return DistributedController(system)
+
+
+class TestProtocol:
+    def test_stream_processing(self, controller):
+        responses = list(controller.run(STREAM))
+        assert all(r.ok for r in responses)
+        first_match = responses[3]
+        assert [r.sid for r in first_match.results] == ["ad-1", "ad-3"]
+        assert first_match.outcome is not None
+        assert first_match.outcome.total_seconds > 0
+        second_match = responses[5]
+        assert second_match.results == []
+
+    def test_identical_results_to_local_controller(self, controller):
+        local = LocalController(FXTMMatcher(prorate=True))
+        local_results = [r for r in local.run(STREAM)]
+        distributed_results = [r for r in controller.run(STREAM)]
+        for local_response, distributed_response in zip(local_results, distributed_results):
+            assert local_response.ok == distributed_response.ok
+            assert [r.sid for r in local_response.results] == [
+                r.sid for r in distributed_response.results
+            ]
+
+    def test_subscriptions_actually_distributed(self, controller):
+        list(controller.run(STREAM[:3]))
+        sizes = [len(node) for node in controller.system.nodes]
+        assert sum(sizes) == 3
+        assert max(sizes) == 1  # round-robin over 3 nodes
+
+    def test_parse_error_reported(self, controller):
+        response = controller.submit("FROBNICATE everything")
+        assert not response.ok
+        assert controller.requests_failed == 1
+
+    def test_cancel_unknown_reported(self, controller):
+        response = controller.submit("CANCEL nobody")
+        assert not response.ok
+        assert "nobody" in response.error
+
+    def test_comments_and_blanks_skipped(self, controller):
+        responses = list(controller.run(["# comment", "", STREAM[0]]))
+        assert len(responses) == 1
+        assert responses[0].ok

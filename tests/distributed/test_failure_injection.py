@@ -1,0 +1,80 @@
+"""Leaf failure injection: graceful degradation of the partitioned top-k."""
+
+import random
+
+import pytest
+
+from repro.core.matcher import FXTMMatcher
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.errors import OverlayError
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def loaded_system():
+    rng = random.Random(91)
+    subs = random_subscriptions(rng, 180)
+    system = DistributedTopKSystem(lambda: FXTMMatcher(prorate=True), node_count=6)
+    system.add_subscriptions(subs)
+    events = [random_event(rng) for _ in range(5)]
+    return system, subs, events
+
+
+class TestFailureInjection:
+    def test_no_failures_not_degraded(self, loaded_system):
+        system, _subs, events = loaded_system
+        outcome = system.match(events[0], 8)
+        assert not outcome.degraded
+        assert outcome.failed_leaves == []
+
+    def test_degraded_flag_and_zeroed_leaf(self, loaded_system):
+        system, _subs, events = loaded_system
+        outcome = system.match(events[0], 8, failed_leaves=[2])
+        assert outcome.degraded
+        assert outcome.failed_leaves == [2]
+        assert outcome.local_seconds[2] == 0.0
+
+    def test_results_equal_surviving_partitions(self, loaded_system):
+        """Failing leaf L removes exactly L's subscriptions from play."""
+        system, subs, events = loaded_system
+        failed = {1, 4}
+        surviving_sids = {
+            sid for sid, owner in system._owner_of.items() if owner not in failed
+        }
+        reference = FXTMMatcher(prorate=True)
+        for subscription in subs:
+            if subscription.sid in surviving_sids:
+                reference.add_subscription(subscription)
+        for event in events:
+            outcome = system.match(event, 8, failed_leaves=failed)
+            expected = reference.match(event, 8)
+            assert [r.sid for r in outcome.results] == [r.sid for r in expected]
+
+    def test_no_failed_result_sids(self, loaded_system):
+        system, _subs, events = loaded_system
+        dead_sids = {sid for sid, owner in system._owner_of.items() if owner == 3}
+        for event in events:
+            outcome = system.match(event, 20, failed_leaves=[3])
+            assert not dead_sids.intersection(r.sid for r in outcome.results)
+
+    def test_all_leaves_failed_rejected(self, loaded_system):
+        system, _subs, events = loaded_system
+        with pytest.raises(OverlayError):
+            system.match(events[0], 3, failed_leaves=range(6))
+
+    def test_invalid_leaf_id_rejected(self, loaded_system):
+        system, _subs, events = loaded_system
+        with pytest.raises(OverlayError):
+            system.match(events[0], 3, failed_leaves=[99])
+
+    def test_failures_do_not_stick(self, loaded_system):
+        system, _subs, events = loaded_system
+        degraded = system.match(events[0], 8, failed_leaves=[0])
+        healthy = system.match(events[0], 8)
+        assert not healthy.degraded
+        assert len(healthy.results) >= len(degraded.results)

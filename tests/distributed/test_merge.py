@@ -1,0 +1,65 @@
+"""Top-k merge function."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import MatchResult, sort_results
+from repro.distributed.merge import merge_topk
+
+
+class TestMergeTopK:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            merge_topk([], 0)
+
+    def test_empty_partials(self):
+        assert merge_topk([], 3) == []
+        assert merge_topk([[], []], 3) == []
+
+    def test_single_partial_passthrough(self):
+        partial = [MatchResult("a", 2.0), MatchResult("b", 1.0)]
+        assert merge_topk([partial], 5) == partial
+
+    def test_merging_selects_global_best(self):
+        left = [MatchResult("l1", 5.0), MatchResult("l2", 1.0)]
+        right = [MatchResult("r1", 3.0), MatchResult("r2", 2.0)]
+        merged = merge_topk([left, right], 3)
+        assert [r.sid for r in merged] == ["l1", "r1", "r2"]
+
+    def test_k_bounds_output(self):
+        partials = [[MatchResult(f"p{i}", float(i))] for i in range(10)]
+        assert len(merge_topk(partials, 4)) == 4
+
+    def test_result_sorted_best_first(self):
+        partials = [[MatchResult("a", 1.0)], [MatchResult("b", 9.0)], [MatchResult("c", 5.0)]]
+        merged = merge_topk(partials, 3)
+        assert [r.score for r in merged] == [9.0, 5.0, 1.0]
+
+    def test_unsorted_partials_still_correct(self):
+        partial = [MatchResult("low", 1.0), MatchResult("high", 9.0), MatchResult("mid", 5.0)]
+        merged = merge_topk([partial], 2)
+        assert [r.sid for r in merged] == ["high", "mid"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(-100, 100, allow_nan=False), max_size=20),
+        max_size=6,
+    ),
+    st.integers(1, 8),
+)
+def test_property_merge_equals_global_sort(score_lists, k):
+    """Merging partials == sorting the concatenation and cutting at k."""
+    partials = []
+    flat = []
+    for p_index, scores in enumerate(score_lists):
+        partial = [
+            MatchResult(f"p{p_index}-{index}", score) for index, score in enumerate(scores)
+        ]
+        partials.append(sort_results(partial))
+        flat.extend(partial)
+    merged = merge_topk(partials, k)
+    expected_scores = sorted((r.score for r in flat), reverse=True)[:k]
+    assert [r.score for r in merged] == expected_scores

@@ -1,0 +1,87 @@
+"""Aggregation overlay geometry and the LOOM fanout heuristic."""
+
+import pytest
+
+from repro.distributed.overlay import AggregationTree, optimal_fanout
+from repro.errors import OverlayError
+
+
+class TestOptimalFanout:
+    def test_single_leaf(self):
+        assert optimal_fanout(1) == 1
+
+    def test_bad_leaf_count(self):
+        with pytest.raises(OverlayError):
+            optimal_fanout(0)
+
+    @pytest.mark.parametrize("leaves", [3, 9, 27, 40, 81])
+    def test_topk_merge_costs_give_fanout_three(self, leaves):
+        """Paper 6.2: 'In this case of top-k the fanout is 3.'"""
+        assert optimal_fanout(leaves) == 3
+
+    def test_cheap_merges_favour_wide_fanout(self):
+        fanout = optimal_fanout(
+            64, merge_base_seconds=0.0, merge_per_entry_seconds=0.0, k=1
+        )
+        assert fanout > 3
+
+    def test_merge_dominated_regime_converges_to_three(self):
+        """With hop cost negligible against linear merge cost, the optimum
+        of f/ln f is e, i.e. fanout 3 in the integers."""
+        fanout = optimal_fanout(64, hop_seconds=0.0, merge_per_entry_seconds=1e-3, k=1000)
+        assert fanout == 3
+
+
+class TestAggregationTree:
+    def test_bad_leaf_count(self):
+        with pytest.raises(OverlayError):
+            AggregationTree(0)
+
+    def test_bad_fanout(self):
+        with pytest.raises(OverlayError):
+            AggregationTree(4, fanout=1)
+
+    def test_single_leaf_tree(self):
+        tree = AggregationTree(1)
+        assert tree.depth == 1
+        assert tree.aggregation_levels == 0
+        assert tree.internal_node_count() == 0
+        assert tree.root.is_leaf
+
+    @pytest.mark.parametrize(
+        "leaves,expected_depth",
+        [(2, 2), (3, 2), (4, 3), (9, 3), (10, 4), (27, 4), (28, 5), (81, 5)],
+    )
+    def test_depth_grows_at_powers_of_three(self, leaves, expected_depth):
+        """Paper 7.8: thresholds 'as the number of nodes passes a power of 3'."""
+        assert AggregationTree(leaves, fanout=3).depth == expected_depth
+
+    def test_every_leaf_present_exactly_once(self):
+        tree = AggregationTree(13, fanout=3)
+        seen = []
+
+        def walk(node):
+            if node.is_leaf:
+                seen.append(node.leaf_index)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(tree.root)
+        assert sorted(seen) == list(range(13))
+
+    def test_fanout_respected(self):
+        tree = AggregationTree(30, fanout=3)
+
+        def walk(node):
+            if node.is_leaf:
+                return
+            assert 1 <= len(node.children) <= 3
+            for child in node.children:
+                walk(child)
+
+        walk(tree.root)
+
+    def test_internal_node_count(self):
+        assert AggregationTree(9, fanout=3).internal_node_count() == 4  # 3 + root
+        assert AggregationTree(3, fanout=3).internal_node_count() == 1

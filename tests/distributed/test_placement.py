@@ -1,0 +1,129 @@
+"""Subscription placement strategies."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import Interval
+from repro.core.matcher import FXTMMatcher
+from repro.core.subscriptions import Constraint, Subscription
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.placement import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+)
+from repro.errors import OverlayError
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+def sub(sid):
+    return Subscription(sid, [Constraint("a", Interval(0, 10), 1.0)])
+
+
+class TestRoundRobin:
+    def test_cycles_through_nodes(self):
+        strategy = RoundRobinPlacement()
+        placements = [strategy.place(sub(i), 3) for i in range(7)]
+        assert placements == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_even_loads(self):
+        strategy = RoundRobinPlacement()
+        counts = [0, 0, 0, 0]
+        for index in range(102):
+            counts[strategy.place(sub(index), 4)] += 1
+        assert max(counts) - min(counts) <= 1
+
+
+class TestHashPlacement:
+    def test_stable_across_instances(self):
+        a, b = HashPlacement(), HashPlacement()
+        for index in range(50):
+            assert a.place(sub(index), 7) == b.place(sub(index), 7)
+
+    def test_same_sid_same_node_regardless_of_order(self):
+        strategy = HashPlacement()
+        first = strategy.place(sub("target"), 5)
+        for index in range(20):
+            strategy.place(sub(index), 5)
+        assert strategy.place(sub("target"), 5) == first
+
+    def test_spreads_reasonably(self):
+        strategy = HashPlacement()
+        counts = {}
+        for index in range(500):
+            node = strategy.place(sub(f"s{index}"), 5)
+            counts[node] = counts.get(node, 0) + 1
+        assert len(counts) == 5
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+class TestLeastLoaded:
+    def test_balances_after_skewed_cancellations(self):
+        strategy = LeastLoadedPlacement()
+        # Fill 3 nodes evenly.
+        for index in range(30):
+            strategy.place(sub(index), 3)
+        # Cancel 10 subscriptions, all from node 0.
+        for _ in range(10):
+            strategy.forget("whatever", 0)
+        # The next 10 placements must all go to the drained node.
+        placements = [strategy.place(sub(100 + i), 3) for i in range(10)]
+        assert placements == [0] * 10
+
+    def test_forget_never_goes_negative(self):
+        strategy = LeastLoadedPlacement()
+        strategy.forget("ghost", 2)
+        assert strategy.place(sub(1), 3) in (0, 1, 2)
+
+
+class TestSystemIntegration:
+    @pytest.mark.parametrize(
+        "strategy_cls", [RoundRobinPlacement, HashPlacement, LeastLoadedPlacement]
+    )
+    def test_results_placement_independent(self, strategy_cls):
+        """Placement is a performance knob; results must not change."""
+        rng = random.Random(81)
+        subs = random_subscriptions(rng, 150)
+        events = [random_event(rng) for _ in range(5)]
+        reference = FXTMMatcher(prorate=True)
+        for s in subs:
+            reference.add_subscription(s)
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=4,
+            placement=strategy_cls(),
+        )
+        system.add_subscriptions(subs)
+        for event in events:
+            got = [r.sid for r in system.match(event, 8).results]
+            expected = [r.sid for r in reference.match(event, 8)]
+            assert got == expected
+
+    def test_least_loaded_rebalances_in_system(self):
+        system = DistributedTopKSystem(
+            FXTMMatcher, node_count=3, placement=LeastLoadedPlacement()
+        )
+        for index in range(30):
+            system.add_subscription(sub(index))
+        # Cancel everything that landed on node 0.
+        for node0_sid in [s for s, owner in system._owner_of.items() if owner == 0]:
+            system.cancel_subscription(node0_sid)
+        before = len(system.nodes[0])
+        for index in range(100, 110):
+            system.add_subscription(sub(index))
+        assert len(system.nodes[0]) == before + 10
+
+    def test_bad_placement_result_rejected(self):
+        class Broken(RoundRobinPlacement):
+            def place(self, subscription, node_count):
+                return node_count + 5
+
+        system = DistributedTopKSystem(FXTMMatcher, node_count=2, placement=Broken())
+        with pytest.raises(OverlayError):
+            system.add_subscription(sub(1))

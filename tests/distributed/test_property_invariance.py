@@ -1,0 +1,94 @@
+"""Property: distribution is transparent.
+
+For any subscription set, any event, any node count, any placement, and
+any set of surviving leaves, the distributed answer equals a centralized
+matcher over the same (surviving) subscriptions.  hypothesis searches the
+cross-product for a counterexample.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.subscriptions import Constraint, Subscription
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.placement import (
+    HashPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+)
+
+_PLACEMENTS = [RoundRobinPlacement, HashPlacement, LeastLoadedPlacement]
+
+
+@st.composite
+def workloads(draw):
+    count = draw(st.integers(1, 30))
+    subs = []
+    for sid in range(count):
+        constraints = []
+        for attr in draw(st.sets(st.sampled_from("abcd"), min_size=1, max_size=3)):
+            low = draw(st.integers(0, 40))
+            width = draw(st.integers(0, 20))
+            # A per-sid epsilon keeps scores tie-free: top-k sets with
+            # boundary ties are legitimately non-unique (Definition 3),
+            # which would make the sid-level comparison meaningless.
+            weight = draw(st.floats(0.1, 3.0, allow_nan=False)) + sid * 1e-7
+            constraints.append(Constraint(attr, Interval(low, low + width), weight))
+        subs.append(Subscription(sid, constraints))
+    event_values = {}
+    for attr in draw(st.sets(st.sampled_from("abcd"), min_size=1, max_size=4)):
+        low = draw(st.integers(0, 40))
+        event_values[attr] = Interval(low, low + draw(st.integers(0, 20)))
+    return subs, Event(event_values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    workloads(),
+    st.integers(1, 7),
+    st.sampled_from(_PLACEMENTS),
+    st.integers(1, 10),
+)
+def test_distributed_equals_centralized(workload, node_count, placement_cls, k):
+    subs, event = workload
+    central = FXTMMatcher(prorate=True)
+    for subscription in subs:
+        central.add_subscription(subscription)
+    system = DistributedTopKSystem(
+        lambda: FXTMMatcher(prorate=True),
+        node_count=node_count,
+        placement=placement_cls(),
+    )
+    system.add_subscriptions(subs)
+    got = system.match(event, k).results
+    expected = central.match(event, k)
+    assert [(r.sid, round(r.score, 9)) for r in got] == [
+        (r.sid, round(r.score, 9)) for r in expected
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(workloads(), st.integers(2, 6), st.data())
+def test_degraded_match_equals_surviving_subset(workload, node_count, data):
+    subs, event = workload
+    system = DistributedTopKSystem(
+        lambda: FXTMMatcher(prorate=True), node_count=node_count
+    )
+    system.add_subscriptions(subs)
+    failed = data.draw(
+        st.sets(st.integers(0, node_count - 1), min_size=1, max_size=node_count - 1)
+    )
+    surviving = FXTMMatcher(prorate=True)
+    for subscription in subs:
+        if system._owner_of[subscription.sid] not in failed:
+            surviving.add_subscription(subscription)
+    outcome = system.match(event, 8, failed_leaves=failed)
+    expected = surviving.match(event, 8)
+    assert [(r.sid, round(r.score, 9)) for r in outcome.results] == [
+        (r.sid, round(r.score, 9)) for r in expected
+    ]
+    assert outcome.degraded

@@ -1,0 +1,173 @@
+"""End-to-end scenarios lifted from the paper's motivating examples."""
+
+import pytest
+
+from repro.core.attributes import UNKNOWN, Interval
+from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock
+from repro.core.controller import LocalController
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.parser import parse_event, parse_subscription
+from repro.core.subscriptions import Constraint, Subscription
+
+
+class TestAdExchangeIntro:
+    """Section 1.1's ad-exchange walk-through."""
+
+    def setup_method(self):
+        self.matcher = FXTMMatcher(prorate=True)
+        # Spring-break airfares: ages 18-24 in the tri-state area.
+        self.matcher.add_subscription(
+            parse_subscription(
+                "spring-break",
+                "age in [18, 24] : 2.0 and state in {Indiana, Illinois, Wisconsin} : 1.0",
+            )
+        )
+        # A competing ad that wants older consumers.
+        self.matcher.add_subscription(
+            parse_subscription("retirement", "age in [55, 80] : 3.0")
+        )
+        # A broad ad with a small weight everywhere.
+        self.matcher.add_subscription(
+            parse_subscription("generic", "state in {Indiana} : 0.3")
+        )
+
+    def test_paper_event_shape(self):
+        """{fName: Jack, lName: UNKNOWN, age: [18..29], state: Indiana}."""
+        event = Event(
+            {
+                "fName": "Jack",
+                "lName": UNKNOWN,
+                "age": Interval(18, 29),
+                "state": "Indiana",
+            }
+        )
+        results = self.matcher.match(event, k=2)
+        assert [r.sid for r in results] == ["spring-break", "generic"]
+        # age [18..29] vs [18,24]: overlap 6 of width 11 -> ~0.545 x 2.0.
+        assert results[0].score == pytest.approx(2.0 * 6 / 11 + 1.0)
+
+    def test_consumer_outside_every_target(self):
+        event = Event({"age": Interval(30, 40), "state": "Ohio"})
+        assert self.matcher.match(event, k=3) == []
+
+    def test_partial_information_still_matches(self):
+        """Missing attributes must not disqualify (paper 1.1(d))."""
+        event = Event({"state": "Indiana"})
+        results = self.matcher.match(event, k=3)
+        assert {r.sid for r in results} == {"spring-break", "generic"}
+
+    def test_k_limits_ads_per_access(self):
+        event = Event({"age": Interval(18, 24), "state": "Indiana"})
+        assert len(self.matcher.match(event, k=1)) == 1
+
+
+class TestPoliticalCampaign:
+    """Section 2.3's negative-weight voting-age scenario."""
+
+    def test_below_voting_age_suppressed(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            Subscription(
+                "campaign",
+                [
+                    Constraint("income", Interval(40_000, 150_000), 1.0),
+                    Constraint("gender", "F", 0.5),
+                    Constraint("age", Interval(0, 17), -2.0),
+                ],
+            )
+        )
+        voter = Event({"income": 60_000, "gender": "F", "age": 32})
+        minor = Event({"income": 60_000, "gender": "F", "age": 16})
+        assert matcher.match(voter, k=1)[0].score == pytest.approx(1.5)
+        assert matcher.match(minor, k=1) == []
+
+
+class TestConcertBudgetCampaign:
+    """Section 1.1's concert campaign: pace the budget over the window."""
+
+    def test_campaign_spend_tracks_window(self):
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        matcher = FXTMMatcher(budget_tracker=tracker)
+        matcher.add_subscription(
+            Subscription(
+                "concert",
+                [Constraint("city", "Lafayette", 1.0)],
+                budget=BudgetWindowSpec(budget=10, window_length=100),
+            )
+        )
+        matcher.add_subscription(
+            Subscription("rival", [Constraint("city", "Lafayette", 0.8)])
+        )
+        event = Event({"city": "Lafayette"})
+        winners = []
+        for _ in range(100):
+            results = matcher.match(event, k=1)
+            winners.append(results[0].sid)
+        spent = tracker.state_of("concert").spent
+        # The mechanism throttles the campaign toward its 10-match budget
+        # instead of letting it win all 100 events.
+        assert spent < 30
+        assert "rival" in winners
+
+    def test_custom_pacing_curve(self):
+        from repro.core.budget import PacingCurve
+
+        curve = PacingCurve(lambda t: t, resolution=64)  # back-loaded
+        spec = BudgetWindowSpec(budget=100, window_length=100, curve=curve)
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        tracker.register("s", spec)
+        tracker.record_match("s", cost=10)
+        clock.tick(50)
+        # Back-loaded curve: at half time only 25% of spend is due;
+        # 10/100 spent is under pace -> multiplier > 1.
+        assert tracker.multiplier("s") > 1.0
+
+
+class TestControllerEndToEnd:
+    """Section 6.1's two-stream controller, exercised textually."""
+
+    def test_request_file_replay(self):
+        controller = LocalController(FXTMMatcher(prorate=True))
+        stream = [
+            "# subscription stream",
+            "ADD job-1 experience in [3, 10] : 2.0 and city in {Lafayette} : 1.0",
+            "ADD job-2 experience in [0, 2] : 1.0",
+            "# event stream",
+            "MATCH 2 experience: [4 .. 6], city: Lafayette",
+            "CANCEL job-1",
+            "MATCH 2 experience: [4 .. 6], city: Lafayette",
+        ]
+        responses = list(controller.run(stream))
+        assert all(r.ok for r in responses)
+        first_match = responses[2]
+        assert [r.sid for r in first_match.results] == ["job-1"]
+        second_match = responses[4]
+        assert second_match.results == []
+
+    def test_job_matching_weights_on_either_side(self):
+        """Section 1.1(b): company weights vs applicant weights."""
+        matcher = FXTMMatcher(prorate=True)
+        matcher.add_subscription(
+            parse_subscription(
+                "applicant-amy", "experience in [2, 6] : 1.0 and distance in [0, 10] : 3.0"
+            )
+        )
+        matcher.add_subscription(
+            parse_subscription(
+                "applicant-bob", "experience in [5, 15] : 3.0 and distance in [0, 50] : 1.0"
+            )
+        )
+        # The company event weights experience over distance, overriding
+        # the applicants' own preferences: Bob's wide experience range
+        # covers far more of the posting's [5..20] band than Amy's.
+        company_view = parse_event("experience: [5 .. 20] @ 5.0, distance: [5 .. 5] @ 0.5")
+        results = matcher.match(company_view, k=2)
+        assert results[0].sid == "applicant-bob"
+        # Without event weights the applicants' own weights apply, and
+        # Amy's heavy preference for short distance flips the ranking.
+        applicant_view = parse_event("experience: [5 .. 20], distance: [5 .. 5]")
+        results = matcher.match(applicant_view, k=2)
+        assert results[0].sid == "applicant-amy"

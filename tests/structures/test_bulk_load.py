@@ -1,0 +1,140 @@
+"""Bulk construction: interval tree from_entries and FX-TM bulk_load."""
+
+import random
+
+import pytest
+
+from repro.core.matcher import FXTMMatcher
+from repro.errors import InvalidIntervalError, MatcherStateError
+from repro.structures.interval_tree import IntervalTree
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
+from conftest import random_event, random_subscriptions  # noqa: E402
+
+
+def random_entries(rng, count):
+    entries = []
+    for sid in range(count):
+        low = rng.uniform(0, 500)
+        entries.append((low, low + rng.uniform(0, 40), sid, rng.uniform(-1, 1)))
+    return entries
+
+
+class TestFromEntries:
+    def test_empty(self):
+        tree = IntervalTree.from_entries([])
+        assert len(tree) == 0
+        assert tree.stab(0, 100) == []
+
+    def test_equivalent_to_incremental(self):
+        rng = random.Random(41)
+        entries = random_entries(rng, 300)
+        bulk = IntervalTree.from_entries(entries)
+        incremental = IntervalTree()
+        for entry in entries:
+            incremental.insert(*entry)
+        bulk.check_invariants()
+        for _ in range(50):
+            qlo = rng.uniform(0, 500)
+            qhi = qlo + rng.uniform(0, 30)
+            assert sorted(bulk.stab(qlo, qhi)) == sorted(incremental.stab(qlo, qhi))
+
+    def test_balanced(self):
+        entries = [(float(i), float(i + 1), i, 0.0) for i in range(1023)]
+        tree = IntervalTree.from_entries(entries)
+        tree.check_invariants()
+        assert tree._root.height == 10  # perfectly balanced 2^10 - 1
+
+    def test_mutable_after_bulk_build(self):
+        entries = [(float(i), float(i + 2), i, 0.0) for i in range(50)]
+        tree = IntervalTree.from_entries(entries)
+        tree.insert(7.5, 8.5, "late", 1.0)
+        tree.delete(0.0, 2.0, 0)
+        tree.check_invariants()
+        assert "late" in {sid for _, _, sid, _ in tree.stab(8, 8)}
+
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(KeyError):
+            IntervalTree.from_entries([(1, 2, "a", 0.0), (1, 2, "a", 0.5)])
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalTree.from_entries([(5, 1, "a", 0.0)])
+
+    def test_unsorted_input_accepted(self):
+        entries = [(3.0, 4.0, "c", 0.0), (1.0, 2.0, "a", 0.0), (2.0, 3.0, "b", 0.0)]
+        tree = IntervalTree.from_entries(entries)
+        assert [sid for _, _, sid, _ in tree.items()] == ["a", "b", "c"]
+
+
+class TestMatcherBulkLoad:
+    def test_identical_results_to_incremental(self):
+        rng = random.Random(43)
+        subs = random_subscriptions(rng, 250, with_sets=True)
+        incremental = FXTMMatcher(prorate=True)
+        for sub in subs:
+            incremental.add_subscription(sub)
+        bulk = FXTMMatcher(prorate=True)
+        bulk.bulk_load(subs)
+        assert len(bulk) == len(incremental)
+        for _ in range(20):
+            event = random_event(rng)
+            assert bulk.match(event, 6) == incremental.match(event, 6)
+
+    def test_mutable_after_bulk_load(self):
+        rng = random.Random(47)
+        subs = random_subscriptions(rng, 100)
+        bulk = FXTMMatcher(prorate=True)
+        bulk.bulk_load(subs)
+        bulk.cancel_subscription(subs[0].sid)
+        extra = random_subscriptions(random.Random(48), 1)[0]
+        from repro.core.subscriptions import Subscription
+
+        # sids must stay mutually comparable within one matcher.
+        bulk.add_subscription(Subscription(99_999, extra.constraints))
+        assert 99_999 in bulk
+        assert subs[0].sid not in bulk
+
+    def test_nonempty_matcher_rejected(self):
+        rng = random.Random(49)
+        subs = random_subscriptions(rng, 5)
+        matcher = FXTMMatcher()
+        matcher.add_subscription(subs[0])
+        with pytest.raises(MatcherStateError):
+            matcher.bulk_load(subs[1:])
+
+    def test_failure_leaves_matcher_empty(self):
+        from repro.core.subscriptions import Constraint, Subscription
+        from repro.core.attributes import Interval
+        from repro.errors import DuplicateSubscriptionError
+
+        matcher = FXTMMatcher()
+        duplicated = [
+            Subscription("dup", [Constraint("a", Interval(0, 1))]),
+            Subscription("dup", [Constraint("a", Interval(2, 3))]),
+        ]
+        with pytest.raises(DuplicateSubscriptionError):
+            matcher.bulk_load(duplicated)
+        assert len(matcher) == 0
+        assert matcher._master_index == {}
+
+    def test_budget_registration(self):
+        from repro.core.budget import BudgetTracker, BudgetWindowSpec
+        from repro.core.subscriptions import Constraint, Subscription
+        from repro.core.attributes import Interval
+
+        tracker = BudgetTracker()
+        matcher = FXTMMatcher(budget_tracker=tracker)
+        matcher.bulk_load(
+            [
+                Subscription(
+                    "paced",
+                    [Constraint("a", Interval(0, 1))],
+                    budget=BudgetWindowSpec(budget=5, window_length=10),
+                )
+            ]
+        )
+        assert "paced" in tracker

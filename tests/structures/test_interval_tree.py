@@ -1,0 +1,221 @@
+"""Interval tree: overlap queries checked against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidIntervalError
+from repro.structures.interval_tree import IntervalTree
+
+
+def brute_force_stab(entries, qlo, qhi):
+    return sorted(
+        (low, high, sid, weight)
+        for (low, high, sid, weight) in entries
+        if low <= qhi and high >= qlo
+    )
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = IntervalTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.stab(0, 100) == []
+
+    def test_single_interval_hit(self):
+        tree = IntervalTree()
+        tree.insert(10, 20, "s1", 0.5)
+        assert tree.stab(15, 15) == [(10, 20, "s1", 0.5)]
+
+    def test_single_interval_miss(self):
+        tree = IntervalTree()
+        tree.insert(10, 20, "s1", 0.5)
+        assert tree.stab(21, 30) == []
+        assert tree.stab(0, 9) == []
+
+    def test_endpoints_inclusive(self):
+        tree = IntervalTree()
+        tree.insert(10, 20, "s1", 1.0)
+        assert tree.stab(20, 25) == [(10, 20, "s1", 1.0)]
+        assert tree.stab(5, 10) == [(10, 20, "s1", 1.0)]
+
+    def test_point_interval(self):
+        tree = IntervalTree()
+        tree.insert(5, 5, "point", 1.0)
+        assert tree.stab_point(5) == [(5, 5, "point", 1.0)]
+        assert tree.stab_point(5.0001) == []
+
+    def test_invalid_interval_raises(self):
+        tree = IntervalTree()
+        with pytest.raises(InvalidIntervalError):
+            tree.insert(10, 5, "bad", 0.0)
+
+    def test_invalid_query_raises(self):
+        tree = IntervalTree()
+        with pytest.raises(InvalidIntervalError):
+            tree.stab(10, 5)
+
+    def test_duplicate_entry_raises(self):
+        tree = IntervalTree()
+        tree.insert(1, 2, "s", 0.0)
+        with pytest.raises(KeyError):
+            tree.insert(1, 2, "s", 0.0)
+
+    def test_same_interval_different_sids_ok(self):
+        tree = IntervalTree()
+        tree.insert(1, 2, "a", 0.1)
+        tree.insert(1, 2, "b", 0.2)
+        assert len(tree) == 2
+        assert {sid for _, _, sid, _ in tree.stab(1, 2)} == {"a", "b"}
+
+    def test_delete(self):
+        tree = IntervalTree()
+        tree.insert(1, 5, "a", 0.0)
+        tree.insert(3, 9, "b", 0.0)
+        tree.delete(1, 5, "a")
+        assert len(tree) == 1
+        assert [sid for _, _, sid, _ in tree.stab(0, 10)] == ["b"]
+
+    def test_delete_missing_raises(self):
+        tree = IntervalTree()
+        tree.insert(1, 5, "a", 0.0)
+        with pytest.raises(KeyError):
+            tree.delete(1, 5, "other")
+
+    def test_clear(self):
+        tree = IntervalTree()
+        for i in range(10):
+            tree.insert(i, i + 1, i, 0.0)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.stab(0, 100) == []
+
+    def test_items_in_key_order(self):
+        tree = IntervalTree()
+        tree.insert(5, 9, "b", 0.0)
+        tree.insert(1, 3, "a", 0.0)
+        tree.insert(5, 7, "c", 0.0)
+        assert [e[:2] for e in tree.items()] == [(1, 3), (5, 7), (5, 9)]
+
+    def test_weights_returned(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "neg", -1.5)
+        assert tree.stab(5, 5)[0][3] == -1.5
+
+    def test_infinite_endpoints(self):
+        tree = IntervalTree()
+        tree.insert(101, float("inf"), "open", 1.0)
+        assert tree.stab(50, 100) == []
+        assert [sid for _, _, sid, _ in tree.stab(1000, 2000)] == ["open"]
+
+
+class TestBulkCorrectness:
+    def test_random_against_brute_force(self):
+        rng = random.Random(13)
+        tree = IntervalTree()
+        entries = []
+        for sid in range(500):
+            low = rng.uniform(0, 1000)
+            high = low + rng.uniform(0, 50)
+            weight = rng.uniform(-1, 1)
+            tree.insert(low, high, sid, weight)
+            entries.append((low, high, sid, weight))
+        tree.check_invariants()
+        for _ in range(100):
+            qlo = rng.uniform(0, 1000)
+            qhi = qlo + rng.uniform(0, 30)
+            assert sorted(tree.stab(qlo, qhi)) == brute_force_stab(entries, qlo, qhi)
+
+    def test_random_with_deletions(self):
+        rng = random.Random(29)
+        tree = IntervalTree()
+        entries = {}
+        for step in range(1500):
+            if entries and rng.random() < 0.4:
+                key = rng.choice(list(entries))
+                weight = entries.pop(key)
+                tree.delete(*key)
+            else:
+                low = rng.randrange(100)
+                high = low + rng.randrange(20)
+                sid = step
+                tree.insert(low, high, sid, 0.0)
+                entries[(low, high, sid)] = 0.0
+            if step % 300 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        all_entries = [(lo, hi, sid, w) for (lo, hi, sid), w in entries.items()]
+        for qlo in range(0, 100, 7):
+            assert sorted(tree.stab(qlo, qlo + 5)) == brute_force_stab(
+                all_entries, qlo, qlo + 5
+            )
+
+    def test_ascending_inserts_stay_balanced(self):
+        tree = IntervalTree()
+        for i in range(1024):
+            tree.insert(i, i + 1, i, 0.0)
+        tree.check_invariants()
+        # AVL height bound: 1.44 * log2(n) + 2.
+        assert tree._root.height <= 17
+
+    def test_nested_intervals(self):
+        tree = IntervalTree()
+        for i in range(50):
+            tree.insert(50 - i, 50 + i, i, 0.0)
+        hits = tree.stab(50, 50)
+        assert len(hits) == 50
+
+    def test_disjoint_intervals_output_sensitive(self):
+        tree = IntervalTree()
+        for i in range(100):
+            tree.insert(i * 10, i * 10 + 5, i, 0.0)
+        assert [sid for _, _, sid, _ in tree.stab(46, 49)] == []
+        assert [sid for _, _, sid, _ in tree.stab(40, 44)] == [4]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 100),
+            st.integers(0, 40),
+            st.floats(-2, 2, allow_nan=False),
+        ),
+        max_size=80,
+    ),
+    st.integers(0, 120),
+    st.integers(0, 30),
+)
+def test_property_stab_equals_brute_force(raw, qlo, span):
+    """Any interval set, any query: tree output == brute-force filter."""
+    tree = IntervalTree()
+    entries = []
+    for sid, (low, width, weight) in enumerate(raw):
+        tree.insert(low, low + width, sid, weight)
+        entries.append((low, low + width, sid, weight))
+    qhi = qlo + span
+    assert sorted(tree.stab(qlo, qhi)) == brute_force_stab(entries, qlo, qhi)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 60), st.integers(0, 20)), min_size=1, max_size=60),
+    st.data(),
+)
+def test_property_delete_then_query(raw, data):
+    """After deleting any subset, queries reflect exactly the remainder."""
+    tree = IntervalTree()
+    entries = []
+    for sid, (low, width) in enumerate(raw):
+        tree.insert(low, low + width, sid, 1.0)
+        entries.append((low, low + width, sid, 1.0))
+    doomed = data.draw(st.lists(st.sampled_from(entries), unique=True))
+    for low, high, sid, _ in doomed:
+        tree.delete(low, high, sid)
+    surviving = [e for e in entries if e not in doomed]
+    assert sorted(tree.stab(0, 100)) == brute_force_stab(surviving, 0, 100)
+    tree.check_invariants()

@@ -1,0 +1,227 @@
+"""Red-black tree: unit tests and model-based property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert not tree
+        assert 1 not in tree
+        assert list(tree) == []
+
+    def test_single_insert_and_get(self):
+        tree = RedBlackTree()
+        tree.insert(5, "five")
+        assert len(tree) == 1
+        assert tree
+        assert 5 in tree
+        assert tree.get(5) == "five"
+
+    def test_get_default_for_missing(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        assert tree.get(2) is None
+        assert tree.get(2, "fallback") == "fallback"
+
+    def test_duplicate_insert_raises(self):
+        tree = RedBlackTree()
+        tree.insert(1, "a")
+        with pytest.raises(KeyError):
+            tree.insert(1, "b")
+
+    def test_replace_overwrites(self):
+        tree = RedBlackTree()
+        tree.replace(1, "a")
+        tree.replace(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_replace_inserts_when_absent(self):
+        tree = RedBlackTree()
+        tree.replace(3, "c")
+        assert tree.get(3) == "c"
+
+    def test_delete_returns_value(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert len(tree) == 0
+        assert 1 not in tree
+
+    def test_delete_missing_raises(self):
+        tree = RedBlackTree()
+        with pytest.raises(KeyError):
+            tree.delete(42)
+
+    def test_clear(self):
+        tree = RedBlackTree()
+        for i in range(10):
+            tree.insert(i, i)
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_bool_protocol(self):
+        tree = RedBlackTree()
+        assert not tree
+        tree.insert(0, None)
+        assert tree
+
+
+class TestOrdering:
+    def test_items_sorted(self):
+        tree = RedBlackTree()
+        keys = [5, 3, 8, 1, 9, 2, 7]
+        for key in keys:
+            tree.insert(key, str(key))
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_iter_yields_keys_ascending(self):
+        tree = RedBlackTree()
+        for key in (3, 1, 2):
+            tree.insert(key, None)
+        assert list(tree) == [1, 2, 3]
+
+    def test_values_follow_key_order(self):
+        tree = RedBlackTree()
+        tree.insert(2, "b")
+        tree.insert(1, "a")
+        assert list(tree.values()) == ["a", "b"]
+
+    def test_min_item(self):
+        tree = RedBlackTree()
+        for key in (5, 2, 8):
+            tree.insert(key, key * 10)
+        assert tree.min_item() == (2, 20)
+
+    def test_max_item(self):
+        tree = RedBlackTree()
+        for key in (5, 2, 8):
+            tree.insert(key, key * 10)
+        assert tree.max_item() == (8, 80)
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            RedBlackTree().min_item()
+
+    def test_max_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            RedBlackTree().max_item()
+
+    def test_pop_min_removes_in_order(self):
+        tree = RedBlackTree()
+        for key in (4, 1, 3, 2):
+            tree.insert(key, None)
+        popped = [tree.pop_min()[0] for _ in range(4)]
+        assert popped == [1, 2, 3, 4]
+        with pytest.raises(KeyError):
+            tree.pop_min()
+
+    def test_successor_item(self):
+        tree = RedBlackTree()
+        for key in (10, 20, 30):
+            tree.insert(key, key)
+        assert tree.successor_item(10) == (20, 20)
+        assert tree.successor_item(15) == (20, 20)
+        assert tree.successor_item(30) is None
+        assert tree.successor_item(5) == (10, 10)
+
+    def test_composite_tuple_keys(self):
+        tree = RedBlackTree()
+        tree.insert((1.5, "b"), None)
+        tree.insert((1.5, "a"), None)
+        tree.insert((0.5, "z"), None)
+        assert list(tree) == [(0.5, "z"), (1.5, "a"), (1.5, "b")]
+
+
+class TestInvariants:
+    def test_invariants_after_ascending_inserts(self):
+        tree = RedBlackTree()
+        for key in range(200):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_invariants_after_descending_inserts(self):
+        tree = RedBlackTree()
+        for key in reversed(range(200)):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_invariants_after_interleaved_delete(self):
+        tree = RedBlackTree()
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(0, 100, 2):
+            tree.delete(key)
+        tree.check_invariants()
+        assert list(tree) == list(range(1, 100, 2))
+
+    def test_random_workload_keeps_invariants(self):
+        rng = random.Random(7)
+        tree = RedBlackTree()
+        model = {}
+        for step in range(2000):
+            key = rng.randrange(300)
+            if key in model:
+                assert tree.delete(key) == model.pop(key)
+            else:
+                value = rng.random()
+                tree.insert(key, value)
+                model[key] = value
+            if step % 250 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert dict(tree.items()) == model
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), unique=True))
+def test_property_matches_sorted_model(keys):
+    """Inserting any unique key set yields exactly sorted(keys)."""
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, -key)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    tree.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), unique=True, min_size=1),
+    st.data(),
+)
+def test_property_delete_subset(keys, data):
+    """Deleting any subset leaves exactly the complement, still balanced."""
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, None)
+    to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for key in to_delete:
+        tree.delete(key)
+    remaining = sorted(set(keys) - set(to_delete))
+    assert list(tree) == remaining
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=200))
+def test_property_mixed_ops_match_dict_model(operations):
+    """A random insert/delete stream behaves like a dict + sorted view."""
+    tree = RedBlackTree()
+    model = {}
+    for is_insert, key in operations:
+        if is_insert and key not in model:
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        elif not is_insert and key in model:
+            assert tree.delete(key) == model.pop(key)
+    assert list(tree.items()) == sorted(model.items())
+    tree.check_invariants()

@@ -1,0 +1,160 @@
+"""Stateful property testing: arbitrary op sequences against models.
+
+hypothesis drives random interleavings of inserts, deletes, and queries,
+checking after every step that the structures agree with trivial Python
+models and that their internal invariants hold.  This catches rebalance
+bugs that fixed scenarios (and even one-shot property tests) miss —
+e.g. a rotation that forgets to refresh an augmentation only breaks
+queries several operations later.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.structures.interval_tree import IntervalTree
+from repro.structures.rbtree import RedBlackTree
+from repro.structures.treeset import ScoredTreeSet
+
+
+class RedBlackTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = RedBlackTree()
+        self.model = {}
+
+    @rule(key=st.integers(0, 100), value=st.integers())
+    def insert(self, key, value):
+        if key in self.model:
+            return
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(0, 100))
+    def delete(self, key):
+        if key not in self.model:
+            return
+        assert self.tree.delete(key) == self.model.pop(key)
+
+    @rule(key=st.integers(0, 100), value=st.integers())
+    def replace(self, key, value):
+        self.tree.replace(key, value)
+        self.model[key] = value
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop_min(self):
+        key, value = self.tree.pop_min()
+        expected_key = min(self.model)
+        assert key == expected_key
+        assert value == self.model.pop(expected_key)
+
+    @rule(key=st.integers(0, 100))
+    def lookup(self, key):
+        assert self.tree.get(key, "absent") == self.model.get(key, "absent")
+
+    @invariant()
+    def inorder_matches_model(self):
+        assert list(self.tree.items()) == sorted(self.model.items())
+
+    @invariant()
+    def structure_invariants(self):
+        self.tree.check_invariants()
+
+
+class IntervalTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = IntervalTree()
+        self.entries = {}
+        self.counter = 0
+
+    @rule(low=st.integers(0, 50), width=st.integers(0, 20), weight=st.floats(-2, 2, allow_nan=False))
+    def insert(self, low, width, weight):
+        sid = self.counter
+        self.counter += 1
+        self.tree.insert(low, low + width, sid, weight)
+        self.entries[sid] = (low, low + width, weight)
+
+    @precondition(lambda self: self.entries)
+    @rule(data=st.data())
+    def delete(self, data):
+        sid = data.draw(st.sampled_from(sorted(self.entries)))
+        low, high, _weight = self.entries.pop(sid)
+        self.tree.delete(low, high, sid)
+
+    @rule(qlo=st.integers(0, 60), span=st.integers(0, 15))
+    def stab(self, qlo, span):
+        qhi = qlo + span
+        got = sorted(self.tree.stab(qlo, qhi))
+        expected = sorted(
+            (low, high, sid, weight)
+            for sid, (low, high, weight) in self.entries.items()
+            if low <= qhi and high >= qlo
+        )
+        assert got == expected
+
+    @invariant()
+    def size_and_structure(self):
+        assert len(self.tree) == len(self.entries)
+        self.tree.check_invariants()
+
+
+class ScoredTreeSetMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.treeset = ScoredTreeSet()
+        self.model = {}
+        self.counter = 0
+
+    @rule(score=st.floats(-100, 100, allow_nan=False))
+    def add(self, score):
+        sid = self.counter
+        self.counter += 1
+        self.treeset.add(sid, score)
+        self.model[sid] = score
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def remove_min(self):
+        sid, score = self.treeset.remove_min()
+        expected_score = min(self.model.values())
+        assert score == expected_score
+        assert self.model.pop(sid) == score
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove_id(self, data):
+        sid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.treeset.remove_id(sid) == self.model.pop(sid)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def find_extremes(self):
+        _min_sid, min_score = self.treeset.find_min()
+        _max_sid, max_score = self.treeset.find_max()
+        assert min_score == min(self.model.values())
+        assert max_score == max(self.model.values())
+
+    @invariant()
+    def ascending_and_complete(self):
+        entries = self.treeset.get_all()
+        scores = [score for _sid, score in entries]
+        assert scores == sorted(scores)
+        assert {sid for sid, _ in entries} == set(self.model)
+
+
+TestRedBlackTreeMachine = RedBlackTreeMachine.TestCase
+TestRedBlackTreeMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestIntervalTreeMachine = IntervalTreeMachine.TestCase
+TestIntervalTreeMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestScoredTreeSetMachine = ScoredTreeSetMachine.TestCase
+TestScoredTreeSetMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)

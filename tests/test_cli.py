@@ -1,0 +1,131 @@
+"""The command-line front end."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main, serve
+from repro.core.controller import LocalController
+from repro.core.matcher import FXTMMatcher
+
+
+REQUESTS = """\
+ADD ad-1 age in [18, 24] : 2.0 and state in {Indiana} : 1.0
+ADD ad-2 age in [30, 50] : 1.0
+MATCH 5 age: [20 .. 30], state: Indiana
+CANCEL ad-2
+MATCH 1 age: [35 .. 40]
+"""
+
+
+class TestServe:
+    def test_responses_one_per_request(self):
+        controller = LocalController(FXTMMatcher(prorate=True))
+        out = io.StringIO()
+        failures = serve(REQUESTS.splitlines(), controller, out)
+        lines = out.getvalue().splitlines()
+        assert failures == 0
+        assert lines[0] == "ok ADD ad-1"
+        assert lines[1] == "ok ADD ad-2"
+        assert lines[2].startswith("match [ad-1=")
+        assert lines[3] == "ok CANCEL ad-2"
+        assert lines[4] == "match []"
+
+    def test_failures_counted_and_reported(self):
+        controller = LocalController(FXTMMatcher())
+        out = io.StringIO()
+        failures = serve(["CANCEL ghost", "BOGUS"], controller, out)
+        assert failures == 2
+        assert out.getvalue().count("error") == 2
+
+
+class TestMain:
+    def test_stdin_replay(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(REQUESTS))
+        assert main(["--prorate"]) == 0
+        out = capsys.readouterr().out
+        assert "ok ADD ad-1" in out
+        assert "match [ad-1=" in out
+
+    def test_request_file(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        path.write_text(REQUESTS)
+        assert main(["--prorate", str(path)]) == 0
+        assert "match [ad-1=" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("CANCEL nobody\n")
+        assert main([str(path)]) == 1
+
+    def test_save_and_load_round_trip(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD ad-1 age in [18, 24] : 2.0\n")
+        snapshot = tmp_path / "state.jsonl"
+        assert main(["--save", str(snapshot), str(requests)]) == 0
+        assert snapshot.exists()
+
+        query = tmp_path / "query.txt"
+        query.write_text("MATCH 1 age: [20 .. 22]\n")
+        assert main(["--load", str(snapshot), str(query)]) == 0
+        captured = capsys.readouterr()
+        assert "match [ad-1=" in captured.out
+        assert "loaded 1 subscriptions" in captured.err
+
+    def test_stats_flag(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["--stats", str(requests)]) == 0
+        err = capsys.readouterr().err
+        assert "matches: 1" in err
+
+    def test_algorithm_selection(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        for algorithm in ("be-star", "fagin", "naive"):
+            assert main(["--algorithm", algorithm, str(requests)]) == 0
+            assert "match [a=" in capsys.readouterr().out
+
+    def test_budget_flag(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text(
+            "ADD a x in [1, 2] BUDGET 10 WINDOW 100\nMATCH 1 x: 1\n"
+        )
+        assert main(["--budget", str(requests)]) == 0
+        assert "match [a=" in capsys.readouterr().out
+
+    def test_parser_help_smoke(self):
+        parser = build_parser()
+        assert "fx-tm" in parser.format_help()
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_entry_point(self, tmp_path):
+        """`python -m repro.cli` is the documented deployment surface."""
+        import subprocess
+        import sys
+
+        requests = tmp_path / "r.txt"
+        requests.write_text("ADD a x in [1, 2] : 2.0\nMATCH 1 x: 1\n")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--prorate", str(requests)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "ok ADD a" in completed.stdout
+        assert "match [a=2.000]" in completed.stdout
+
+    def test_run_all_module_listing(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.bench.run_all", "--list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "fig7" in completed.stdout

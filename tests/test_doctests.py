@@ -1,0 +1,47 @@
+"""Run the usage examples embedded in module/class docstrings.
+
+Doc examples rot silently unless executed; this collects every module
+with ``>>>`` examples and runs them with ELLIPSIS enabled (some examples
+elide computed values).
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.attributes
+import repro.core.controller
+import repro.core.matcher
+import repro.core.parser
+import repro.core.subscriptions
+import repro.distributed.cluster
+import repro.distributed.overlay
+import repro.structures.interval_tree
+import repro.structures.rbtree
+import repro.structures.treeset
+import repro.workloads.generator
+
+MODULES = [
+    repro.core.attributes,
+    repro.core.controller,
+    repro.core.matcher,
+    repro.core.parser,
+    repro.core.subscriptions,
+    repro.distributed.cluster,
+    repro.distributed.overlay,
+    repro.structures.interval_tree,
+    repro.structures.rbtree,
+    repro.structures.treeset,
+    repro.workloads.generator,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"

@@ -1,0 +1,45 @@
+"""Table 2 constants and their use by the workload configs."""
+
+from repro.workloads import defaults
+from repro.workloads.generator import MicroWorkloadConfig
+from repro.workloads.imdb import IMDBWorkloadConfig
+from repro.workloads.yahoo import YahooWorkloadConfig
+
+
+class TestTable2Constants:
+    def test_generated_column(self):
+        assert defaults.GENERATED_N == 100_000
+        assert defaults.GENERATED_M == 12
+        assert defaults.GENERATED_UNIVERSE == 100
+        assert defaults.GENERATED_SELECTIVITY == 0.22
+
+    def test_imdb_column(self):
+        assert defaults.IMDB_N == 100_000
+        assert defaults.IMDB_M == 3
+        assert defaults.IMDB_SELECTIVITY == 0.14
+
+    def test_yahoo_column(self):
+        assert defaults.YAHOO_N == 10_000
+        assert defaults.YAHOO_M_AVG == 5.4
+        assert defaults.YAHOO_ATTRIBUTE_UNIVERSE == 22_202
+        assert defaults.YAHOO_SELECTIVITY == 0.11
+
+    def test_k_percentages(self):
+        assert defaults.DEFAULT_K_PERCENT == 1.0
+        assert defaults.DEFAULT_K_PERCENT_ALT == 2.0
+
+
+class TestConfigsUseDefaults:
+    def test_micro_config(self):
+        config = MicroWorkloadConfig()
+        assert config.m == defaults.GENERATED_M
+        assert config.universe == defaults.GENERATED_UNIVERSE
+        assert config.selectivity == defaults.GENERATED_SELECTIVITY
+
+    def test_imdb_config(self):
+        assert IMDBWorkloadConfig().selectivity == defaults.IMDB_SELECTIVITY
+
+    def test_yahoo_config(self):
+        config = YahooWorkloadConfig()
+        assert config.selectivity == defaults.YAHOO_SELECTIVITY
+        assert abs(config.mean_attribute_count - defaults.YAHOO_M_AVG) < 0.01

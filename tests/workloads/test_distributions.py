@@ -1,0 +1,74 @@
+"""Sampling helpers."""
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import ZipfSampler, clipped_gauss, lognormal_int
+
+
+class TestZipfSampler:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=-1)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(10, 1.0)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= sampler.sample(rng) < 10
+
+    def test_skew_favours_low_ranks(self):
+        sampler = ZipfSampler(100, 1.2)
+        rng = random.Random(2)
+        draws = [sampler.sample(rng) for _ in range(3000)]
+        top_decile = sum(1 for d in draws if d < 10)
+        assert top_decile / len(draws) > 0.4
+
+    def test_zero_exponent_is_uniformish(self):
+        sampler = ZipfSampler(10, 0.0)
+        rng = random.Random(3)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        for rank in range(10):
+            share = draws.count(rank) / len(draws)
+            assert share == pytest.approx(0.1, abs=0.03)
+
+    def test_sample_distinct(self):
+        sampler = ZipfSampler(20, 0.8)
+        rng = random.Random(4)
+        drawn = sampler.sample_distinct(rng, 8)
+        assert len(drawn) == len(set(drawn)) == 8
+        assert all(0 <= d < 20 for d in drawn)
+
+    def test_sample_distinct_full_universe(self):
+        sampler = ZipfSampler(5, 1.0)
+        rng = random.Random(5)
+        assert sorted(sampler.sample_distinct(rng, 5)) == [0, 1, 2, 3, 4]
+
+    def test_sample_distinct_too_many(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3).sample_distinct(random.Random(6), 4)
+
+
+class TestScalarDistributions:
+    def test_clipped_gauss_bounds(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            value = clipped_gauss(rng, 5.0, 10.0, 0.0, 10.0)
+            assert 0.0 <= value <= 10.0
+
+    def test_lognormal_floor(self):
+        rng = random.Random(8)
+        for _ in range(500):
+            assert lognormal_int(rng, 0.0, 3.0, minimum=5) >= 5
+
+    def test_lognormal_is_skewed(self):
+        rng = random.Random(9)
+        draws = [lognormal_int(rng, 5.0, 2.0) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        median = sorted(draws)[len(draws) // 2]
+        assert mean > 2 * median  # heavy right tail

@@ -1,0 +1,130 @@
+"""Micro-benchmark workload generator."""
+
+import pytest
+
+from repro.core.attributes import Interval
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return MicroWorkload(MicroWorkloadConfig(n=300, seed=42))
+
+
+class TestConfigValidation:
+    def test_defaults_match_table2(self):
+        config = MicroWorkloadConfig()
+        assert config.universe == 100
+        assert config.m == 12
+        assert config.selectivity == 0.22
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(n=0)
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(m=0)
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(m=101, universe=100)
+
+    def test_bad_selectivity(self):
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(selectivity=0.0)
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(selectivity=1.0)
+
+    def test_bad_domain(self):
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(domain_low=10, domain_high=5)
+
+    def test_bad_negative_fraction(self):
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(negative_weight_fraction=1.5)
+
+    def test_with_selectivity_copy(self):
+        config = MicroWorkloadConfig().with_selectivity(0.5)
+        assert config.selectivity == 0.5
+        assert config.m == 12
+
+    def test_event_m_defaults_to_m(self):
+        assert MicroWorkloadConfig(m=7).effective_event_m == 7
+        assert MicroWorkloadConfig(m=7, event_m=3).effective_event_m == 3
+
+
+class TestGeneration:
+    def test_subscription_count_and_ids(self, workload):
+        subs = workload.subscriptions()
+        assert len(subs) == 300
+        assert [s.sid for s in subs] == list(range(300))
+
+    def test_sid_offset(self, workload):
+        subs = workload.subscriptions(count=5, sid_offset=1000)
+        assert [s.sid for s in subs] == [1000, 1001, 1002, 1003, 1004]
+
+    def test_m_constraints_each(self, workload):
+        for sub in workload.subscriptions(count=20):
+            assert sub.size == 12
+
+    def test_attributes_within_universe(self, workload):
+        for sub in workload.subscriptions(count=20):
+            for constraint in sub.constraints:
+                index = int(constraint.attribute[1:])
+                assert 0 <= index < 100
+
+    def test_intervals_within_domain(self, workload):
+        config = workload.config
+        for sub in workload.subscriptions(count=20):
+            for constraint in sub.constraints:
+                interval = constraint.interval()
+                assert config.domain_low <= interval.low <= interval.high <= config.domain_high
+
+    def test_mixed_weight_signs(self, workload):
+        """Paper 7.2: generated data contains positive AND negative weights."""
+        weights = [
+            c.weight for s in workload.subscriptions(count=100) for c in s.constraints
+        ]
+        assert any(w > 0 for w in weights)
+        assert any(w < 0 for w in weights)
+
+    def test_events_have_interval_values(self, workload):
+        for event in workload.events(10):
+            for _name, value in event.known_items():
+                assert isinstance(value, Interval)
+
+    def test_determinism(self):
+        a = MicroWorkload(MicroWorkloadConfig(n=50, seed=7))
+        b = MicroWorkload(MicroWorkloadConfig(n=50, seed=7))
+        assert a.subscriptions() == b.subscriptions()
+        assert a.events(5) == b.events(5)
+        assert a.width_scale == b.width_scale
+
+    def test_different_seeds_differ(self):
+        a = MicroWorkload(MicroWorkloadConfig(n=50, seed=7))
+        b = MicroWorkload(MicroWorkloadConfig(n=50, seed=8))
+        assert a.subscriptions() != b.subscriptions()
+
+    def test_event_streams_independent(self, workload):
+        assert workload.events(5, stream=0) != workload.events(5, stream=1)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.1, 0.22, 0.5])
+    def test_selectivity_hits_target(self, target):
+        workload = MicroWorkload(MicroWorkloadConfig(n=100, selectivity=target, seed=3))
+        measured = workload.measured_selectivity()
+        assert measured == pytest.approx(target, abs=0.05)
+
+    def test_infeasible_target_raises(self):
+        """With tiny m over a huge universe, attribute sharing caps S/N."""
+        with pytest.raises(ValueError):
+            MicroWorkload(
+                MicroWorkloadConfig(
+                    n=100, m=1, universe=100, selectivity=0.9, zipf_exponent=0.0, seed=3
+                )
+            )
+
+    def test_width_scale_monotone_in_target(self):
+        low = MicroWorkload(MicroWorkloadConfig(n=100, selectivity=0.1, seed=3))
+        high = MicroWorkload(MicroWorkloadConfig(n=100, selectivity=0.6, seed=3))
+        assert low.width_scale < high.width_scale

@@ -1,0 +1,101 @@
+"""Workload trace persistence."""
+
+import json
+
+import pytest
+
+from repro.core.codec import CodecError
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+from repro.workloads.imdb import IMDBWorkload, IMDBWorkloadConfig
+from repro.workloads.io import WorkloadTrace, load_trace, save_trace
+from repro.workloads.yahoo import YahooWorkload, YahooWorkloadConfig
+
+
+class TestRoundTrip:
+    def test_micro_workload(self, tmp_path):
+        workload = MicroWorkload(MicroWorkloadConfig(n=40, seed=3))
+        trace = WorkloadTrace(
+            subscriptions=workload.subscriptions(),
+            events=workload.events(10),
+            metadata={"dataset": "generated", "seed": 3},
+        )
+        path = tmp_path / "micro.trace"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert restored.subscriptions == trace.subscriptions
+        assert restored.events == trace.events
+        assert restored.metadata == trace.metadata
+        assert restored.n == 40
+
+    def test_yahoo_workload_with_discrete_attrs(self, tmp_path):
+        workload = YahooWorkload(YahooWorkloadConfig(n=30))
+        trace = WorkloadTrace(
+            subscriptions=workload.subscriptions(), events=workload.events(5)
+        )
+        path = tmp_path / "yahoo.trace"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert restored.subscriptions == trace.subscriptions
+        assert restored.events == trace.events
+
+    def test_imdb_workload(self, tmp_path):
+        workload = IMDBWorkload(IMDBWorkloadConfig(n=30))
+        trace = WorkloadTrace(
+            subscriptions=workload.subscriptions(), events=workload.events(5)
+        )
+        path = tmp_path / "imdb.trace"
+        save_trace(trace, path)
+        assert load_trace(path).subscriptions == trace.subscriptions
+
+    def test_matching_on_restored_trace_identical(self, tmp_path):
+        from repro.core.matcher import FXTMMatcher
+
+        workload = MicroWorkload(MicroWorkloadConfig(n=60, seed=9))
+        trace = WorkloadTrace(
+            subscriptions=workload.subscriptions(), events=workload.events(5)
+        )
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        restored = load_trace(path)
+
+        original = FXTMMatcher(prorate=True)
+        replayed = FXTMMatcher(prorate=True)
+        for sub in trace.subscriptions:
+            original.add_subscription(sub)
+        for sub in restored.subscriptions:
+            replayed.add_subscription(sub)
+        for original_event, replayed_event in zip(trace.events, restored.events):
+            assert original.match(original_event, 5) == replayed.match(replayed_event, 5)
+
+
+class TestValidation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("")
+        with pytest.raises(CodecError):
+            load_trace(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "other"
+        path.write_text(json.dumps({"kind": "nope", "v": 1}) + "\n")
+        with pytest.raises(CodecError):
+            load_trace(path)
+
+    def test_truncation_detected(self, tmp_path):
+        workload = MicroWorkload(MicroWorkloadConfig(n=10, seed=1))
+        trace = WorkloadTrace(subscriptions=workload.subscriptions())
+        path = tmp_path / "trunc.trace"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")  # drop two records
+        with pytest.raises(CodecError):
+            load_trace(path)
+
+    def test_unknown_record_tag(self, tmp_path):
+        path = tmp_path / "tagged"
+        header = {"kind": "repro-workload-trace", "v": 1, "metadata": {}}
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps({"t": "mystery", "data": {}}) + "\n"
+        )
+        with pytest.raises(CodecError):
+            load_trace(path)
