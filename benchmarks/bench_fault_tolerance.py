@@ -1,0 +1,79 @@
+"""Fault tolerance: replication overhead and degraded-match latency.
+
+pytest-benchmark times one full distributed match; the simulated
+parallel end-to-end latency (including timeout/backoff waiting on
+degraded paths) is reported via ``extra_info``.
+
+Three scenarios, all on the same workload and overlay:
+
+* ``r1-healthy``   — the unreplicated baseline;
+* ``r2-healthy``   — replication factor 2, no failures (the overhead of
+  matching every subscription twice and deduplicating the merge);
+* ``r2-one-crash`` — replication factor 2 with one crashed, quarantined
+  leaf (answers stay exact; the degraded path's latency cost).
+"""
+
+import itertools
+
+import pytest
+
+from conftest import BENCH_N
+from repro.bench.harness import make_matcher
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+NODE_COUNT = 9
+
+_STATE = {}
+
+SCENARIOS = {
+    "r1-healthy": dict(replication_factor=1, crash=None),
+    "r2-healthy": dict(replication_factor=2, crash=None),
+    "r2-one-crash": dict(replication_factor=2, crash=4),
+}
+
+
+def system_for(scenario):
+    if scenario not in _STATE:
+        workload = _STATE.setdefault(
+            "workload", MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
+        )
+        spec = SCENARIOS[scenario]
+        system = DistributedTopKSystem(
+            lambda: make_matcher("fx-tm", prorate=True),
+            node_count=NODE_COUNT,
+            replication_factor=spec["replication_factor"],
+        )
+        system.add_subscriptions(workload.subscriptions())
+        if spec["crash"] is not None:
+            system.crash_leaf(spec["crash"])
+        _STATE[scenario] = (system, itertools.cycle(workload.events(10)))
+    return _STATE[scenario]
+
+
+@pytest.mark.parametrize("scenario", list(SCENARIOS))
+def test_fault_tolerance_match(benchmark, scenario):
+    system, events = system_for(scenario)
+    k = max(1, BENCH_N // 100)
+    outcomes = []
+
+    def run():
+        outcomes.append(system.match(next(events), k))
+
+    benchmark(run)
+    last = outcomes[-1]
+    benchmark.extra_info.update(
+        {
+            "scenario": scenario,
+            "nodes": NODE_COUNT,
+            "replication_factor": system.replication.factor,
+            "coverage": round(last.coverage, 4),
+            "degraded": last.degraded,
+            "simulated_total_ms": round(last.total_seconds * 1e3, 4),
+            "mean_local_ms": round(last.mean_local_seconds * 1e3, 4),
+        }
+    )
+    if scenario == "r2-one-crash":
+        # One crash under r=2 must not cost coverage.
+        assert last.coverage == 1.0
+        assert not last.degraded

@@ -2,13 +2,22 @@
 
 Local matching and merging run for real and are measured; only the
 network follows a latency model — see DESIGN.md's substitution table.
+Fault tolerance (deterministic fault injection, heartbeat failure
+detection, replicated placement, retry/backoff, recovery) is documented
+in docs/fault_tolerance.md.
 """
 
 from repro.distributed.autoscale import AutoscalePlan, plan_distribution
-from repro.distributed.cluster import DistributedMatchOutcome, DistributedTopKSystem
+from repro.distributed.cluster import (
+    DistributedMatchOutcome,
+    DistributedTopKSystem,
+    RecoveryReport,
+)
 from repro.distributed.controller import DistributedController, DistributedResponse
+from repro.distributed.faults import FaultInjector, FaultPlan, MatchFaults
+from repro.distributed.health import HealthTracker, LeafState
 from repro.distributed.merge import merge_topk
-from repro.distributed.network import LatencyModel
+from repro.distributed.network import LatencyModel, RetryPolicy
 from repro.distributed.node import MatcherNode
 from repro.distributed.overlay import AggregationTree, OverlayNode, optimal_fanout
 from repro.distributed.placement import (
@@ -17,6 +26,7 @@ from repro.distributed.placement import (
     PlacementStrategy,
     RoundRobinPlacement,
 )
+from repro.distributed.replication import ReplicatedPlacement
 
 __all__ = [
     "AggregationTree",
@@ -25,12 +35,20 @@ __all__ = [
     "DistributedMatchOutcome",
     "DistributedResponse",
     "DistributedTopKSystem",
+    "FaultInjector",
+    "FaultPlan",
     "HashPlacement",
+    "HealthTracker",
     "LatencyModel",
+    "LeafState",
     "LeastLoadedPlacement",
+    "MatchFaults",
     "MatcherNode",
     "OverlayNode",
     "PlacementStrategy",
+    "RecoveryReport",
+    "ReplicatedPlacement",
+    "RetryPolicy",
     "RoundRobinPlacement",
     "merge_topk",
     "optimal_fanout",

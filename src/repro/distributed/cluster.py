@@ -3,7 +3,7 @@
 ``DistributedTopKSystem`` wires together:
 
 * a set of :class:`~repro.distributed.node.MatcherNode` leaves, each with
-  a local matcher over an even partition of the subscriptions ("We use a
+  a local matcher over a partition of the subscriptions ("We use a
   simple script on the LOOM controller to distribute subscriptions evenly
   amongst nodes");
 * a LOOM-style :class:`~repro.distributed.overlay.AggregationTree` with
@@ -19,25 +19,42 @@ latency obeys the natural completion-time recurrence — an internal node
 finishes when its *slowest* child's results have arrived and been merged,
 which is why the paper observes BE*'s higher local variance inflating its
 aggregation times.
+
+On top of the paper's healthy-overlay simulation sits the fault-tolerance
+subsystem (docs/fault_tolerance.md): deterministic fault injection
+(:mod:`repro.distributed.faults`), heartbeat/suspicion failure detection
+(:mod:`repro.distributed.health`), replicated placement surviving
+``r - 1`` leaf failures (:mod:`repro.distributed.replication`), hop retry
+with exponential backoff under a per-match deadline
+(:class:`~repro.distributed.network.RetryPolicy`), and leaf recovery from
+snapshots or surviving replicas.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from repro.core.events import Event
 from repro.core.results import MatchResult
+from repro.core.snapshot import restore_into, save_matcher
 from repro.core.subscriptions import Subscription
+from repro.distributed.faults import FaultInjector, FaultPlan, MatchFaults
+from repro.distributed.health import HealthTracker
 from repro.distributed.merge import merge_topk
-from repro.distributed.network import LatencyModel
+from repro.distributed.network import LatencyModel, RetryPolicy
 from repro.distributed.node import MatcherFactory, MatcherNode
 from repro.distributed.overlay import AggregationTree, OverlayNode
-from repro.distributed.placement import PlacementStrategy, RoundRobinPlacement
-from repro.errors import OverlayError, UnknownSubscriptionError
+from repro.distributed.placement import PlacementStrategy
+from repro.distributed.replication import ReplicatedPlacement
+from repro.errors import OverlayError, RecoveryError, UnknownSubscriptionError
 
-__all__ = ["DistributedMatchOutcome", "DistributedTopKSystem"]
+__all__ = [
+    "DistributedMatchOutcome",
+    "DistributedTopKSystem",
+    "RecoveryReport",
+]
 
 
 @dataclass
@@ -47,37 +64,90 @@ class DistributedMatchOutcome:
     #: The aggregated system-wide top-k, best first.
     results: List[MatchResult]
     #: Measured wall seconds of each leaf's local match (0.0 for leaves
-    #: that were injected as failed).
+    #: that contributed nothing this match).
     local_seconds: List[float]
-    #: Simulated end-to-end seconds: dissemination + slowest local path +
-    #: aggregation (merges measured, hops modelled).
+    #: Simulated end-to-end seconds: dissemination + slowest leaf path
+    #: (including timeouts and backoffs) + aggregation.
     total_seconds: float
     #: Simulated seconds spent inside the aggregation overlay only.
     aggregation_seconds: float = 0.0
     #: Measured wall seconds spent in merge computations.
     merge_compute_seconds: float = 0.0
-    #: Leaves that did not contribute (failure injection); non-empty means
-    #: the results cover only the surviving partitions.
+    #: Leaves whose results did not reach the root this match (crashed,
+    #: flaky past retry budget, past deadline, quarantined, or lost to a
+    #: dropped aggregation hop).
     failed_leaves: List[int] = field(default_factory=list)
+    #: Fraction of registered subscriptions with at least one replica on
+    #: a leaf that contributed to this answer.  1.0 means the answer is
+    #: exactly what a healthy centralized matcher would return.
+    coverage: float = 1.0
+    #: Re-attempts made anywhere (dissemination, leaf, aggregation hops).
+    retries_attempted: int = 0
+    #: Attempts that ended in a simulated timeout anywhere in the overlay.
+    hops_timed_out: int = 0
+    #: Leaves skipped outright because the health tracker had them
+    #: quarantined when the match started.
+    quarantined_leaves: List[int] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
-        """Whether any partition was missing from this answer."""
-        return bool(self.failed_leaves)
+        """Whether any registered subscription was unreachable."""
+        return self.coverage < 1.0
 
     @property
     def mean_local_seconds(self) -> float:
-        """Average leaf matching time (the paper's "local" series)."""
-        return sum(self.local_seconds) / len(self.local_seconds)
+        """Average leaf matching time over *contributing* leaves.
+
+        Failed leaves' zeroed entries are excluded — averaging them in
+        would bias the paper's "local" series downward whenever failures
+        are injected.
+        """
+        live = self._live_local_seconds()
+        return sum(live) / len(live) if live else 0.0
 
     @property
     def max_local_seconds(self) -> float:
-        """Slowest leaf — the one aggregation must wait for."""
-        return max(self.local_seconds)
+        """Slowest contributing leaf — the one aggregation waits for."""
+        live = self._live_local_seconds()
+        return max(live) if live else 0.0
+
+    def _live_local_seconds(self) -> List[float]:
+        dead = set(self.failed_leaves)
+        return [
+            seconds
+            for leaf, seconds in enumerate(self.local_seconds)
+            if leaf not in dead
+        ]
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`DistributedTopKSystem.recover_leaf` accomplished."""
+
+    leaf_id: int
+    #: Subscriptions restored from the snapshot file.
+    restored_from_snapshot: int = 0
+    #: Subscriptions copied over from surviving replicas.
+    copied_from_replicas: int = 0
+    #: Sids that were owned by the leaf but could not be recovered from
+    #: either source; they are dropped from the cluster's ownership map.
+    lost: List[Any] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> int:
+        return self.restored_from_snapshot + self.copied_from_replicas
 
 
 class DistributedTopKSystem:
     """FX-TM (or any matcher) distributed over a simulated LOOM overlay.
+
+    ``replication_factor`` places every subscription on that many
+    distinct leaves (capped at the node count), so the answer stays
+    complete under any ``replication_factor - 1`` concurrent leaf
+    failures.  ``faults`` attaches a deterministic
+    :class:`~repro.distributed.faults.FaultPlan` (or a pre-built
+    :class:`~repro.distributed.faults.FaultInjector`); ``retry`` and
+    ``health`` configure the reaction to misbehaving leaves.
 
     >>> from repro import FXTMMatcher
     >>> system = DistributedTopKSystem(lambda: FXTMMatcher(), node_count=9)
@@ -92,29 +162,53 @@ class DistributedTopKSystem:
         fanout: int = 3,
         latency: Optional[LatencyModel] = None,
         placement: Optional[PlacementStrategy] = None,
+        replication_factor: int = 1,
+        faults: Union[FaultPlan, FaultInjector, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthTracker] = None,
     ) -> None:
         if node_count < 1:
             raise OverlayError(f"node_count must be >= 1, got {node_count}")
+        self._matcher_factory = matcher_factory
         self.nodes = [MatcherNode(index, matcher_factory()) for index in range(node_count)]
         self.overlay = AggregationTree(node_count, fanout=fanout)
         self.latency = latency or LatencyModel()
-        self.placement = placement or RoundRobinPlacement()
-        self._owner_of: Dict[Any, int] = {}
+        self.replication = ReplicatedPlacement(replication_factor, base=placement)
+        self.retry = retry or RetryPolicy()
+        self.health = health or HealthTracker(node_count)
+        self.fault_injector = (
+            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        )
+        self._owner_of: Dict[Any, List[int]] = {}
+        #: Leaves the cluster itself knows are down (``crash_leaf``),
+        #: independent of any injected fault plan.
+        self._down: Set[int] = set()
+        #: Simulated time accumulated across matches; drives failure
+        #: detection timeouts and quarantine re-admission.
+        self.simulated_clock = 0.0
+
+    @property
+    def placement(self) -> PlacementStrategy:
+        """The base (primary-replica) placement strategy."""
+        return self.replication.base
+
+    @property
+    def replication_factor(self) -> int:
+        return self.replication.factor
 
     # ------------------------------------------------------------------
     # Subscription distribution
     # ------------------------------------------------------------------
     def add_subscription(self, subscription: Subscription) -> int:
-        """Place one subscription per the strategy; returns the node id."""
-        node_id = self.placement.place(subscription, len(self.nodes))
-        if not 0 <= node_id < len(self.nodes):
-            raise OverlayError(
-                f"placement strategy returned node {node_id} outside "
-                f"[0, {len(self.nodes)})"
-            )
-        self.nodes[node_id].matcher.add_subscription(subscription)
-        self._owner_of[subscription.sid] = node_id
-        return node_id
+        """Place one subscription on ``replication_factor`` leaves.
+
+        Returns the primary owner's node id.
+        """
+        owners = self.replication.place_replicas(subscription, len(self.nodes))
+        for node_id in owners:
+            self.nodes[node_id].matcher.add_subscription(subscription)
+        self._owner_of[subscription.sid] = owners
+        return owners[0]
 
     def add_subscriptions(self, subscriptions: Sequence[Subscription]) -> None:
         """Distribute subscriptions across leaves (round-robin default)."""
@@ -122,18 +216,33 @@ class DistributedTopKSystem:
             self.add_subscription(subscription)
 
     def cancel_subscription(self, sid: Any) -> None:
-        """Remove a subscription wherever it lives.
+        """Remove a subscription from every replica.
 
         Raises :class:`~repro.errors.UnknownSubscriptionError` when absent.
         """
-        node_id = self._owner_of.pop(sid, None)
-        if node_id is None:
+        owners = self._owner_of.pop(sid, None)
+        if owners is None:
             raise UnknownSubscriptionError(sid)
-        self.nodes[node_id].cancel_subscription(sid)
-        self.placement.forget(sid, node_id)
+        for node_id in owners:
+            # A crashed-and-wiped leaf no longer holds the sid; the
+            # cancellation must still succeed on the survivors.
+            if sid in self.nodes[node_id].matcher:
+                self.nodes[node_id].cancel_subscription(sid)
+        self.replication.forget(sid, owners[0])
+
+    def owners_of(self, sid: Any) -> List[int]:
+        """The leaves currently holding ``sid`` (primary first)."""
+        try:
+            return list(self._owner_of[sid])
+        except KeyError:
+            raise UnknownSubscriptionError(sid) from None
 
     def __len__(self) -> int:
-        """Total subscriptions across all leaves."""
+        """Distinct registered subscriptions (replicas counted once)."""
+        return len(self._owner_of)
+
+    def replica_count(self) -> int:
+        """Total stored copies across all leaves (>= ``len(self)``)."""
         return sum(len(node) for node in self.nodes)
 
     @property
@@ -147,7 +256,7 @@ class DistributedTopKSystem:
         self,
         event: Event,
         k: int,
-        failed_leaves: Optional[Sequence[int]] = None,
+        faults: Union[FaultPlan, FaultInjector, None] = None,
     ) -> DistributedMatchOutcome:
         """Match one event across the cluster.
 
@@ -155,55 +264,177 @@ class DistributedTopKSystem:
         timed individually so the simulation can account them as
         parallel); hops follow the latency model.
 
-        ``failed_leaves`` injects leaf failures: those nodes contribute
-        no results and no latency (the overlay is assumed to detect the
-        failure immediately rather than time out).  The outcome is marked
-        :attr:`~DistributedMatchOutcome.degraded` and covers only the
-        surviving partitions — the graceful degradation a partitioned
-        top-k system exhibits naturally, since no leaf holds data any
-        other leaf needs.
+        ``faults`` overrides the system-level fault injector for this
+        call (a :class:`FaultPlan` gets a fresh injector, so the same
+        plan always produces the same outcome).  A per-call plan is a
+        *what-if* injection: it does not feed the health tracker, so it
+        cannot quarantine leaves or otherwise leak state into later
+        matches — only the system-level injector (and real crashes via
+        :meth:`crash_leaf`) drive failure detection.  Leaves that are
+        crashed,
+        flaky past the retry budget, slower than the per-match deadline,
+        or quarantined by the health tracker contribute nothing; the
+        outcome's :attr:`~DistributedMatchOutcome.coverage` reports the
+        fraction of subscriptions that remained reachable through some
+        replica, and :attr:`~DistributedMatchOutcome.degraded` is set
+        exactly when coverage dropped below 1.0.  Timeouts, retries, and
+        exponential backoff all accrue to the simulated latency.
         """
-        failed = set(failed_leaves or ())
-        for leaf in failed:
-            if not 0 <= leaf < len(self.nodes):
-                raise OverlayError(f"failed leaf {leaf} outside [0, {len(self.nodes)})")
-        if len(failed) == len(self.nodes):
-            raise OverlayError("cannot match with every leaf failed")
+        view = self._fault_view(faults)
+        record_health = faults is None
         rng = self.latency.rng()
-        # Controller -> leaves: event dissemination, one hop per leaf.
-        # Leaves work in parallel; each leaf's ready-time is its own hop
-        # plus its measured local matching time.
+        policy = self.retry
+        now = self.simulated_clock
+        counters = {"retries": 0, "timeouts": 0}
+
         partials: List[List[MatchResult]] = []
         ready_at: List[float] = []
         local_seconds: List[float] = []
+        delivered: Set[int] = set()
+        quarantined: List[int] = []
         event_size = event.size
+
         for node in self.nodes:
-            if node.node_id in failed:
-                partials.append([])
-                local_seconds.append(0.0)
-                ready_at.append(0.0)
-                continue
-            dissemination = self.latency.hop(event_size, rng)
-            results, elapsed = node.match_timed(event, k)
+            leaf = node.node_id
+            probing = False
+            if self.health.is_quarantined(leaf):
+                if self.health.probe_due(leaf, now):
+                    probing = True
+                else:
+                    quarantined.append(leaf)
+                    partials.append([])
+                    local_seconds.append(0.0)
+                    ready_at.append(0.0)
+                    continue
+            outcome = self._attempt_leaf(
+                node, event, k, event_size, rng, view, policy, now,
+                counters, single_attempt=probing, record_health=record_health,
+            )
+            results, elapsed, ready, success = outcome
             partials.append(results)
             local_seconds.append(elapsed)
-            ready_at.append(dissemination + elapsed)
+            ready_at.append(ready)
+            if success:
+                delivered.add(leaf)
 
         merge_compute = [0.0]
         root_results, root_time = self._aggregate(
-            self.overlay.root, partials, ready_at, k, rng, merge_compute
+            self.overlay.root, partials, ready_at, k, rng, merge_compute,
+            delivered, view, policy, counters,
         )
         # Root -> controller: final hop with the aggregated results.
         total = root_time + self.latency.hop(len(root_results), rng)
-        slowest_local = max(ready_at)
-        return DistributedMatchOutcome(
+        slowest_path = max(ready_at) if ready_at else 0.0
+        outcome = DistributedMatchOutcome(
             results=root_results,
             local_seconds=local_seconds,
             total_seconds=total,
-            aggregation_seconds=total - slowest_local,
+            aggregation_seconds=total - slowest_path,
             merge_compute_seconds=merge_compute[0],
-            failed_leaves=sorted(failed),
+            failed_leaves=sorted(set(range(len(self.nodes))) - delivered),
+            coverage=self._coverage(delivered),
+            retries_attempted=counters["retries"],
+            hops_timed_out=counters["timeouts"],
+            quarantined_leaves=quarantined,
         )
+        self.simulated_clock += total
+        return outcome
+
+    def _fault_view(
+        self, faults: Union[FaultPlan, FaultInjector, None]
+    ) -> Optional[MatchFaults]:
+        if faults is None:
+            injector = self.fault_injector
+        elif isinstance(faults, FaultPlan):
+            injector = FaultInjector(faults)
+        else:
+            injector = faults
+        view = injector.begin_match() if injector is not None else None
+        if view is not None:
+            for leaf in view.plan.leaves_mentioned():
+                if not 0 <= leaf < len(self.nodes):
+                    raise OverlayError(
+                        f"fault plan mentions leaf {leaf} outside [0, {len(self.nodes)})"
+                    )
+        return view
+
+    def _leaf_down(self, leaf: int, view: Optional[MatchFaults]) -> bool:
+        if leaf in self._down:
+            return True
+        return view is not None and view.leaf_down(leaf)
+
+    def _attempt_leaf(
+        self,
+        node: MatcherNode,
+        event: Event,
+        k: int,
+        event_size: int,
+        rng,
+        view: Optional[MatchFaults],
+        policy: RetryPolicy,
+        now: float,
+        counters: Dict[str, int],
+        single_attempt: bool,
+        record_health: bool,
+    ) -> "tuple[List[MatchResult], float, float, bool]":
+        """Try one leaf with retries; returns (results, elapsed, ready, ok).
+
+        ``ready`` is the simulated moment (relative to match start) the
+        leaf's answer — or its abandonment — is known to the overlay.
+        """
+        leaf = node.node_id
+        clock = 0.0
+        max_attempts = 1 if single_attempt else policy.max_attempts
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                clock += policy.backoff(attempt - 1)
+                counters["retries"] += 1
+            hop = self.latency.hop(event_size, rng)
+            failure = None
+            if view is not None and view.hop_dropped(("dis", leaf), attempt):
+                failure = policy.timeout_seconds
+            elif self._leaf_down(leaf, view):
+                failure = hop + policy.timeout_seconds
+            elif view is not None and view.flaky_failure(leaf, attempt):
+                failure = hop + policy.timeout_seconds
+            if failure is not None:
+                clock += failure
+                counters["timeouts"] += 1
+                if record_health:
+                    self.health.record_timeout(leaf, now + clock)
+                if clock >= policy.deadline_seconds:
+                    break
+                continue
+            results, elapsed = node.match_timed(event, k)
+            factor = view.straggle_factor(leaf) if view is not None else 1.0
+            ready = clock + hop + elapsed * factor
+            # The deadline is modelled time; ``elapsed`` is measured
+            # compute, whose absolute scale depends on the machine (and
+            # on cold index builds).  Only waiting the overlay injects —
+            # retries, hops, and a straggler's excess over its own
+            # healthy compute — counts against the deadline, so a
+            # slow-but-healthy leaf is never abandoned.
+            if ready - elapsed > policy.deadline_seconds:
+                # The (straggling) answer arrives too late to be waited
+                # for: the overlay gives up at the deadline.
+                counters["timeouts"] += 1
+                if record_health:
+                    self.health.record_timeout(leaf, now + policy.deadline_seconds)
+                return [], 0.0, policy.deadline_seconds, False
+            if record_health:
+                self.health.record_success(leaf, now + ready)
+            return results, elapsed, ready, True
+        return [], 0.0, min(clock, policy.deadline_seconds), False
+
+    def _coverage(self, delivered: Set[int]) -> float:
+        if not self._owner_of:
+            return 1.0
+        reachable = sum(
+            1
+            for owners in self._owner_of.values()
+            if any(owner in delivered for owner in owners)
+        )
+        return reachable / len(self._owner_of)
 
     def _aggregate(
         self,
@@ -213,6 +444,10 @@ class DistributedTopKSystem:
         k: int,
         rng,
         merge_compute: List[float],
+        delivered: Set[int],
+        view: Optional[MatchFaults],
+        policy: RetryPolicy,
+        counters: Dict[str, int],
     ) -> "tuple[List[MatchResult], float]":
         """Returns (results, completion time) for an overlay subtree."""
         if node.is_leaf:
@@ -223,10 +458,32 @@ class DistributedTopKSystem:
         arrival = 0.0
         for child in node.children:
             results, done_at = self._aggregate(
-                child, partials, ready_at, k, rng, merge_compute
+                child, partials, ready_at, k, rng, merge_compute,
+                delivered, view, policy, counters,
             )
-            # Child -> this node: one hop carrying its partial set.
-            done_at += self.latency.hop(len(results), rng)
+            span = child.leaf_indices()
+            contributing = delivered.intersection(span)
+            if contributing:
+                # Child -> this node: one hop carrying its partial set,
+                # retried with backoff when the wire drops it.
+                edge = ("agg", span[0], span[-1])
+                for attempt in range(1, policy.max_attempts + 1):
+                    if view is not None and view.hop_dropped(edge, attempt):
+                        done_at += policy.timeout_seconds
+                        counters["timeouts"] += 1
+                        if attempt >= policy.max_attempts:
+                            # Retries exhausted: the whole subtree's
+                            # contribution is lost for this match.
+                            delivered.difference_update(contributing)
+                            results = []
+                            break
+                        counters["retries"] += 1
+                        done_at += policy.backoff(attempt)
+                        continue
+                    done_at += self.latency.hop(len(results), rng)
+                    break
+            # A non-contributing child still delays its parent by the
+            # time spent discovering it had nothing to send (done_at).
             child_results.append(results)
             if done_at > arrival:
                 arrival = done_at
@@ -237,3 +494,143 @@ class DistributedTopKSystem:
         # Aggregation "has to receive all results to complete" — it starts
         # at the slowest child's arrival.
         return merged, arrival + merge_seconds
+
+    # ------------------------------------------------------------------
+    # Failure and recovery administration
+    # ------------------------------------------------------------------
+    def save_leaf_snapshot(self, leaf_id: int, path) -> int:
+        """Persist one leaf's partition via :mod:`repro.core.snapshot`."""
+        self._check_leaf(leaf_id)
+        return save_matcher(self.nodes[leaf_id].matcher, path)
+
+    def crash_leaf(self, leaf_id: int) -> None:
+        """Administratively crash a leaf: its state is lost and the
+        health tracker quarantines it immediately.
+
+        Until :meth:`recover_leaf` is called, matches proceed without the
+        leaf (no timeout cost — the crash is known, not suspected).
+        """
+        self._check_leaf(leaf_id)
+        self.nodes[leaf_id].matcher = self._matcher_factory()
+        self._down.add(leaf_id)
+        self.health.quarantine(leaf_id, self.simulated_clock)
+
+    def recover_leaf(self, leaf_id: int, snapshot_path=None) -> RecoveryReport:
+        """Rebuild a failed leaf's partition and re-admit it.
+
+        The partition is reassembled from two sources, in order:
+
+        1. ``snapshot_path`` — a :func:`repro.core.snapshot.save_matcher`
+           file (typically written by :meth:`save_leaf_snapshot` before
+           the crash); stale entries (sids cancelled or re-placed while
+           the leaf was down) are dropped;
+        2. surviving replicas — any sid the cluster's ownership map
+           assigns to this leaf that the snapshot did not contain is
+           copied from another live owner.
+
+        Sids recoverable from neither source are *lost*: they are
+        removed from the ownership map (and the report lists them) so
+        coverage accounting stays truthful.
+        """
+        self._check_leaf(leaf_id)
+        fresh = self._matcher_factory()
+        snapshot_count = 0
+        if snapshot_path is not None:
+            snapshot_count = restore_into(fresh, snapshot_path)
+        # Drop snapshot entries the cluster no longer assigns here.
+        for sid in list(fresh.subscriptions):
+            owners = self._owner_of.get(sid)
+            if owners is None or leaf_id not in owners:
+                fresh.cancel_subscription(sid)
+                snapshot_count -= 1
+        copied = 0
+        lost: List[Any] = []
+        for sid, owners in list(self._owner_of.items()):
+            if leaf_id not in owners or sid in fresh:
+                continue
+            source = self._surviving_source(sid, owners, exclude=leaf_id)
+            if source is None:
+                lost.append(sid)
+                owners.remove(leaf_id)
+                if not owners:
+                    del self._owner_of[sid]
+                continue
+            fresh.add_subscription(
+                self.nodes[source].matcher.get_subscription(sid)
+            )
+            copied += 1
+        self.nodes[leaf_id].matcher = fresh
+        self._down.discard(leaf_id)
+        self.health.readmit(leaf_id, self.simulated_clock)
+        return RecoveryReport(
+            leaf_id=leaf_id,
+            restored_from_snapshot=snapshot_count,
+            copied_from_replicas=copied,
+            lost=lost,
+        )
+
+    def reassign_orphans(self, leaf_id: int) -> "tuple[int, List[Any]]":
+        """Re-place a dead leaf's subscriptions onto survivors.
+
+        The alternative to :meth:`recover_leaf` when the leaf is gone for
+        good: every sid it owned loses that replica, and — where another
+        replica survives — a new copy is placed on the least-loaded live
+        leaf not already holding it, restoring the replication degree.
+        Returns ``(moved, lost)`` where ``lost`` lists sids with no
+        surviving replica anywhere (unrecoverable without a snapshot).
+
+        Raises :class:`~repro.errors.RecoveryError` when there is no
+        other live leaf to move subscriptions to.
+        """
+        self._check_leaf(leaf_id)
+        survivors = [
+            node.node_id
+            for node in self.nodes
+            if node.node_id != leaf_id
+            and node.node_id not in self._down
+            and not self.health.is_quarantined(node.node_id)
+        ]
+        if not survivors:
+            raise RecoveryError(
+                f"cannot reassign leaf {leaf_id}'s subscriptions: no live leaves"
+            )
+        moved = 0
+        lost: List[Any] = []
+        for sid, owners in list(self._owner_of.items()):
+            if leaf_id not in owners:
+                continue
+            owners.remove(leaf_id)
+            source = self._surviving_source(sid, owners, exclude=leaf_id)
+            if source is None:
+                lost.append(sid)
+                del self._owner_of[sid]
+                continue
+            candidates = [leaf for leaf in survivors if leaf not in owners]
+            if candidates:
+                target = min(candidates, key=lambda leaf: len(self.nodes[leaf]))
+                self.nodes[target].matcher.add_subscription(
+                    self.nodes[source].matcher.get_subscription(sid)
+                )
+                owners.append(target)
+                moved += 1
+        # The dead leaf's local state is discarded along with its role.
+        self.nodes[leaf_id].matcher = self._matcher_factory()
+        self._down.add(leaf_id)
+        self.health.quarantine(leaf_id, self.simulated_clock)
+        return moved, lost
+
+    def _surviving_source(
+        self, sid: Any, owners: Sequence[int], exclude: int
+    ) -> Optional[int]:
+        for owner in owners:
+            if owner == exclude or owner in self._down:
+                continue
+            if sid in self.nodes[owner].matcher:
+                return owner
+        return None
+
+    def _check_leaf(self, leaf_id: int) -> None:
+        if not 0 <= leaf_id < len(self.nodes):
+            raise OverlayError(
+                f"leaf {leaf_id} outside [0, {len(self.nodes)})"
+            )

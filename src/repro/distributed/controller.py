@@ -36,6 +36,12 @@ class DistributedResponse:
     error: str = ""
     #: Simulation record for MATCH requests (None otherwise).
     outcome: Optional[DistributedMatchOutcome] = None
+    #: For MATCH requests: whether some subscriptions were unreachable
+    #: (the answer is still served, ``ok`` stays True — degradation is a
+    #: quality signal, not a failure).
+    degraded: bool = False
+    #: Fraction of subscriptions reachable for this MATCH (1.0 otherwise).
+    coverage: float = 1.0
 
 
 class DistributedController:
@@ -49,6 +55,8 @@ class DistributedController:
         self.system = system
         self.requests_processed = 0
         self.requests_failed = 0
+        #: MATCH requests answered from a partial (degraded) cluster.
+        self.matches_degraded = 0
 
     def submit(self, line: str) -> DistributedResponse:
         """Parse and process one textual request line."""
@@ -76,8 +84,15 @@ class DistributedController:
                 return DistributedResponse(ok=True, request=request)
             event = parse_event(request.event_text)
             outcome = self.system.match(event, request.k)
+            if outcome.degraded:
+                self.matches_degraded += 1
             return DistributedResponse(
-                ok=True, request=request, results=outcome.results, outcome=outcome
+                ok=True,
+                request=request,
+                results=outcome.results,
+                outcome=outcome,
+                degraded=outcome.degraded,
+                coverage=outcome.coverage,
             )
         except ReproError as error:
             self.requests_failed += 1

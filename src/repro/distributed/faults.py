@@ -1,0 +1,220 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's distributed experiments assume a healthy LOOM overlay; a
+production deployment does not get that luxury.  This module models the
+failure classes a content-based network actually sees (cf. Shi et al. on
+subscription aggregation under churn):
+
+* **crashes** — a leaf stops responding entirely, either from the first
+  match or starting at a scheduled match index;
+* **stragglers** — a leaf responds, but its local matching takes a
+  multiple of its measured time (slow disk, noisy neighbour, GC pause);
+* **flaky leaves** — each individual attempt against the leaf fails
+  independently with some probability (lossy link, overloaded NIC);
+* **dropped hops** — any overlay hop (dissemination or aggregation) can
+  be lost in flight and must be retried.
+
+Everything is driven by a :class:`FaultPlan`, a frozen declarative value,
+and every random decision is derived from ``(seed, match index, decision
+key)`` — the same plan therefore produces bit-identical fault sequences
+across runs, processes, and interpreter restarts, which is what makes
+degraded-mode behaviour testable at all.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import FaultConfigError
+
+__all__ = ["FaultPlan", "FaultInjector", "MatchFaults"]
+
+
+def _frozen_mapping(raw) -> Tuple[Tuple[int, float], ...]:
+    """Normalise a {leaf: value} mapping into a sorted, hashable tuple."""
+    return tuple(sorted(dict(raw).items()))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seedable description of what goes wrong.
+
+    All leaf ids refer to indices into the cluster's node list; the plan
+    itself is cluster-agnostic and validated against a concrete node
+    count only when the injector is attached.
+
+    >>> plan = FaultPlan(crashed=frozenset({2}), seed=11)
+    >>> plan.crashed
+    frozenset({2})
+    """
+
+    #: Seed for every stochastic decision (flaky attempts, hop drops).
+    seed: int = 0
+    #: Leaves that are down from the first match onwards.
+    crashed: FrozenSet[int] = frozenset()
+    #: Leaf -> match index at which it crashes (inclusive).
+    crash_at_match: Tuple[Tuple[int, int], ...] = ()
+    #: Leaf -> match index at which a crashed leaf is healthy again
+    #: (models a restarted process; used to exercise re-admission).
+    recover_at_match: Tuple[Tuple[int, int], ...] = ()
+    #: Leaf -> probability in [0, 1] that one attempt against it fails.
+    flaky: Tuple[Tuple[int, float], ...] = ()
+    #: Leaf -> multiplier (>= 1.0) on its simulated local matching time.
+    stragglers: Tuple[Tuple[int, float], ...] = ()
+    #: Probability in [0, 1) that any single overlay hop is dropped.
+    hop_drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashed", frozenset(self.crashed))
+        object.__setattr__(self, "crash_at_match", _frozen_mapping(self.crash_at_match))
+        object.__setattr__(self, "recover_at_match", _frozen_mapping(self.recover_at_match))
+        object.__setattr__(self, "flaky", _frozen_mapping(self.flaky))
+        object.__setattr__(self, "stragglers", _frozen_mapping(self.stragglers))
+        for name, schedule in (
+            ("crash_at_match", self.crash_at_match),
+            ("recover_at_match", self.recover_at_match),
+        ):
+            for leaf, index in schedule:
+                if index < 0:
+                    raise FaultConfigError(
+                        f"{name}[{leaf}] must be >= 0, got {index}"
+                    )
+        for leaf, probability in self.flaky:
+            if not 0.0 <= probability <= 1.0:
+                raise FaultConfigError(
+                    f"flaky[{leaf}] must be a probability, got {probability}"
+                )
+        for leaf, factor in self.stragglers:
+            if factor < 1.0:
+                raise FaultConfigError(
+                    f"stragglers[{leaf}] must be >= 1.0, got {factor}"
+                )
+        if not 0.0 <= self.hop_drop_rate < 1.0:
+            raise FaultConfigError(
+                f"hop_drop_rate must be in [0, 1), got {self.hop_drop_rate}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when this plan injects nothing at all."""
+        return (
+            not self.crashed
+            and not self.crash_at_match
+            and not _any_above(self.flaky, 0.0)
+            and not _any_above(self.stragglers, 1.0)
+            and self.hop_drop_rate == 0.0
+        )
+
+    def leaves_mentioned(self) -> FrozenSet[int]:
+        """Every leaf id this plan refers to (for cluster validation)."""
+        mentioned = set(self.crashed)
+        for collection in (
+            self.crash_at_match,
+            self.recover_at_match,
+            self.flaky,
+            self.stragglers,
+        ):
+            mentioned.update(leaf for leaf, _ in collection)
+        return frozenset(mentioned)
+
+
+def _any_above(pairs: Iterable[Tuple[int, float]], threshold: float) -> bool:
+    return any(value > threshold for _, value in pairs)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-match fault decisions.
+
+    The injector owns a monotonically increasing match counter;
+    :meth:`begin_match` freezes one match's view of the plan.  Two
+    injectors built from the same plan and asked the same questions in
+    the same order answer identically — determinism is the contract.
+
+    >>> injector = FaultInjector(FaultPlan(crashed=frozenset({0})))
+    >>> faults = injector.begin_match()
+    >>> faults.leaf_down(0), faults.leaf_down(1)
+    (True, False)
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.matches_started = 0
+
+    def begin_match(self) -> "MatchFaults":
+        """Start a new match; returns its frozen fault view."""
+        view = MatchFaults(self.plan, self.matches_started)
+        self.matches_started += 1
+        return view
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(matches_started={self.matches_started}, plan={self.plan!r})"
+
+
+class MatchFaults:
+    """One match's view of the fault plan (returned by ``begin_match``).
+
+    Every stochastic answer is memoised so asking twice (e.g. once for
+    accounting, once for control flow) cannot consume extra randomness.
+    """
+
+    __slots__ = (
+        "plan",
+        "match_index",
+        "_crash_at",
+        "_recover_at",
+        "_flaky",
+        "_stragglers",
+        "_memo",
+    )
+
+    def __init__(self, plan: FaultPlan, match_index: int) -> None:
+        self.plan = plan
+        self.match_index = match_index
+        self._crash_at: Dict[int, int] = dict(plan.crash_at_match)
+        self._recover_at: Dict[int, int] = dict(plan.recover_at_match)
+        self._flaky: Dict[int, float] = dict(plan.flaky)
+        self._stragglers: Dict[int, float] = dict(plan.stragglers)
+        self._memo: Dict[tuple, bool] = {}
+
+    def leaf_down(self, leaf: int) -> bool:
+        """Whether the leaf is crashed for this match."""
+        recover_index = self._recover_at.get(leaf)
+        if recover_index is not None and self.match_index >= recover_index:
+            return False
+        if leaf in self.plan.crashed:
+            return True
+        crash_index = self._crash_at.get(leaf)
+        return crash_index is not None and self.match_index >= crash_index
+
+    def flaky_failure(self, leaf: int, attempt: int) -> bool:
+        """Whether this (leaf, attempt) fails intermittently."""
+        probability = self._flaky.get(leaf, 0.0)
+        if probability <= 0.0:
+            return False
+        return self._draw(("flaky", leaf, attempt), probability)
+
+    def hop_dropped(self, edge: tuple, attempt: int) -> bool:
+        """Whether one overlay hop (identified by ``edge``) is dropped."""
+        rate = self.plan.hop_drop_rate
+        if rate <= 0.0:
+            return False
+        return self._draw(("hop",) + tuple(edge) + (attempt,), rate)
+
+    def straggle_factor(self, leaf: int) -> float:
+        """Multiplier on the leaf's simulated local matching time."""
+        return self._stragglers.get(leaf, 1.0)
+
+    def _draw(self, key: tuple, probability: float) -> bool:
+        memo_key = key
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        material = f"{self.plan.seed}:{self.match_index}:{key!r}".encode("utf-8")
+        # CRC-32 seeds a tiny private stream per decision: stable across
+        # processes (unlike hash()) and independent across decisions.
+        outcome = random.Random(zlib.crc32(material)).random() < probability
+        self._memo[memo_key] = outcome
+        return outcome

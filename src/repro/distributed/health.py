@@ -1,0 +1,163 @@
+"""Failure detection on the simulated clock: heartbeats and quarantine.
+
+A distributed matcher cannot keep paying timeout latency for a leaf that
+is clearly down — large content-based networks detect churn with
+heartbeat/suspicion protocols and route around quarantined members.
+:class:`HealthTracker` is that protocol for the simulated cluster:
+
+* every successful response (or explicit heartbeat) resets a leaf to
+  ``ALIVE``;
+* a timed-out attempt makes it ``SUSPECT``; after ``suspicion_threshold``
+  *consecutive* timeouts the leaf is quarantined (``DEAD``) and the
+  cluster stops sending it work — so only the first few matches after a
+  crash pay detection cost;
+* after ``readmission_seconds`` of simulated time a quarantined leaf
+  becomes eligible for a single *probe* attempt per match; one success
+  re-admits it fully.
+
+All times are simulated seconds supplied by the caller — the tracker
+never reads a wall clock, which keeps the whole failure machinery
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import OverlayError
+
+__all__ = ["LeafState", "LeafHealth", "HealthTracker"]
+
+
+class LeafState(enum.Enum):
+    """Detection state of one leaf."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class LeafHealth:
+    """Mutable health record for one leaf."""
+
+    state: LeafState = LeafState.ALIVE
+    consecutive_timeouts: int = 0
+    last_heard_at: float = 0.0
+    quarantined_at: float = 0.0
+
+
+class HealthTracker:
+    """Heartbeat/suspicion bookkeeping for every leaf in the cluster.
+
+    >>> tracker = HealthTracker(node_count=3, suspicion_threshold=2)
+    >>> tracker.record_timeout(1, now=0.1)
+    >>> tracker.state_of(1)
+    <LeafState.SUSPECT: 'suspect'>
+    >>> tracker.record_timeout(1, now=0.2)
+    >>> tracker.is_quarantined(1)
+    True
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        suspicion_threshold: int = 3,
+        readmission_seconds: float = 1.0,
+    ) -> None:
+        if node_count < 1:
+            raise OverlayError(f"node_count must be >= 1, got {node_count}")
+        if suspicion_threshold < 1:
+            raise ValueError(
+                f"suspicion_threshold must be >= 1, got {suspicion_threshold}"
+            )
+        if readmission_seconds < 0:
+            raise ValueError(
+                f"readmission_seconds must be >= 0, got {readmission_seconds}"
+            )
+        self.suspicion_threshold = suspicion_threshold
+        self.readmission_seconds = readmission_seconds
+        self._leaves: Dict[int, LeafHealth] = {
+            leaf: LeafHealth() for leaf in range(node_count)
+        }
+
+    def _leaf(self, leaf: int) -> LeafHealth:
+        try:
+            return self._leaves[leaf]
+        except KeyError:
+            raise OverlayError(f"unknown leaf {leaf}") from None
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def record_heartbeat(self, leaf: int, now: float) -> None:
+        """A liveness signal with no match attached (same as a success)."""
+        self.record_success(leaf, now)
+
+    def record_success(self, leaf: int, now: float) -> None:
+        """The leaf answered: fully alive again, suspicion cleared."""
+        record = self._leaf(leaf)
+        record.state = LeafState.ALIVE
+        record.consecutive_timeouts = 0
+        record.last_heard_at = now
+
+    def record_timeout(self, leaf: int, now: float) -> None:
+        """One attempt against the leaf timed out."""
+        record = self._leaf(leaf)
+        record.consecutive_timeouts += 1
+        if record.consecutive_timeouts >= self.suspicion_threshold:
+            record.state = LeafState.DEAD
+            # Refreshed on every further timeout so a failed probe backs
+            # off for a full readmission window before the next probe.
+            record.quarantined_at = now
+        elif record.state is LeafState.ALIVE:
+            record.state = LeafState.SUSPECT
+
+    def quarantine(self, leaf: int, now: float) -> None:
+        """Administratively quarantine a leaf (e.g. known crash)."""
+        record = self._leaf(leaf)
+        record.state = LeafState.DEAD
+        record.consecutive_timeouts = self.suspicion_threshold
+        record.quarantined_at = now
+
+    def readmit(self, leaf: int, now: float) -> None:
+        """Administratively re-admit a leaf (e.g. after recovery)."""
+        self.record_success(leaf, now)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state_of(self, leaf: int) -> LeafState:
+        return self._leaf(leaf).state
+
+    def is_quarantined(self, leaf: int) -> bool:
+        return self._leaf(leaf).state is LeafState.DEAD
+
+    def probe_due(self, leaf: int, now: float) -> bool:
+        """Whether a quarantined leaf has earned one probe attempt."""
+        record = self._leaf(leaf)
+        if record.state is not LeafState.DEAD:
+            return False
+        return now - record.quarantined_at >= self.readmission_seconds
+
+    def quarantined(self) -> List[int]:
+        """Sorted ids of every currently quarantined leaf."""
+        return sorted(
+            leaf
+            for leaf, record in self._leaves.items()
+            if record.state is LeafState.DEAD
+        )
+
+    def live(self) -> List[int]:
+        """Sorted ids of every non-quarantined leaf."""
+        return sorted(
+            leaf
+            for leaf, record in self._leaves.items()
+            if record.state is not LeafState.DEAD
+        )
+
+    def __repr__(self) -> str:
+        dead = self.quarantined()
+        return f"HealthTracker(leaves={len(self._leaves)}, quarantined={dead})"

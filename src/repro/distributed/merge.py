@@ -1,33 +1,56 @@
 """Top-k merge function handed to the aggregation overlay (paper 6.2).
 
 LOOM is given "a simple merge function which combines sets of top-k
-results from subsets of the data".  Subscriptions are partitioned across
-leaves, so partial result sets are disjoint and merging is a pure k-way
-selection of the highest scores.
+results from subsets of the data".  With the paper's pure partitioning
+the partial sets are disjoint and merging is a k-way selection of the
+highest scores.  With *replicated* placement (``ReplicatedPlacement``)
+the same subscription legitimately appears in several partials — scoring
+is a pure function of (event, subscription), so duplicates carry
+identical scores and the merge keeps exactly one copy per sid (the best,
+defensively, in case a partial was produced by a stale replica).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.results import MatchResult, sort_results
 
 __all__ = ["merge_topk"]
 
 
-def merge_topk(partials: Sequence[Iterable[MatchResult]], k: int) -> List[MatchResult]:
+def merge_topk(
+    partials: Sequence[Iterable[MatchResult]],
+    k: int,
+    dedupe: bool = True,
+) -> List[MatchResult]:
     """Merge partial top-k sets into the best ``k`` overall.
 
     Each partial is assumed internally best-first (as produced by
-    :meth:`TopKMatcher.match`), but correctness does not depend on it —
-    a min-heap of size ``k`` keeps the best across everything.
+    :meth:`TopKMatcher.match`), but correctness does not depend on it.
+    With ``dedupe`` (the default) at most one result per sid survives,
+    keeping the highest score — required whenever subscriptions are
+    replicated across leaves; a no-op for disjoint partitions.  Pass
+    ``dedupe=False`` to skip the sid table when the caller guarantees
+    disjointness.
 
     Raises ValueError for ``k < 1``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if dedupe:
+        best: Dict[Any, MatchResult] = {}
+        for partial in partials:
+            for result in partial:
+                current = best.get(result.sid)
+                if current is None or result.score > current.score:
+                    best[result.sid] = result
+        if len(best) <= k:
+            return sort_results(list(best.values()))
+        top = heapq.nlargest(k, best.values(), key=lambda r: r.score)
+        return sort_results(top)
     tiebreak = itertools.count()
     heap: List[Tuple[float, int, MatchResult]] = []
     for partial in partials:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-__all__ = ["LatencyModel"]
+__all__ = ["LatencyModel", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -46,3 +46,43 @@ class LatencyModel:
         if self.jitter_fraction == 0.0:
             return nominal
         return nominal * (1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the cluster reacts to a hop or leaf that does not answer.
+
+    A lost attempt costs ``timeout_seconds`` of simulated waiting before
+    it is declared dead; each retry is preceded by an exponential backoff
+    of ``backoff_base_seconds * backoff_multiplier ** (attempt - 1)``.
+    ``deadline_seconds`` is the per-match budget for any single leaf
+    path — once a leaf's accumulated simulated time (timeouts, backoffs,
+    hops, straggler-inflated compute) exceeds it, the leaf is abandoned
+    for this match and the answer proceeds without it.
+    """
+
+    max_attempts: int = 3
+    timeout_seconds: float = 2e-3
+    backoff_base_seconds: float = 0.5e-3
+    backoff_multiplier: float = 2.0
+    deadline_seconds: float = 50e-3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_seconds < 0 or self.backoff_base_seconds < 0:
+            raise ValueError("timeout and backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1.0, got {self.backoff_multiplier}"
+            )
+        if self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based, exponential)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base_seconds * self.backoff_multiplier ** (attempt - 1)

@@ -86,6 +86,22 @@ class OverlayNode:
         assert self.children
         return 1 + max(child.depth() for child in self.children)
 
+    def leaf_indices(self) -> List[int]:
+        """All matcher-leaf indices under (and including) this node.
+
+        The fault-aware aggregation uses this to prune subtrees whose
+        leaves have all failed — no hop or merge is simulated for a
+        subtree that cannot contribute results.
+        """
+        if self.is_leaf:
+            assert self.leaf_index is not None
+            return [self.leaf_index]
+        assert self.children
+        indices: List[int] = []
+        for child in self.children:
+            indices.extend(child.leaf_indices())
+        return indices
+
 
 class AggregationTree:
     """A balanced fanout-``f`` hierarchy over ``leaf_count`` leaves.

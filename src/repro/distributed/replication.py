@@ -1,0 +1,78 @@
+"""Replicated subscription placement: survive ``r - 1`` leaf failures.
+
+Partitioned top-k matching degrades gracefully but *lossily*: a dead leaf
+takes its whole partition out of the answer.  Replication removes the
+loss — every subscription lives on ``r`` distinct leaves, so the merged
+answer is complete as long as at least one replica of each subscription
+responds.  Definition 3's top-k guarantee therefore survives any
+``r - 1`` concurrent leaf failures exactly (see docs/fault_tolerance.md).
+
+The primary replica comes from the wrapped base strategy (round-robin by
+default, preserving the paper's even spread); the remaining ``r - 1``
+replicas are drawn from a per-sid deterministic shuffle of the other
+leaves, so replica sets are stable across runs and spread uniformly
+rather than clustering on neighbours.
+
+Replicated answers contain duplicate sids (identical scores — scoring is
+a pure function of the event and the subscription), which
+:func:`repro.distributed.merge.merge_topk` deduplicates.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, List, Optional
+
+from repro.core.subscriptions import Subscription
+from repro.distributed.placement import PlacementStrategy, RoundRobinPlacement
+from repro.errors import OverlayError
+
+__all__ = ["ReplicatedPlacement"]
+
+
+class ReplicatedPlacement:
+    """Chooses ``factor`` distinct leaves for every subscription.
+
+    >>> placement = ReplicatedPlacement(factor=2)
+    >>> from repro.core.subscriptions import Subscription
+    >>> owners = placement.place_replicas(Subscription("s1", []), node_count=5)
+    >>> len(owners), len(set(owners))
+    (2, 2)
+    """
+
+    def __init__(
+        self,
+        factor: int = 2,
+        base: Optional[PlacementStrategy] = None,
+    ) -> None:
+        if factor < 1:
+            raise OverlayError(f"replication factor must be >= 1, got {factor}")
+        self.factor = factor
+        self.base = base if base is not None else RoundRobinPlacement()
+
+    def place_replicas(self, subscription: Subscription, node_count: int) -> List[int]:
+        """Return the (distinct) owner leaves, primary first.
+
+        The factor is silently capped at ``node_count`` — a 3-node
+        cluster cannot hold 4 copies.
+        """
+        primary = self.base.place(subscription, node_count)
+        if not 0 <= primary < node_count:
+            raise OverlayError(
+                f"placement strategy returned node {primary} outside [0, {node_count})"
+            )
+        copies = min(self.factor, node_count)
+        if copies == 1:
+            return [primary]
+        others = [leaf for leaf in range(node_count) if leaf != primary]
+        rng = random.Random(zlib.crc32(repr(subscription.sid).encode("utf-8")))
+        rng.shuffle(others)
+        return [primary] + others[: copies - 1]
+
+    def forget(self, sid: Any, node_id: int) -> None:
+        """Propagate a cancellation to the base strategy's load tracking."""
+        self.base.forget(sid, node_id)
+
+    def __repr__(self) -> str:
+        return f"ReplicatedPlacement(factor={self.factor}, base={type(self.base).__name__})"

@@ -68,3 +68,11 @@ class MatcherStateError(ReproError):
 
 class OverlayError(ReproError):
     """The distributed overlay was misconfigured."""
+
+
+class FaultConfigError(ReproError):
+    """A fault-injection plan was constructed with invalid parameters."""
+
+
+class RecoveryError(ReproError):
+    """A leaf recovery operation could not be completed."""

@@ -7,11 +7,7 @@ import pytest
 from repro.bench.ablations import FXTMFullSortMatcher, FXTMLinearIndexMatcher
 from repro.core.matcher import FXTMMatcher
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 @pytest.mark.parametrize("variant_cls", [FXTMLinearIndexMatcher, FXTMFullSortMatcher])

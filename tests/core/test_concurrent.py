@@ -13,11 +13,7 @@ from repro.core.events import Event
 from repro.core.matcher import FXTMMatcher
 from repro.core.subscriptions import Constraint, Subscription
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 class TestReadWriteLock:

@@ -8,11 +8,7 @@ from repro.core.matcher import FXTMMatcher
 from repro.distributed.autoscale import plan_distribution
 from repro.distributed.network import LatencyModel
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 @pytest.fixture(scope="module")

@@ -10,11 +10,7 @@ from repro.distributed.cluster import DistributedTopKSystem
 from repro.distributed.network import LatencyModel
 from repro.errors import OverlayError, UnknownSubscriptionError
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 @pytest.fixture

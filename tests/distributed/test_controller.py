@@ -6,6 +6,7 @@ from repro.core.controller import LocalController
 from repro.core.matcher import FXTMMatcher
 from repro.distributed.cluster import DistributedTopKSystem
 from repro.distributed.controller import DistributedController
+from repro.distributed.faults import FaultPlan
 
 
 STREAM = [
@@ -65,3 +66,69 @@ class TestProtocol:
         responses = list(controller.run(["# comment", "", STREAM[0]]))
         assert len(responses) == 1
         assert responses[0].ok
+
+
+class TestErrorPaths:
+    """Failures surface as structured responses, never as exceptions."""
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "FROBNICATE everything",
+            "MATCH",  # missing k and event
+            "MATCH zero age: 5",  # non-integer k
+            "ADD",  # missing sid and predicate
+            "ADD dangling",  # missing predicate
+            "CANCEL",  # missing sid
+            "MATCH 3 age [20",  # malformed event text
+            "ADD x age in : 1.0",  # malformed predicate
+        ],
+    )
+    def test_malformed_lines_reported_not_raised(self, controller, line):
+        response = controller.submit(line)
+        assert not response.ok
+        assert response.error
+        assert response.results == []
+
+    def test_failed_requests_counted(self, controller):
+        for line in ["FROBNICATE", "CANCEL ghost", "MATCH"]:
+            controller.submit(line)
+        assert controller.requests_failed == 3
+
+    def test_cancel_unknown_sid_reported(self, controller):
+        response = controller.submit("CANCEL never-added")
+        assert not response.ok
+        assert "never-added" in response.error
+        # The cluster is untouched and still serves requests.
+        assert controller.submit(STREAM[0]).ok
+
+    def test_match_while_degraded_flagged_not_failed(self):
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=3,
+            faults=FaultPlan(crashed={1}),
+        )
+        controller = DistributedController(system)
+        adds = list(controller.run(STREAM[:3]))
+        assert all(r.ok for r in adds)
+        response = controller.submit("MATCH 3 age: [20 .. 22], state: Indiana")
+        assert response.ok  # a partial answer is still an answer
+        assert response.degraded
+        assert response.coverage < 1.0
+        assert response.outcome is not None
+        assert 1 in response.outcome.failed_leaves
+        assert controller.matches_degraded == 1
+
+    def test_healthy_match_not_degraded(self, controller):
+        list(controller.run(STREAM[:3]))
+        response = controller.submit("MATCH 3 age: [20 .. 22], state: Indiana")
+        assert response.ok
+        assert not response.degraded
+        assert response.coverage == 1.0
+        assert controller.matches_degraded == 0
+
+    def test_error_responses_carry_default_match_fields(self, controller):
+        response = controller.submit("FROBNICATE")
+        assert not response.degraded
+        assert response.coverage == 1.0
+        assert response.outcome is None

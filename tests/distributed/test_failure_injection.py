@@ -6,13 +6,10 @@ import pytest
 
 from repro.core.matcher import FXTMMatcher
 from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.faults import FaultPlan
 from repro.errors import OverlayError
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 @pytest.fixture(scope="module")
@@ -31,50 +28,148 @@ class TestFailureInjection:
         outcome = system.match(events[0], 8)
         assert not outcome.degraded
         assert outcome.failed_leaves == []
+        assert outcome.coverage == 1.0
 
     def test_degraded_flag_and_zeroed_leaf(self, loaded_system):
         system, _subs, events = loaded_system
-        outcome = system.match(events[0], 8, failed_leaves=[2])
+        outcome = system.match(events[0], 8, faults=FaultPlan(crashed={2}))
         assert outcome.degraded
         assert outcome.failed_leaves == [2]
         assert outcome.local_seconds[2] == 0.0
+        assert outcome.coverage < 1.0
 
     def test_results_equal_surviving_partitions(self, loaded_system):
         """Failing leaf L removes exactly L's subscriptions from play."""
         system, subs, events = loaded_system
         failed = {1, 4}
         surviving_sids = {
-            sid for sid, owner in system._owner_of.items() if owner not in failed
+            sid
+            for sid in (s.sid for s in subs)
+            if not set(system.owners_of(sid)).issubset(failed)
         }
         reference = FXTMMatcher(prorate=True)
         for subscription in subs:
             if subscription.sid in surviving_sids:
                 reference.add_subscription(subscription)
+        plan = FaultPlan(crashed=frozenset(failed))
         for event in events:
-            outcome = system.match(event, 8, failed_leaves=failed)
+            outcome = system.match(event, 8, faults=plan)
             expected = reference.match(event, 8)
             assert [r.sid for r in outcome.results] == [r.sid for r in expected]
 
     def test_no_failed_result_sids(self, loaded_system):
-        system, _subs, events = loaded_system
-        dead_sids = {sid for sid, owner in system._owner_of.items() if owner == 3}
+        system, subs, events = loaded_system
+        dead_sids = {s.sid for s in subs if system.owners_of(s.sid) == [3]}
+        assert dead_sids
+        plan = FaultPlan(crashed=frozenset({3}))
         for event in events:
-            outcome = system.match(event, 20, failed_leaves=[3])
+            outcome = system.match(event, 20, faults=plan)
             assert not dead_sids.intersection(r.sid for r in outcome.results)
 
-    def test_all_leaves_failed_rejected(self, loaded_system):
+    def test_all_leaves_failed_empty_degraded(self, loaded_system):
+        """Total failure answers gracefully: empty, coverage zero."""
         system, _subs, events = loaded_system
-        with pytest.raises(OverlayError):
-            system.match(events[0], 3, failed_leaves=range(6))
+        outcome = system.match(events[0], 3, faults=FaultPlan(crashed=frozenset(range(6))))
+        assert outcome.results == []
+        assert outcome.coverage == 0.0
+        assert outcome.degraded
 
     def test_invalid_leaf_id_rejected(self, loaded_system):
         system, _subs, events = loaded_system
         with pytest.raises(OverlayError):
-            system.match(events[0], 3, failed_leaves=[99])
+            system.match(events[0], 3, faults=FaultPlan(crashed={99}))
 
     def test_failures_do_not_stick(self, loaded_system):
         system, _subs, events = loaded_system
-        degraded = system.match(events[0], 8, failed_leaves=[0])
+        degraded = system.match(events[0], 8, faults=FaultPlan(crashed={0}))
+        assert degraded.degraded
         healthy = system.match(events[0], 8)
         assert not healthy.degraded
         assert len(healthy.results) >= len(degraded.results)
+
+    def test_timeouts_accrue_to_latency(self, loaded_system):
+        system, _subs, events = loaded_system
+        healthy = system.match(events[0], 8)
+        failing = system.match(events[0], 8, faults=FaultPlan(crashed={5}))
+        # The crashed leaf costs max_attempts timeouts plus backoffs that
+        # the healthy run does not pay.
+        assert failing.total_seconds > healthy.total_seconds
+        assert failing.hops_timed_out == system.retry.max_attempts
+        assert failing.retries_attempted == system.retry.max_attempts - 1
+
+
+class TestDeadlineSemantics:
+    """The deadline bounds *injected* waiting, never measured compute.
+
+    Regression: a cold leaf's first match (index build) can take longer
+    real time than the modelled ``deadline_seconds``; mixing the two
+    scales silently dropped healthy partitions.
+    """
+
+    def test_healthy_leaves_never_abandoned(self):
+        import time
+
+        from repro.distributed.network import RetryPolicy
+
+        class SlowMatcher(FXTMMatcher):
+            def match(self, event, k):
+                time.sleep(3e-3)  # measured compute >> the deadline
+                return super().match(event, k)
+
+        rng = random.Random(17)
+        subs = random_subscriptions(rng, 90)
+        system = DistributedTopKSystem(
+            lambda: SlowMatcher(prorate=True),
+            node_count=3,
+            # Above any hop (~200us) yet far below the leaves' compute:
+            # only injected waiting may trip it.
+            retry=RetryPolicy(deadline_seconds=1e-3),
+        )
+        system.add_subscriptions(subs)
+        outcome = system.match(random_event(rng), 10)
+        assert not outcome.degraded
+        assert outcome.coverage == 1.0
+        assert outcome.failed_leaves == []
+
+    def test_straggler_excess_is_abandoned(self, loaded_system):
+        system, _subs, events = loaded_system
+        # Inflation of a million times any real compute blows way past
+        # the default 50ms deadline; the leaf is given up on.
+        outcome = system.match(
+            events[0], 8, faults=FaultPlan(stragglers={2: 1e6})
+        )
+        assert 2 in outcome.failed_leaves
+        assert outcome.hops_timed_out >= 1
+        # The wait is capped at the deadline, not the straggler's ETA.
+        assert outcome.total_seconds < 1.0
+
+
+class TestLocalSecondsExcludeFailedLeaves:
+    """Regression: failed leaves' zeroed 0.0 entries must not bias the
+    paper's "local" series (mean/max over *contributing* leaves only)."""
+
+    def test_mean_excludes_failed(self, loaded_system):
+        system, _subs, events = loaded_system
+        outcome = system.match(events[0], 8, faults=FaultPlan(crashed={1, 2, 3}))
+        live = [
+            seconds
+            for leaf, seconds in enumerate(outcome.local_seconds)
+            if leaf not in {1, 2, 3}
+        ]
+        assert outcome.failed_leaves == [1, 2, 3]
+        assert outcome.mean_local_seconds == pytest.approx(sum(live) / len(live))
+        # The buggy all-leaves average would be strictly smaller.
+        assert outcome.mean_local_seconds > sum(outcome.local_seconds) / len(
+            outcome.local_seconds
+        )
+
+    def test_max_excludes_failed(self, loaded_system):
+        system, _subs, events = loaded_system
+        outcome = system.match(events[0], 8, faults=FaultPlan(crashed={0}))
+        assert outcome.max_local_seconds == max(outcome.local_seconds[1:])
+
+    def test_all_failed_is_zero_not_crash(self, loaded_system):
+        system, _subs, events = loaded_system
+        outcome = system.match(events[0], 8, faults=FaultPlan(crashed=frozenset(range(6))))
+        assert outcome.mean_local_seconds == 0.0
+        assert outcome.max_local_seconds == 0.0

@@ -1,0 +1,128 @@
+"""Deterministic fault injection: plans, injectors, per-match views."""
+
+import pytest
+
+from repro.distributed.faults import FaultInjector, FaultPlan
+from repro.errors import FaultConfigError
+
+
+class TestFaultPlan:
+    def test_noop_by_default(self):
+        assert FaultPlan().is_noop
+
+    def test_not_noop_with_any_fault(self):
+        assert not FaultPlan(crashed={1}).is_noop
+        assert not FaultPlan(flaky={0: 0.5}).is_noop
+        assert not FaultPlan(stragglers={0: 3.0}).is_noop
+        assert not FaultPlan(hop_drop_rate=0.1).is_noop
+        assert not FaultPlan(crash_at_match={2: 5}).is_noop
+
+    def test_zero_rates_are_noop(self):
+        assert FaultPlan(flaky={0: 0.0}, stragglers={1: 1.0}).is_noop
+
+    def test_mappings_accepted_and_frozen(self):
+        plan = FaultPlan(flaky={3: 0.2, 1: 0.1}, stragglers={2: 4.0})
+        assert plan.flaky == ((1, 0.1), (3, 0.2))
+        assert plan.stragglers == ((2, 4.0),)
+
+    def test_leaves_mentioned(self):
+        plan = FaultPlan(
+            crashed={0}, flaky={1: 0.5}, stragglers={2: 2.0}, crash_at_match={3: 7}
+        )
+        assert plan.leaves_mentioned() == frozenset({0, 1, 2, 3})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flaky": {0: 1.5}},
+            {"flaky": {0: -0.1}},
+            {"stragglers": {0: 0.5}},
+            {"hop_drop_rate": 1.0},
+            {"hop_drop_rate": -0.2},
+            {"crash_at_match": {0: -1}},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            FaultPlan(**kwargs)
+
+
+class TestMatchFaults:
+    def test_crashed_leaf_down_every_match(self):
+        injector = FaultInjector(FaultPlan(crashed={2}))
+        for _ in range(3):
+            view = injector.begin_match()
+            assert view.leaf_down(2)
+            assert not view.leaf_down(0)
+
+    def test_scheduled_crash_respects_match_index(self):
+        injector = FaultInjector(FaultPlan(crash_at_match={1: 2}))
+        assert not injector.begin_match().leaf_down(1)  # match 0
+        assert not injector.begin_match().leaf_down(1)  # match 1
+        assert injector.begin_match().leaf_down(1)  # match 2
+        assert injector.begin_match().leaf_down(1)  # match 3: stays down
+
+    def test_straggle_factor_defaults_to_one(self):
+        view = FaultInjector(FaultPlan(stragglers={4: 6.0})).begin_match()
+        assert view.straggle_factor(4) == 6.0
+        assert view.straggle_factor(0) == 1.0
+
+    def test_flaky_certain_and_never(self):
+        view = FaultInjector(FaultPlan(flaky={0: 1.0, 1: 0.0})).begin_match()
+        assert view.flaky_failure(0, attempt=1)
+        assert not view.flaky_failure(1, attempt=1)
+
+    def test_flaky_memoised_within_view(self):
+        view = FaultInjector(FaultPlan(flaky={0: 0.5}, seed=3)).begin_match()
+        first = view.flaky_failure(0, attempt=1)
+        assert all(view.flaky_failure(0, attempt=1) == first for _ in range(5))
+
+    def test_flaky_rate_respected_statistically(self):
+        injector = FaultInjector(FaultPlan(flaky={0: 0.3}, seed=9))
+        failures = sum(
+            injector.begin_match().flaky_failure(0, attempt=1) for _ in range(1000)
+        )
+        assert 200 < failures < 400
+
+    def test_hop_drop_rate_respected_statistically(self):
+        injector = FaultInjector(FaultPlan(hop_drop_rate=0.2, seed=5))
+        drops = sum(
+            injector.begin_match().hop_dropped(("dis", 0), 1) for _ in range(1000)
+        )
+        assert 120 < drops < 280
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(flaky={0: 0.4, 1: 0.6}, hop_drop_rate=0.25, seed=17)
+        def trace(injector):
+            decisions = []
+            for _ in range(50):
+                view = injector.begin_match()
+                for leaf in (0, 1):
+                    for attempt in (1, 2, 3):
+                        decisions.append(view.flaky_failure(leaf, attempt))
+                        decisions.append(view.hop_dropped(("dis", leaf), attempt))
+            return decisions
+        assert trace(FaultInjector(plan)) == trace(FaultInjector(plan))
+
+    def test_different_seed_different_decisions(self):
+        base = dict(flaky={0: 0.5})
+        views = [
+            FaultInjector(FaultPlan(seed=seed, **base)) for seed in range(40)
+        ]
+        outcomes = {
+            tuple(
+                injector.begin_match().flaky_failure(0, attempt)
+                for attempt in range(1, 4)
+            )
+            for injector in views
+        }
+        assert len(outcomes) > 1
+
+    def test_decisions_independent_per_match_index(self):
+        injector = FaultInjector(FaultPlan(flaky={0: 0.5}, seed=2))
+        outcomes = [
+            injector.begin_match().flaky_failure(0, 1) for _ in range(64)
+        ]
+        assert any(outcomes) and not all(outcomes)

@@ -1,0 +1,94 @@
+"""Failure detection: heartbeats, suspicion, quarantine, re-admission."""
+
+import pytest
+
+from repro.distributed.health import HealthTracker, LeafState
+from repro.errors import OverlayError
+
+
+class TestDetection:
+    def test_initially_all_alive(self):
+        tracker = HealthTracker(node_count=4)
+        assert tracker.live() == [0, 1, 2, 3]
+        assert tracker.quarantined() == []
+        assert all(tracker.state_of(leaf) is LeafState.ALIVE for leaf in range(4))
+
+    def test_single_timeout_makes_suspect(self):
+        tracker = HealthTracker(node_count=2, suspicion_threshold=3)
+        tracker.record_timeout(0, now=0.1)
+        assert tracker.state_of(0) is LeafState.SUSPECT
+        assert not tracker.is_quarantined(0)
+
+    def test_threshold_timeouts_quarantine(self):
+        tracker = HealthTracker(node_count=2, suspicion_threshold=3)
+        for step in range(3):
+            tracker.record_timeout(0, now=0.1 * step)
+        assert tracker.is_quarantined(0)
+        assert tracker.quarantined() == [0]
+        assert tracker.live() == [1]
+
+    def test_success_resets_suspicion(self):
+        tracker = HealthTracker(node_count=1, suspicion_threshold=2)
+        tracker.record_timeout(0, now=0.1)
+        tracker.record_success(0, now=0.2)
+        tracker.record_timeout(0, now=0.3)
+        # Non-consecutive timeouts never reach the threshold.
+        assert not tracker.is_quarantined(0)
+
+    def test_heartbeat_counts_as_liveness(self):
+        tracker = HealthTracker(node_count=1, suspicion_threshold=2)
+        tracker.record_timeout(0, now=0.1)
+        tracker.record_heartbeat(0, now=0.2)
+        assert tracker.state_of(0) is LeafState.ALIVE
+
+    def test_unknown_leaf_rejected(self):
+        tracker = HealthTracker(node_count=2)
+        with pytest.raises(OverlayError):
+            tracker.record_timeout(7, now=0.0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(OverlayError):
+            HealthTracker(node_count=0)
+        with pytest.raises(ValueError):
+            HealthTracker(node_count=1, suspicion_threshold=0)
+        with pytest.raises(ValueError):
+            HealthTracker(node_count=1, readmission_seconds=-1.0)
+
+
+class TestReadmission:
+    def test_probe_due_after_quarantine_window(self):
+        tracker = HealthTracker(
+            node_count=1, suspicion_threshold=1, readmission_seconds=0.5
+        )
+        tracker.record_timeout(0, now=1.0)
+        assert tracker.is_quarantined(0)
+        assert not tracker.probe_due(0, now=1.2)
+        assert tracker.probe_due(0, now=1.5)
+
+    def test_probe_not_due_for_live_leaf(self):
+        tracker = HealthTracker(node_count=1)
+        assert not tracker.probe_due(0, now=100.0)
+
+    def test_failed_probe_backs_off(self):
+        tracker = HealthTracker(
+            node_count=1, suspicion_threshold=1, readmission_seconds=0.5
+        )
+        tracker.record_timeout(0, now=1.0)
+        assert tracker.probe_due(0, now=1.5)
+        tracker.record_timeout(0, now=1.5)  # the probe also timed out
+        assert not tracker.probe_due(0, now=1.9)
+        assert tracker.probe_due(0, now=2.0)
+
+    def test_successful_probe_readmits(self):
+        tracker = HealthTracker(node_count=1, suspicion_threshold=1)
+        tracker.record_timeout(0, now=1.0)
+        tracker.record_success(0, now=2.5)
+        assert tracker.state_of(0) is LeafState.ALIVE
+        assert tracker.live() == [0]
+
+    def test_administrative_quarantine_and_readmit(self):
+        tracker = HealthTracker(node_count=2)
+        tracker.quarantine(1, now=0.0)
+        assert tracker.is_quarantined(1)
+        tracker.readmit(1, now=1.0)
+        assert not tracker.is_quarantined(1)

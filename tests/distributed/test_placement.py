@@ -15,11 +15,7 @@ from repro.distributed.placement import (
 )
 from repro.errors import OverlayError
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 def sub(sid):
@@ -112,7 +108,7 @@ class TestSystemIntegration:
         for index in range(30):
             system.add_subscription(sub(index))
         # Cancel everything that landed on node 0.
-        for node0_sid in [s for s, owner in system._owner_of.items() if owner == 0]:
+        for node0_sid in [s for s, owners in system._owner_of.items() if owners == [0]]:
             system.cancel_subscription(node0_sid)
         before = len(system.nodes[0])
         for index in range(100, 110):

@@ -15,6 +15,7 @@ from repro.core.events import Event
 from repro.core.matcher import FXTMMatcher
 from repro.core.subscriptions import Constraint, Subscription
 from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.faults import FaultPlan
 from repro.distributed.placement import (
     HashPlacement,
     LeastLoadedPlacement,
@@ -84,11 +85,11 @@ def test_degraded_match_equals_surviving_subset(workload, node_count, data):
     )
     surviving = FXTMMatcher(prorate=True)
     for subscription in subs:
-        if system._owner_of[subscription.sid] not in failed:
+        if not set(system.owners_of(subscription.sid)).issubset(failed):
             surviving.add_subscription(subscription)
-    outcome = system.match(event, 8, failed_leaves=failed)
+    outcome = system.match(event, 8, faults=FaultPlan(crashed=frozenset(failed)))
     expected = surviving.match(event, 8)
     assert [(r.sid, round(r.score, 9)) for r in outcome.results] == [
         (r.sid, round(r.score, 9)) for r in expected
     ]
-    assert outcome.degraded
+    assert outcome.degraded == (outcome.coverage < 1.0)

@@ -1,0 +1,198 @@
+"""Replicated placement: answers survive r-1 leaf failures exactly."""
+
+import random
+
+import pytest
+
+from repro.core.matcher import FXTMMatcher
+from repro.core.results import MatchResult
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.faults import FaultPlan
+from repro.distributed.merge import merge_topk
+from repro.distributed.placement import HashPlacement
+from repro.distributed.replication import ReplicatedPlacement
+from repro.errors import OverlayError
+
+from tests.helpers import random_event, random_subscriptions
+
+
+NODE_COUNT = 5
+
+
+def build_system(replication_factor, subs, **kwargs):
+    system = DistributedTopKSystem(
+        lambda: FXTMMatcher(prorate=True),
+        node_count=NODE_COUNT,
+        replication_factor=replication_factor,
+        **kwargs,
+    )
+    system.add_subscriptions(subs)
+    return system
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(4021)
+    subs = random_subscriptions(rng, 150)
+    events = [random_event(rng) for _ in range(6)]
+    central = FXTMMatcher(prorate=True)
+    for sub in subs:
+        central.add_subscription(sub)
+    return subs, events, central
+
+
+class TestReplicatedPlacement:
+    def test_distinct_owners(self, workload):
+        subs, _events, _central = workload
+        placement = ReplicatedPlacement(factor=3)
+        for sub in subs[:40]:
+            owners = placement.place_replicas(sub, NODE_COUNT)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+            assert all(0 <= owner < NODE_COUNT for owner in owners)
+
+    def test_factor_capped_at_node_count(self, workload):
+        subs, _events, _central = workload
+        placement = ReplicatedPlacement(factor=10)
+        owners = placement.place_replicas(subs[0], 3)
+        assert sorted(owners) == [0, 1, 2]
+
+    def test_replica_choice_deterministic(self, workload):
+        subs, _events, _central = workload
+        first = ReplicatedPlacement(factor=2, base=HashPlacement())
+        second = ReplicatedPlacement(factor=2, base=HashPlacement())
+        for sub in subs[:40]:
+            assert first.place_replicas(sub, NODE_COUNT) == second.place_replicas(
+                sub, NODE_COUNT
+            )
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(OverlayError):
+            ReplicatedPlacement(factor=0)
+
+    def test_system_stores_factor_copies(self, workload):
+        subs, _events, _central = workload
+        system = build_system(2, subs)
+        assert len(system) == len(subs)
+        assert system.replica_count() == 2 * len(subs)
+        for sub in subs:
+            assert len(system.owners_of(sub.sid)) == 2
+
+
+class TestMergeDedupe:
+    def test_duplicates_collapse_to_one(self):
+        partials = [
+            [MatchResult("a", 3.0), MatchResult("b", 2.0)],
+            [MatchResult("a", 3.0), MatchResult("c", 1.0)],
+        ]
+        merged = merge_topk(partials, 3)
+        assert [r.sid for r in merged] == ["a", "b", "c"]
+
+    def test_dedupe_keeps_best_score(self):
+        partials = [[MatchResult("a", 1.0)], [MatchResult("a", 5.0)]]
+        assert merge_topk(partials, 2) == [MatchResult("a", 5.0)]
+
+    def test_dedupe_opt_out(self):
+        partials = [[MatchResult("a", 3.0)], [MatchResult("a", 3.0)]]
+        assert len(merge_topk(partials, 5, dedupe=False)) == 2
+
+    def test_duplicates_do_not_crowd_out_k(self):
+        """k slots go to k distinct subscriptions, not k copies."""
+        partials = [
+            [MatchResult("a", 9.0), MatchResult("b", 5.0)],
+            [MatchResult("a", 9.0), MatchResult("c", 4.0)],
+        ]
+        merged = merge_topk(partials, 3)
+        assert [r.sid for r in merged] == ["a", "b", "c"]
+
+
+class TestSurvival:
+    def test_r2_single_failure_exact_answer(self, workload):
+        """Acceptance: r=2 + any one leaf down == healthy centralized."""
+        subs, events, central = workload
+        system = build_system(2, subs)
+        for failed_leaf in range(NODE_COUNT):
+            plan = FaultPlan(crashed={failed_leaf})
+            for event in events:
+                outcome = system.match(event, 10, faults=plan)
+                expected = central.match(event, 10)
+                assert [(r.sid, r.score) for r in outcome.results] == [
+                    (r.sid, r.score) for r in expected
+                ]
+                assert outcome.coverage == 1.0
+                assert not outcome.degraded
+
+    def test_r1_single_failure_degrades(self, workload):
+        subs, events, _central = workload
+        system = build_system(1, subs)
+        outcome = system.match(events[0], 10, faults=FaultPlan(crashed={0}))
+        assert outcome.coverage < 1.0
+        assert outcome.degraded
+
+    def test_r3_survives_two_failures(self, workload):
+        subs, events, central = workload
+        system = build_system(3, subs)
+        outcome = system.match(events[0], 10, faults=FaultPlan(crashed={1, 3}))
+        expected = central.match(events[0], 10)
+        assert [r.sid for r in outcome.results] == [r.sid for r in expected]
+        assert outcome.coverage == 1.0
+
+    def test_r2_two_failures_may_degrade(self, workload):
+        """r-1 is the guarantee; r concurrent failures can lose data."""
+        subs, events, _central = workload
+        system = build_system(2, subs)
+        lost = [
+            sid
+            for sid in (s.sid for s in subs)
+            if set(system.owners_of(sid)) <= {0, 1}
+        ]
+        outcome = system.match(events[0], 10, faults=FaultPlan(crashed={0, 1}))
+        if lost:
+            assert outcome.coverage < 1.0
+        else:
+            assert outcome.coverage == 1.0
+
+    def test_replicated_healthy_equals_centralized(self, workload):
+        subs, events, central = workload
+        system = build_system(2, subs)
+        for event in events:
+            outcome = system.match(event, 10)
+            assert [(r.sid, r.score) for r in outcome.results] == [
+                (r.sid, r.score) for r in central.match(event, 10)
+            ]
+
+    def test_cancel_removes_all_replicas(self, workload):
+        subs, events, _central = workload
+        system = build_system(2, subs)
+        target = subs[0].sid
+        system.cancel_subscription(target)
+        assert len(system) == len(subs) - 1
+        assert system.replica_count() == 2 * (len(subs) - 1)
+        outcome = system.match(events[0], 30)
+        assert all(r.sid != target for r in outcome.results)
+
+
+class TestDeterministicOutcomes:
+    def test_same_plan_identical_outcomes(self, workload):
+        """Acceptance: same FaultPlan -> identical outcomes across runs."""
+        subs, events, _central = workload
+        plan = FaultPlan(
+            crashed={2}, flaky={0: 0.4}, stragglers={1: 2.0},
+            hop_drop_rate=0.15, seed=99,
+        )
+        def run():
+            system = build_system(2, subs)
+            summaries = []
+            for event in events:
+                outcome = system.match(event, 10, faults=plan)
+                summaries.append(
+                    (
+                        [(r.sid, r.score) for r in outcome.results],
+                        outcome.failed_leaves,
+                        outcome.coverage,
+                        outcome.retries_attempted,
+                        outcome.hops_timed_out,
+                    )
+                )
+            return summaries
+        assert run() == run()

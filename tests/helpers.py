@@ -1,0 +1,66 @@
+"""Shared workload generators used across test packages.
+
+Importable as ``tests.helpers`` from any test module — this replaces the
+old pattern of ``sys.path.insert``-ing ``tests/baselines`` to reach its
+``conftest.py`` by file path.
+"""
+
+import random
+
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+
+
+def random_subscriptions(
+    rng: random.Random,
+    count: int,
+    universe: int = 8,
+    m: int = 3,
+    discrete_attrs: int = 2,
+    negative_fraction: float = 0.3,
+    with_sets: bool = False,
+):
+    """Random mixed discrete/interval subscriptions for cross-checks."""
+    subs = []
+    for sid in range(count):
+        constraints = []
+        for attr in rng.sample(range(universe), m):
+            weight = rng.uniform(0.1, 2.0)
+            if rng.random() < negative_fraction:
+                weight = -weight
+            if attr < discrete_attrs:
+                if with_sets and rng.random() < 0.3:
+                    members = {f"v{rng.randint(0, 5)}" for _ in range(rng.randint(1, 3))}
+                    constraints.append(Constraint(f"d{attr}", members, weight))
+                else:
+                    constraints.append(
+                        Constraint(f"d{attr}", f"v{rng.randint(0, 5)}", weight)
+                    )
+            else:
+                low = rng.uniform(0, 90)
+                constraints.append(
+                    Constraint(f"r{attr}", Interval(low, low + rng.uniform(1, 25)), weight)
+                )
+        subs.append(Subscription(sid, constraints))
+    return subs
+
+
+def random_event(
+    rng: random.Random,
+    universe: int = 8,
+    m: int = 4,
+    discrete_attrs: int = 2,
+    with_weights: bool = False,
+):
+    values = {}
+    for attr in rng.sample(range(universe), m):
+        if attr < discrete_attrs:
+            values[f"d{attr}"] = f"v{rng.randint(0, 5)}"
+        else:
+            low = rng.uniform(0, 90)
+            values[f"r{attr}"] = Interval(low, low + rng.uniform(1, 20))
+    weights = None
+    if with_weights:
+        weights = {name: rng.uniform(0.1, 3.0) for name in values}
+    return Event(values, weights=weights)

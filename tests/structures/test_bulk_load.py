@@ -8,11 +8,7 @@ from repro.core.matcher import FXTMMatcher
 from repro.errors import InvalidIntervalError, MatcherStateError
 from repro.structures.interval_tree import IntervalTree
 
-import sys
-import pathlib
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "baselines"))
-from conftest import random_event, random_subscriptions  # noqa: E402
+from tests.helpers import random_event, random_subscriptions
 
 
 def random_entries(rng, count):
