@@ -1,0 +1,90 @@
+"""CI gate: instrumentation must stay cheap on the fig3 workload.
+
+Measures mean per-match latency for a bare FX-TM matcher and for the
+same matcher wrapped in :class:`repro.core.stats.InstrumentedMatcher`
+(registry-backed counters and histograms, no tracer — tracing is an
+opt-in debugging tool and is allowed to cost more), then asserts the
+relative overhead stays under ``--budget`` (default 15%).
+
+Both measurements drive the *same* inner matcher, so index state and
+caches are identical; runs are interleaved A/B over ``--repeats``
+rounds and the per-variant *minimum* mean is compared, which discards
+scheduler noise rather than averaging it in.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_observability_overhead.py
+    PYTHONPATH=src python benchmarks/check_observability_overhead.py \
+        --budget 0.15 --n 2000 --events 40 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import load_subscriptions, make_matcher, measure_matching
+from repro.core.stats import InstrumentedMatcher
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=float, default=0.15,
+        help="maximum allowed relative overhead (default: 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=2000,
+        help="subscriptions in the micro workload (default: 2000)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=40,
+        help="events timed per round (default: 40)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=20, help="top-k size (default: 20)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="interleaved measurement rounds per variant (default: 5)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    workload = MicroWorkload(MicroWorkloadConfig(n=args.n))
+    events = workload.events(args.events)
+
+    matcher = make_matcher("fx-tm", prorate=True)
+    load_subscriptions(matcher, workload.subscriptions())
+    instrumented = InstrumentedMatcher(matcher)
+
+    # One throwaway round per variant warms caches before any round counts.
+    measure_matching(matcher, events, args.k)
+    measure_matching(instrumented, events, args.k)
+
+    bare_means = []
+    instrumented_means = []
+    for _ in range(args.repeats):
+        bare_means.append(measure_matching(matcher, events, args.k, warmup=0).mean_ms)
+        instrumented_means.append(
+            measure_matching(instrumented, events, args.k, warmup=0).mean_ms
+        )
+
+    bare = min(bare_means)
+    wrapped = min(instrumented_means)
+    overhead = (wrapped - bare) / bare if bare > 0 else 0.0
+    print(f"bare:         {bare:.4f} ms/match (best of {args.repeats})")
+    print(f"instrumented: {wrapped:.4f} ms/match (best of {args.repeats})")
+    print(f"overhead:     {overhead * 100:.2f}%  (budget {args.budget * 100:.0f}%)")
+    if overhead > args.budget:
+        print("FAIL: instrumentation overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
 from repro.core.matcher import FXTMMatcher
 from repro.core.subscriptions import Subscription
+from repro.obs.tracing import aggregate_phases
 
 __all__ = [
     "ALGORITHMS",
@@ -110,6 +111,9 @@ class TimingStats:
     min_ms: float
     max_ms: float
     samples: int
+    #: Total milliseconds per pipeline span name across the measured
+    #: batch, populated only when ``measure_matching`` is given a tracer.
+    phase_ms: Optional[Dict[str, float]] = None
 
     def __str__(self) -> str:
         return f"{self.mean_ms:.3f}ms ±{self.std_ms:.3f} (n={self.samples})"
@@ -120,21 +124,44 @@ def measure_matching(
     events: Sequence[Event],
     k: int,
     warmup: int = 1,
+    tracer: Optional[Any] = None,
 ) -> TimingStats:
     """Time one match per event; returns millisecond statistics.
 
     A short warmup (re-matching the first ``warmup`` events) absorbs
     lazy-initialisation effects such as BE* rebuilds or schema pinning.
+
+    When ``tracer`` (a :class:`repro.obs.tracing.Tracer`) is given it is
+    attached to the matcher for the *measured* loop only (warmup stays
+    untraced), and :attr:`TimingStats.phase_ms` reports total
+    milliseconds per span name — FX-TM's per-phase cost attribution
+    (probe vs. score vs. top-k selection).  Size the tracer's
+    ``max_traces`` to at least ``len(events)`` or the oldest matches
+    fall out of the aggregation window.  Tracing adds per-span overhead
+    to the reported times; benchmarks/check_observability_overhead.py
+    bounds the untraced-wrapper cost instead.
     """
     if not events:
         raise ValueError("need at least one event")
     for event in events[:warmup]:
         matcher.match(event, k)
-    samples_ms: List[float] = []
-    for event in events:
-        started = time.perf_counter()
-        matcher.match(event, k)
-        samples_ms.append((time.perf_counter() - started) * 1e3)
+    if tracer is not None:
+        matcher.tracer = tracer
+    try:
+        samples_ms: List[float] = []
+        for event in events:
+            started = time.perf_counter()
+            matcher.match(event, k)
+            samples_ms.append((time.perf_counter() - started) * 1e3)
+    finally:
+        if tracer is not None:
+            matcher.tracer = None
+    phase_ms: Optional[Dict[str, float]] = None
+    if tracer is not None:
+        phase_ms = {
+            name: entry["seconds"] * 1e3
+            for name, entry in sorted(aggregate_phases(tracer.traces).items())
+        }
     mean = statistics.fmean(samples_ms)
     std = statistics.pstdev(samples_ms) if len(samples_ms) > 1 else 0.0
     return TimingStats(
@@ -143,6 +170,7 @@ def measure_matching(
         min_ms=min(samples_ms),
         max_ms=max(samples_ms),
         samples=len(samples_ms),
+        phase_ms=phase_ms,
     )
 
 

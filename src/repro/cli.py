@@ -2,24 +2,33 @@
 
 Usage::
 
-    python -m repro.cli [options] [REQUEST_FILE ...]
+    python -m repro.cli [serve] [options] [REQUEST_FILE ...]
+    python -m repro.cli metrics [options] [REQUEST_FILE ...]
+    python -m repro.cli trace [options] [REQUEST_FILE ...]
 
-Reads controller requests (``ADD`` / ``CANCEL`` / ``MATCH`` — see
-:mod:`repro.core.controller`) from the given files, or stdin when none
-are given, and prints one response line per request.  This is exactly the
-paper's section 6.1 deployment surface: "a local controller has two input
-streams — one for subscriptions and one for events" — here multiplexed
-onto one textual stream, as the paper's controller also "parses requests
-and the raw data contained within".
+``serve`` (the default when no subcommand is named) reads controller
+requests (``ADD`` / ``CANCEL`` / ``MATCH`` / ``METRICS`` / ``TRACE`` —
+see :mod:`repro.core.controller`) from the given files, or stdin when
+none are given, and prints one response line per request.  This is
+exactly the paper's section 6.1 deployment surface: "a local controller
+has two input streams — one for subscriptions and one for events" — here
+multiplexed onto one textual stream, as the paper's controller also
+"parses requests and the raw data contained within".
 
-Options:
+``metrics`` replays the same request stream silently and then writes the
+matcher's metrics to stdout — a valid JSON document by default, or
+Prometheus text format with ``--format prom`` (scrapeable; see
+docs/observability.md).  ``trace`` does the same but writes the last
+match's trace tree (flame-style text by default, ``--format json`` for
+the structured tree).
+
+Shared options:
 
 * ``--algorithm {fx-tm,be-star,fagin,fagin-augmented,naive}`` (default fx-tm)
 * ``--prorate`` — enable Definition 2's prorated scoring
 * ``--budget`` — enable budget-window tracking (Definition 4)
 * ``--load SNAPSHOT`` — restore subscriptions before serving
 * ``--save SNAPSHOT`` — write a snapshot after the stream ends
-* ``--stats`` — print a statistics summary to stderr at the end
 
 Example session::
 
@@ -34,22 +43,24 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import sys
-from typing import Iterable, List, Optional, TextIO
+from typing import Iterable, List, Optional, TextIO, Tuple
 
 from repro.core.budget import BudgetTracker, LogicalClock
 from repro.core.controller import LocalController, RequestKind
 from repro.core.snapshot import restore_into, save_matcher
 from repro.core.stats import InstrumentedMatcher
+from repro.obs.tracing import Tracer
 
 __all__ = ["build_parser", "serve", "main"]
 
+#: Subcommands recognised by :func:`main`; anything else is ``serve``.
+_SUBCOMMANDS = ("serve", "metrics", "trace")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.cli",
-        description="Serve top-k matching over textual request streams.",
-    )
+
+def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "request_files",
         nargs="*",
@@ -66,8 +77,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--budget", action="store_true", help="budget window tracking")
     parser.add_argument("--load", metavar="SNAPSHOT", help="restore a snapshot first")
     parser.add_argument("--save", metavar="SNAPSHOT", help="save a snapshot at the end")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Serve top-k matching over textual request streams.",
+    )
+    _add_shared_arguments(parser)
+    return parser
+
+
+def _metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli metrics",
+        description="Replay requests, then emit the metrics registry to stdout.",
+    )
+    _add_shared_arguments(parser)
     parser.add_argument(
-        "--stats", action="store_true", help="print a statistics summary to stderr"
+        "--format",
+        default="json",
+        choices=["json", "prom"],
+        help="exposition format (default: json)",
+    )
+    return parser
+
+
+def _trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli trace",
+        description="Replay requests, then emit the last match's trace tree.",
+    )
+    _add_shared_arguments(parser)
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="trace rendering (default: flame-style text)",
     )
     return parser
 
@@ -90,14 +136,16 @@ def serve(
         elif request.kind is RequestKind.MATCH:
             rendered = ", ".join(f"{r.sid}={r.score:.3f}" for r in response.results)
             out.write(f"match [{rendered}]\n")
+        elif request.kind in (RequestKind.METRICS, RequestKind.TRACE):
+            out.write(response.payload)
+            if not response.payload.endswith("\n"):
+                out.write("\n")
         else:
             out.write(f"ok {request.kind.value.upper()} {request.sid}\n")
     return failures
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-
+def _build_matcher(args: argparse.Namespace) -> Tuple[object, InstrumentedMatcher]:
     from repro.bench.harness import ALGORITHMS
 
     kwargs = {"prorate": args.prorate}
@@ -107,25 +155,99 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.load:
         count = restore_into(matcher, args.load)
         print(f"loaded {count} subscriptions from {args.load}", file=sys.stderr)
+    return matcher, InstrumentedMatcher(matcher)
 
-    instrumented = InstrumentedMatcher(matcher)
-    controller = LocalController(instrumented)
 
+def _replay(args: argparse.Namespace, controller: LocalController, out: TextIO) -> int:
     failures = 0
     if args.request_files:
         for path in args.request_files:
             with open(path, "r", encoding="utf-8") as handle:
-                failures += serve(handle, controller, sys.stdout)
+                failures += serve(handle, controller, out)
     else:
-        failures += serve(sys.stdin, controller, sys.stdout)
+        failures += serve(sys.stdin, controller, out)
+    return failures
 
+
+def _finish(args: argparse.Namespace, matcher) -> None:
     if args.save:
         count = save_matcher(matcher, args.save)
         print(f"saved {count} subscriptions to {args.save}", file=sys.stderr)
-    if args.stats:
-        for key, value in sorted(instrumented.stats.snapshot().items()):
-            print(f"{key}: {value}", file=sys.stderr)
+
+
+def _main_serve(argv: List[str]) -> int:
+    args = build_parser().parse_args(argv)
+    matcher, instrumented = _build_matcher(args)
+    # Attach the tracer to the matcher too, so an inline TRACE request
+    # can replay the spans of the MATCHes that preceded it.
+    tracer = Tracer()
+    instrumented.tracer = tracer
+    controller = LocalController(instrumented, tracer=tracer)
+    failures = _replay(args, controller, sys.stdout)
+    _finish(args, matcher)
     return 1 if failures else 0
+
+
+def _main_metrics(argv: List[str]) -> int:
+    """Replay quietly, then expose the registry on stdout (satellite 2).
+
+    Stdout carries *only* the exposition, so ``repro metrics`` pipes
+    straight into ``json.loads`` and ``repro metrics --format prom``
+    into any Prometheus text-format parser; request errors go to stderr.
+    """
+    args = _metrics_parser().parse_args(argv)
+    matcher, instrumented = _build_matcher(args)
+    controller = LocalController(instrumented)
+    discard = io.StringIO()
+    failures = _replay(args, controller, discard)
+    if failures:
+        for line in discard.getvalue().splitlines():
+            if line.startswith("error "):
+                print(line, file=sys.stderr)
+    _finish(args, matcher)
+    registry = instrumented.registry
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prom_text())
+    else:
+        json.dump(registry.snapshot(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 1 if failures else 0
+
+
+def _main_trace(argv: List[str]) -> int:
+    args = _trace_parser().parse_args(argv)
+    matcher, instrumented = _build_matcher(args)
+    tracer = Tracer()
+    instrumented.tracer = tracer
+    controller = LocalController(instrumented, tracer=tracer)
+    discard = io.StringIO()
+    failures = _replay(args, controller, discard)
+    if failures:
+        for line in discard.getvalue().splitlines():
+            if line.startswith("error "):
+                print(line, file=sys.stderr)
+    _finish(args, matcher)
+    if tracer.last_trace is None:
+        print("no traces recorded (the stream had no MATCH request)", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        json.dump(tracer.to_json(), sys.stdout, indent=2)
+    else:
+        sys.stdout.write(tracer.render())
+    sys.stdout.write("\n")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "metrics":
+            return _main_metrics(rest)
+        if command == "trace":
+            return _main_trace(rest)
+        return _main_serve(rest)
+    return _main_serve(argv)
 
 
 if __name__ == "__main__":

@@ -15,14 +15,20 @@ algorithm component.  Textual request forms::
     ADD <sid> <predicate> [BUDGET <amount> WINDOW <length>]
     CANCEL <sid>
     MATCH <k> <event>
+    METRICS [json|prom]
+    TRACE [json|text]
 
 Responses are :class:`Response` objects carrying the outcome (and, for
-MATCH, the top-k results).
+MATCH, the top-k results).  METRICS and TRACE extend the paper's
+protocol with the observability surface (docs/observability.md): they
+return a textual ``payload`` — a metrics exposition or a trace tree —
+instead of match results.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, List, Optional
 
@@ -37,11 +43,20 @@ __all__ = ["RequestKind", "Request", "Response", "LocalController"]
 
 
 class RequestKind(enum.Enum):
-    """The three request types of the paper's controller."""
+    """The paper's three request types plus the observability surface."""
 
     ADD = "add"
     CANCEL = "cancel"
     MATCH = "match"
+    METRICS = "metrics"
+    TRACE = "trace"
+
+
+#: Valid ``fmt`` values per introspection request kind.
+_FMT_CHOICES = {
+    RequestKind.METRICS: ("json", "prom"),
+    RequestKind.TRACE: ("json", "text"),
+}
 
 
 @dataclass(frozen=True)
@@ -54,6 +69,9 @@ class Request:
     k: int = 0
     event_text: str = ""
     budget: Optional[BudgetWindowSpec] = None
+    #: Exposition format for METRICS ("json"/"prom") and TRACE
+    #: ("json"/"text"); ignored by the other kinds.
+    fmt: str = "json"
 
 
 @dataclass
@@ -64,6 +82,8 @@ class Response:
     request: Request
     results: List[MatchResult] = field(default_factory=list)
     error: str = ""
+    #: Rendered exposition for METRICS/TRACE requests ("" otherwise).
+    payload: str = ""
 
 
 class LocalController:
@@ -78,8 +98,18 @@ class LocalController:
     'ad-1'
     """
 
-    def __init__(self, matcher: TopKMatcher) -> None:
+    def __init__(
+        self,
+        matcher: TopKMatcher,
+        registry: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         self.matcher = matcher
+        #: Registry served by METRICS requests; falls back to the
+        #: matcher's own (e.g. an :class:`InstrumentedMatcher`'s).
+        self.registry = registry
+        #: Tracer served by TRACE requests; falls back to the matcher's.
+        self.tracer = tracer
         self.requests_processed = 0
         self.requests_failed = 0
 
@@ -117,6 +147,16 @@ class LocalController:
             if not event_text.strip():
                 raise ParseError("MATCH needs an event after k", line, len(head))
             return Request(RequestKind.MATCH, k=k, event_text=event_text.strip())
+        if command in ("METRICS", "TRACE"):
+            kind = RequestKind.METRICS if command == "METRICS" else RequestKind.TRACE
+            choices = _FMT_CHOICES[kind]
+            fmt = rest.strip().lower() or choices[0]
+            if fmt not in choices:
+                raise ParseError(
+                    f"{command} format must be one of {'/'.join(choices)}",
+                    line, len(head),
+                )
+            return Request(kind, fmt=fmt)
         raise ParseError(f"unknown command {head!r}", line, 0)
 
     @staticmethod
@@ -162,12 +202,50 @@ class LocalController:
             if request.kind is RequestKind.CANCEL:
                 self.matcher.cancel_subscription(request.sid)
                 return Response(ok=True, request=request)
+            if request.kind is RequestKind.METRICS:
+                return self._metrics_response(request)
+            if request.kind is RequestKind.TRACE:
+                return self._trace_response(request)
             event = parse_event(request.event_text)
             results = self.matcher.match(event, request.k)
             return Response(ok=True, request=request, results=results)
         except ReproError as error:
             self.requests_failed += 1
             return Response(ok=False, request=request, error=str(error))
+
+    def _metrics_response(self, request: Request) -> Response:
+        registry = self.registry or getattr(self.matcher, "registry", None)
+        if registry is None:
+            self.requests_failed += 1
+            return Response(
+                ok=False, request=request,
+                error="no metrics registry attached (wrap the matcher in "
+                      "InstrumentedMatcher or pass registry=)",
+            )
+        if request.fmt == "prom":
+            payload = registry.to_prom_text()
+        else:
+            payload = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+        return Response(ok=True, request=request, payload=payload)
+
+    def _trace_response(self, request: Request) -> Response:
+        tracer = self.tracer or getattr(self.matcher, "tracer", None)
+        if tracer is None:
+            self.requests_failed += 1
+            return Response(
+                ok=False, request=request,
+                error="no tracer attached (pass tracer= to the controller "
+                      "or attach one to the matcher)",
+            )
+        if tracer.last_trace is None:
+            self.requests_failed += 1
+            return Response(ok=False, request=request, error="no traces recorded yet")
+        payload = (
+            tracer.render()
+            if request.fmt == "text"
+            else json.dumps(tracer.to_json(), indent=2)
+        )
+        return Response(ok=True, request=request, payload=payload)
 
     def run(self, lines: Iterable[str]) -> Iterator[Response]:
         """Process a stream of request lines, yielding responses.

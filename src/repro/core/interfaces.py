@@ -42,7 +42,12 @@ class TopKMatcher(abc.ABC):
       iteration;
     * ``include_nonpositive`` — Definition 3 only admits scores > 0; set
       this to also return zero/negative-scored matches when fewer than k
-      positive ones exist.
+      positive ones exist;
+    * ``tracer`` — a :class:`repro.obs.tracing.Tracer` recording match
+      pipeline spans (docs/observability.md); ``None`` (the default)
+      keeps the hot path entirely untraced.  Concrete algorithms that
+      support tracing consult :attr:`tracer` per match, so it may also be
+      attached or detached after construction.
     """
 
     #: Human-readable algorithm name, overridden by subclasses.
@@ -55,12 +60,14 @@ class TopKMatcher(abc.ABC):
         aggregation: Aggregation = SUM,
         budget_tracker: Optional[BudgetTracker] = None,
         include_nonpositive: bool = False,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.schema = schema if schema is not None else Schema()
         self.prorate = prorate
         self.aggregation = aggregation
         self.budget_tracker = budget_tracker
         self.include_nonpositive = include_nonpositive
+        self.tracer = tracer
         self._subscriptions: Dict[Any, Subscription] = {}
 
     # ------------------------------------------------------------------

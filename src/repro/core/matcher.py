@@ -214,16 +214,27 @@ class FXTMMatcher(TopKMatcher):
     # Algorithm 2: weighted partial matching
     # ------------------------------------------------------------------
     def _match_topk(self, event: Event, k: int) -> List[MatchResult]:
-        aggregation = self.aggregation
-        prorate = self.prorate
-        use_event_weights = event.has_weights
-        combine = aggregation.combine
-        zero = aggregation.zero
-        is_sum = aggregation is SUM
+        tracer = self.tracer
+        if tracer is None:
+            scoremap = self._build_scoremap(event)
+            return self._select_topk(scoremap, k)
+        # Traced path: identical computation, decomposed into the
+        # pipeline's span hierarchy (docs/observability.md): master-index
+        # lookup -> per-attribute probe -> candidate scoring -> top-k
+        # selection.
+        with tracer.span("fxtm.match", algorithm=self.name, k=k) as root:
+            scoremap = self._build_scoremap_traced(event, tracer)
+            with tracer.span("topk.select", candidates=len(scoremap)) as select:
+                results = self._select_topk(scoremap, k)
+                select.annotate(results=len(results))
+            root.annotate(results=len(results))
+        return results
 
+    def _build_scoremap(self, event: Event) -> Dict[Any, float]:
+        """Algorithm 2 lines 22-39: fold every probed weight per sid."""
+        use_event_weights = event.has_weights
         # Line 22: scoremap tracks scores of partially matched subscriptions.
         scoremap: Dict[Any, float] = {}
-
         for attribute, value in event.known_items():
             structure = self._master_index.get(attribute)
             if structure is None:
@@ -233,50 +244,116 @@ class FXTMMatcher(TopKMatcher):
             override = event.weight_for(attribute) if use_event_weights else None
             if isinstance(structure, _RangedAttributeIndex):
                 interval = event.interval_of(attribute)
-                qlo, qhi = interval.low, interval.high
-                kind = self.schema.kind_of(attribute)
-                constant = kind.proration_constant if kind is not None else 0
-                matches = structure.tree.stab(qlo, qhi)
-                if prorate:
-                    event_width = qhi - qlo + constant
-                    for low, high, sid, weight in matches:
-                        if override is not None:
-                            weight = override
-                        overlap = min(qhi, high) - max(qlo, low) + constant
-                        if event_width > 0:
-                            fraction = overlap / event_width
-                            if fraction > 1.0:
-                                fraction = 1.0
-                        else:
-                            fraction = 1.0
-                        subscore = weight * fraction
-                        if is_sum:
-                            scoremap[sid] = scoremap.get(sid, 0.0) + subscore
-                        else:
-                            scoremap[sid] = combine(scoremap.get(sid, zero), subscore)
-                else:
-                    for _low, _high, sid, weight in matches:
-                        if override is not None:
-                            weight = override
-                        if is_sum:
-                            scoremap[sid] = scoremap.get(sid, 0.0) + weight
-                        else:
-                            scoremap[sid] = combine(scoremap.get(sid, zero), weight)
+                matches = structure.tree.stab(interval.low, interval.high)
+                self._fold_ranged(
+                    scoremap, matches, attribute, interval.low, interval.high, override
+                )
             else:
                 bucket = structure.buckets.get(value)
                 if bucket is None:
                     continue
-                # Discrete equality matches are complete; proration is a
-                # no-op (fraction 1).
-                for sid, weight in bucket.get_all():
-                    if override is not None:
-                        weight = override
-                    if is_sum:
-                        scoremap[sid] = scoremap.get(sid, 0.0) + weight
-                    else:
-                        scoremap[sid] = combine(scoremap.get(sid, zero), weight)
+                self._fold_discrete(scoremap, bucket.get_all(), override)
+        return scoremap
 
-        # Lines 40-49: prune through the bounded top-k tree set.
+    def _build_scoremap_traced(self, event: Event, tracer: Any) -> Dict[Any, float]:
+        """The traced twin of :meth:`_build_scoremap` (same folds)."""
+        use_event_weights = event.has_weights
+        scoremap: Dict[Any, float] = {}
+        for attribute, value in event.known_items():
+            with tracer.span("master_index.lookup", attribute=attribute) as lookup:
+                structure = self._master_index.get(attribute)
+                lookup.annotate(hit=structure is not None)
+            if structure is None:
+                continue
+            override = event.weight_for(attribute) if use_event_weights else None
+            if isinstance(structure, _RangedAttributeIndex):
+                interval = event.interval_of(attribute)
+                with tracer.span(
+                    "attribute.probe", attribute=attribute, kind="ranged"
+                ) as probe:
+                    matches = structure.tree.stab(interval.low, interval.high)
+                    probe.annotate(candidates=len(matches))
+                with tracer.span("candidates.score", attribute=attribute):
+                    self._fold_ranged(
+                        scoremap, matches, attribute, interval.low, interval.high, override
+                    )
+            else:
+                with tracer.span(
+                    "attribute.probe", attribute=attribute, kind="discrete"
+                ) as probe:
+                    bucket = structure.buckets.get(value)
+                    pairs = bucket.get_all() if bucket is not None else []
+                    probe.annotate(candidates=len(pairs))
+                if not pairs:
+                    continue
+                with tracer.span("candidates.score", attribute=attribute):
+                    self._fold_discrete(scoremap, pairs, override)
+        return scoremap
+
+    def _fold_ranged(
+        self,
+        scoremap: Dict[Any, float],
+        matches: List[Any],
+        attribute: str,
+        qlo: Any,
+        qhi: Any,
+        override: Any,
+    ) -> None:
+        """Fold one ranged attribute's stabbed entries into the scoremap."""
+        aggregation = self.aggregation
+        combine = aggregation.combine
+        zero = aggregation.zero
+        is_sum = aggregation is SUM
+        if self.prorate:
+            kind = self.schema.kind_of(attribute)
+            constant = kind.proration_constant if kind is not None else 0
+            event_width = qhi - qlo + constant
+            for low, high, sid, weight in matches:
+                if override is not None:
+                    weight = override
+                overlap = min(qhi, high) - max(qlo, low) + constant
+                if event_width > 0:
+                    fraction = overlap / event_width
+                    if fraction > 1.0:
+                        fraction = 1.0
+                else:
+                    fraction = 1.0
+                subscore = weight * fraction
+                if is_sum:
+                    scoremap[sid] = scoremap.get(sid, 0.0) + subscore
+                else:
+                    scoremap[sid] = combine(scoremap.get(sid, zero), subscore)
+        else:
+            for _low, _high, sid, weight in matches:
+                if override is not None:
+                    weight = override
+                if is_sum:
+                    scoremap[sid] = scoremap.get(sid, 0.0) + weight
+                else:
+                    scoremap[sid] = combine(scoremap.get(sid, zero), weight)
+
+    def _fold_discrete(
+        self, scoremap: Dict[Any, float], pairs: Any, override: Any
+    ) -> None:
+        """Fold one discrete bucket's ``(sid, weight)`` pairs.
+
+        Discrete equality matches are complete; proration is a no-op
+        (fraction 1).
+        """
+        aggregation = self.aggregation
+        combine = aggregation.combine
+        zero = aggregation.zero
+        is_sum = aggregation is SUM
+        for sid, weight in pairs:
+            if override is not None:
+                weight = override
+            if is_sum:
+                scoremap[sid] = scoremap.get(sid, 0.0) + weight
+            else:
+                scoremap[sid] = combine(scoremap.get(sid, zero), weight)
+
+    def _select_topk(self, scoremap: Dict[Any, float], k: int) -> List[MatchResult]:
+        """Algorithm 2 lines 40-49: prune through the bounded top-k set."""
         topscores = BoundedTopK(k)
         tracker = self.budget_tracker
         include_nonpositive = self.include_nonpositive

@@ -1,10 +1,19 @@
-"""Matcher instrumentation: running statistics without external deps.
+"""Matcher instrumentation: running statistics and registry-backed metrics.
 
 The budget-window mechanism already requires the system to track "the
 historical rate of matching" (paper section 1.1); this module generalises
 that bookkeeping into production-grade instrumentation any deployment
-wants: per-matcher request counters, latency aggregates, result-size
-distribution, and per-subscription serve counts.
+wants: per-matcher request counters, latency aggregates with quantiles,
+result-size distribution, and per-subscription serve counts.
+
+:class:`MatcherStats` is built on a :class:`repro.obs.metrics.MetricsRegistry`
+(its own private one by default, or a shared one for whole-process
+exposition), so everything it records is scrapeable as Prometheus text
+or a JSON document — see docs/observability.md for the metric catalogue.
+:class:`RunningStats` (Welford) is kept alongside as the histogram-free
+fallback: it is exact for mean/variance where bucketed histograms only
+estimate quantiles, and remains the mergeable aggregate the distributed
+reports use.
 
 :class:`InstrumentedMatcher` wraps any :class:`TopKMatcher` without
 changing its behaviour — it is a decorator in the plain OO sense, useful
@@ -15,20 +24,27 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
 from repro.core.results import MatchResult
 from repro.core.subscriptions import Subscription
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["RunningStats", "MatcherStats", "InstrumentedMatcher"]
+
+#: Result-count buckets for the per-match result-size distribution.
+_RESULT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 
 class RunningStats:
     """Welford's online mean/variance over a stream of samples.
 
-    Numerically stable, O(1) memory, exact count/min/max.
+    Numerically stable, O(1) memory, exact count/min/max.  This is the
+    histogram-free fallback aggregate: exact where
+    :class:`repro.obs.metrics.Histogram` estimates, and cheaply mergeable
+    across matchers/leaves.
     """
 
     __slots__ = ("count", "_mean", "_m2", "min", "max")
@@ -95,26 +111,92 @@ class RunningStats:
 
 
 class MatcherStats:
-    """The aggregates an :class:`InstrumentedMatcher` maintains."""
+    """The aggregates an :class:`InstrumentedMatcher` maintains.
+
+    Counters and latency/result histograms live in :attr:`registry`
+    (scrapeable via Prometheus/JSON exposition); the exact Welford
+    aggregates :attr:`match_seconds` / :attr:`results_returned` are kept
+    in parallel as the histogram-free fallback.  The pre-registry
+    attribute surface (``matches``, ``adds``, ``cancels``, ...) is
+    preserved as properties over the registry counters.
+    """
 
     __slots__ = (
-        "matches",
-        "adds",
-        "cancels",
+        "registry",
         "match_seconds",
         "results_returned",
-        "empty_matches",
         "serves_by_sid",
+        "_matches",
+        "_ops",
+        "_empty",
+        "_latency",
+        "_results",
     )
 
-    def __init__(self) -> None:
-        self.matches = 0
-        self.adds = 0
-        self.cancels = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._matches = self.registry.counter(
+            "repro_matches_total", "MATCH requests served by this matcher"
+        )
+        self._ops = self.registry.counter(
+            "repro_subscription_ops_total",
+            "subscription mutations by operation",
+            labels=("op",),
+        )
+        self._empty = self.registry.counter(
+            "repro_empty_matches_total", "matches that returned no results"
+        )
+        self._latency = self.registry.histogram(
+            "repro_match_seconds", "wall seconds per match call"
+        )
+        self._results = self.registry.histogram(
+            "repro_match_results",
+            "results returned per match",
+            buckets=_RESULT_BUCKETS,
+        )
         self.match_seconds = RunningStats()
         self.results_returned = RunningStats()
-        self.empty_matches = 0
         self.serves_by_sid: Dict[Any, int] = {}
+
+    # -- recorders --------------------------------------------------------
+    def record_add(self) -> None:
+        self._ops.labels(op="add").inc()
+
+    def record_cancel(self) -> None:
+        self._ops.labels(op="cancel").inc()
+
+    def record_match(self, elapsed_seconds: float, results: List[MatchResult]) -> None:
+        self._matches.inc()
+        self._latency.observe(elapsed_seconds)
+        self._results.observe(len(results))
+        self.match_seconds.record(elapsed_seconds)
+        self.results_returned.record(len(results))
+        if not results:
+            self._empty.inc()
+        for result in results:
+            self.serves_by_sid[result.sid] = self.serves_by_sid.get(result.sid, 0) + 1
+
+    # -- the pre-registry attribute surface -------------------------------
+    @property
+    def matches(self) -> int:
+        return int(self._matches.value)
+
+    @property
+    def adds(self) -> int:
+        return int(self._ops.labels(op="add").value)
+
+    @property
+    def cancels(self) -> int:
+        return int(self._ops.labels(op="cancel").value)
+
+    @property
+    def empty_matches(self) -> int:
+        return int(self._empty.value)
+
+    @property
+    def latency_histogram(self):
+        """The bucketed match-latency histogram (seconds)."""
+        return self._latency.labels()
 
     def top_served(self, limit: int = 10) -> List[tuple]:
         """The most-served subscriptions as ``(sid, count)``, best first."""
@@ -125,7 +207,8 @@ class MatcherStats:
         return ordered[:limit]
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-ready summary (for dashboards / logs)."""
+        """A JSON-ready summary (for dashboards / logs) with quantiles."""
+        latency = self.latency_histogram
         return {
             "matches": self.matches,
             "adds": self.adds,
@@ -136,6 +219,9 @@ class MatcherStats:
             "match_ms_max": (
                 self.match_seconds.max * 1e3 if self.match_seconds.count else 0.0
             ),
+            "match_ms_p50": latency.percentile(50) * 1e3,
+            "match_ms_p95": latency.percentile(95) * 1e3,
+            "match_ms_p99": latency.percentile(99) * 1e3,
             "results_mean": self.results_returned.mean,
             "distinct_sids_served": len(self.serves_by_sid),
         }
@@ -144,37 +230,58 @@ class MatcherStats:
 class InstrumentedMatcher:
     """A transparent statistics-collecting wrapper around any matcher.
 
+    ``registry`` shares one :class:`~repro.obs.metrics.MetricsRegistry`
+    across matchers (e.g. for one scrape endpoint per process); by default
+    the wrapper gets its own.  ``tracer`` additionally wraps every match
+    in a ``match`` span (and FX-TM emits its pipeline spans beneath it —
+    the tracer is attached to the inner matcher too).
+
     >>> from repro import FXTMMatcher
     >>> wrapped = InstrumentedMatcher(FXTMMatcher())
     >>> # use `wrapped` exactly like the inner matcher
     """
 
-    def __init__(self, inner: TopKMatcher) -> None:
+    def __init__(
+        self,
+        inner: TopKMatcher,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         self.inner = inner
-        self.stats = MatcherStats()
+        self.stats = MatcherStats(registry)
+        if tracer is not None:
+            self.inner.tracer = tracer
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry backing this wrapper's metrics."""
+        return self.stats.registry
 
     # -- the TopKMatcher surface -----------------------------------------
     def add_subscription(self, subscription: Subscription) -> None:
         self.inner.add_subscription(subscription)
-        self.stats.adds += 1
+        self.stats.record_add()
 
     def cancel_subscription(self, sid: Any) -> Subscription:
         subscription = self.inner.cancel_subscription(sid)
-        self.stats.cancels += 1
+        self.stats.record_cancel()
         return subscription
+
+    def update_subscription(self, subscription: Subscription) -> Subscription:
+        previous = self.inner.update_subscription(subscription)
+        self.stats.record_cancel()
+        self.stats.record_add()
+        return previous
 
     def match(self, event: Event, k: int) -> List[MatchResult]:
         started = time.perf_counter()
-        results = self.inner.match(event, k)
-        elapsed = time.perf_counter() - started
-        stats = self.stats
-        stats.matches += 1
-        stats.match_seconds.record(elapsed)
-        stats.results_returned.record(len(results))
-        if not results:
-            stats.empty_matches += 1
-        for result in results:
-            stats.serves_by_sid[result.sid] = stats.serves_by_sid.get(result.sid, 0) + 1
+        tracer = self.tracer
+        if tracer is None:
+            results = self.inner.match(event, k)
+        else:
+            with tracer.span("match", algorithm=self.inner.name, k=k):
+                results = self.inner.match(event, k)
+        self.stats.record_match(time.perf_counter() - started, results)
         return results
 
     def get_subscription(self, sid: Any) -> Subscription:
@@ -197,6 +304,14 @@ class InstrumentedMatcher:
     @property
     def budget_tracker(self):
         return self.inner.budget_tracker
+
+    @property
+    def tracer(self):
+        return getattr(self.inner, "tracer", None)
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
 
     def __repr__(self) -> str:
         return f"InstrumentedMatcher({self.inner!r}, matches={self.stats.matches})"

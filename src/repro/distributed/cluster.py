@@ -49,6 +49,7 @@ from repro.distributed.overlay import AggregationTree, OverlayNode
 from repro.distributed.placement import PlacementStrategy
 from repro.distributed.replication import ReplicatedPlacement
 from repro.errors import OverlayError, RecoveryError, UnknownSubscriptionError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "DistributedMatchOutcome",
@@ -138,6 +139,60 @@ class RecoveryReport:
         return self.restored_from_snapshot + self.copied_from_replicas
 
 
+class _ClusterMetrics:
+    """The cluster's metric handles, registered once per registry.
+
+    Names and semantics are catalogued in docs/observability.md; the
+    ``stage`` label separates the dissemination/leaf path ("leaf") from
+    the aggregation overlay ("aggregation").
+    """
+
+    __slots__ = (
+        "matches",
+        "degraded",
+        "retries",
+        "timeouts",
+        "failed_leaves",
+        "match_seconds",
+        "coverage",
+        "local_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.matches = registry.counter(
+            "repro_distributed_matches_total", "distributed matches served"
+        )
+        self.degraded = registry.counter(
+            "repro_degraded_matches_total",
+            "distributed matches answered with coverage below 1.0",
+        )
+        self.retries = registry.counter(
+            "repro_retries_total", "hop re-attempts by stage", labels=("stage",)
+        )
+        self.timeouts = registry.counter(
+            "repro_hop_timeouts_total",
+            "simulated hop timeouts by stage",
+            labels=("stage",),
+        )
+        self.failed_leaves = registry.counter(
+            "repro_failed_leaf_matches_total",
+            "leaf contributions lost to crashes, flakiness, or deadlines",
+        )
+        self.match_seconds = registry.histogram(
+            "repro_distributed_match_seconds",
+            "simulated end-to-end seconds per distributed match",
+        )
+        self.coverage = registry.histogram(
+            "repro_match_coverage",
+            "fraction of subscriptions reachable per match",
+            buckets=(0.25, 0.5, 0.75, 0.9, 0.99, 1.0),
+        )
+        self.local_seconds = registry.histogram(
+            "repro_leaf_local_seconds",
+            "measured wall seconds of contributing leaves' local matches",
+        )
+
+
 class DistributedTopKSystem:
     """FX-TM (or any matcher) distributed over a simulated LOOM overlay.
 
@@ -166,6 +221,9 @@ class DistributedTopKSystem:
         faults: Union[FaultPlan, FaultInjector, None] = None,
         retry: Optional[RetryPolicy] = None,
         health: Optional[HealthTracker] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Any] = None,
+        logger: Optional[Any] = None,
     ) -> None:
         if node_count < 1:
             raise OverlayError(f"node_count must be >= 1, got {node_count}")
@@ -176,9 +234,32 @@ class DistributedTopKSystem:
         self.replication = ReplicatedPlacement(replication_factor, base=placement)
         self.retry = retry or RetryPolicy()
         self.health = health or HealthTracker(node_count)
+        #: Cluster-wide metrics registry; always present so counters can
+        #: be scraped even when no registry was supplied.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Optional :class:`repro.obs.tracing.Tracer`; when set, every
+        #: match produces a ``distributed.match`` trace tree covering
+        #: dispatch, retries, backoffs, local matching, and aggregation.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.logging.StructuredLogger` for
+        #: runtime events (crashes, recoveries, degraded matches).
+        self.logger = logger.child(component="cluster") if logger is not None else None
+        self._metrics = _ClusterMetrics(self.registry)
+        self.health.bind_observability(registry=self.registry, logger=logger)
         self.fault_injector = (
-            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+            FaultInjector(faults, logger=logger)
+            if isinstance(faults, FaultPlan)
+            else faults
         )
+        if self.logger is not None:
+            self.logger.info(
+                "cluster.configured",
+                node_count=node_count,
+                fanout=fanout,
+                replication_factor=self.replication.factor,
+                retry=self.retry.as_dict(),
+                latency=self.latency.as_dict(),
+            )
         self._owner_of: Dict[Any, List[int]] = {}
         #: Leaves the cluster itself knows are down (``crash_leaf``),
         #: independent of any injected fault plan.
@@ -285,60 +366,131 @@ class DistributedTopKSystem:
         rng = self.latency.rng()
         policy = self.retry
         now = self.simulated_clock
-        counters = {"retries": 0, "timeouts": 0}
+        counters = {"retries": 0, "timeouts": 0, "agg_retries": 0, "agg_timeouts": 0}
+        tracer = self.tracer
+        root_span = (
+            tracer.begin("distributed.match", k=k, nodes=len(self.nodes))
+            if tracer is not None
+            else None
+        )
+        try:
+            partials: List[List[MatchResult]] = []
+            ready_at: List[float] = []
+            local_seconds: List[float] = []
+            delivered: Set[int] = set()
+            quarantined: List[int] = []
+            event_size = event.size
 
-        partials: List[List[MatchResult]] = []
-        ready_at: List[float] = []
-        local_seconds: List[float] = []
-        delivered: Set[int] = set()
-        quarantined: List[int] = []
-        event_size = event.size
-
-        for node in self.nodes:
-            leaf = node.node_id
-            probing = False
-            if self.health.is_quarantined(leaf):
-                if self.health.probe_due(leaf, now):
-                    probing = True
+            for node in self.nodes:
+                leaf = node.node_id
+                probing = False
+                if self.health.is_quarantined(leaf):
+                    if self.health.probe_due(leaf, now):
+                        probing = True
+                    else:
+                        quarantined.append(leaf)
+                        partials.append([])
+                        local_seconds.append(0.0)
+                        ready_at.append(0.0)
+                        if tracer is not None:
+                            tracer.record(
+                                "leaf.quarantined", 0.0, leaf=leaf, simulated=True
+                            )
+                        continue
+                if tracer is not None:
+                    with tracer.span("leaf.dispatch", leaf=leaf, probe=probing) as leaf_span:
+                        results, elapsed, ready, success = self._attempt_leaf(
+                            node, event, k, event_size, rng, view, policy, now,
+                            counters, single_attempt=probing,
+                            record_health=record_health,
+                        )
+                        leaf_span.annotate(
+                            outcome="delivered" if success else "failed",
+                            simulated=True,
+                        )
+                        leaf_span.set_duration(ready)
                 else:
-                    quarantined.append(leaf)
-                    partials.append([])
-                    local_seconds.append(0.0)
-                    ready_at.append(0.0)
-                    continue
-            outcome = self._attempt_leaf(
-                node, event, k, event_size, rng, view, policy, now,
-                counters, single_attempt=probing, record_health=record_health,
-            )
-            results, elapsed, ready, success = outcome
-            partials.append(results)
-            local_seconds.append(elapsed)
-            ready_at.append(ready)
-            if success:
-                delivered.add(leaf)
+                    results, elapsed, ready, success = self._attempt_leaf(
+                        node, event, k, event_size, rng, view, policy, now,
+                        counters, single_attempt=probing, record_health=record_health,
+                    )
+                partials.append(results)
+                local_seconds.append(elapsed)
+                ready_at.append(ready)
+                if success:
+                    delivered.add(leaf)
 
-        merge_compute = [0.0]
-        root_results, root_time = self._aggregate(
-            self.overlay.root, partials, ready_at, k, rng, merge_compute,
-            delivered, view, policy, counters,
-        )
-        # Root -> controller: final hop with the aggregated results.
-        total = root_time + self.latency.hop(len(root_results), rng)
-        slowest_path = max(ready_at) if ready_at else 0.0
-        outcome = DistributedMatchOutcome(
-            results=root_results,
-            local_seconds=local_seconds,
-            total_seconds=total,
-            aggregation_seconds=total - slowest_path,
-            merge_compute_seconds=merge_compute[0],
-            failed_leaves=sorted(set(range(len(self.nodes))) - delivered),
-            coverage=self._coverage(delivered),
-            retries_attempted=counters["retries"],
-            hops_timed_out=counters["timeouts"],
-            quarantined_leaves=quarantined,
-        )
+            merge_compute = [0.0]
+            root_results, root_time = self._aggregate(
+                self.overlay.root, partials, ready_at, k, rng, merge_compute,
+                delivered, view, policy, counters,
+            )
+            # Root -> controller: final hop with the aggregated results.
+            final_hop = self.latency.hop(len(root_results), rng)
+            total = root_time + final_hop
+            if tracer is not None:
+                tracer.record(
+                    "root.hop", final_hop, results=len(root_results), simulated=True
+                )
+            slowest_path = max(ready_at) if ready_at else 0.0
+            outcome = DistributedMatchOutcome(
+                results=root_results,
+                local_seconds=local_seconds,
+                total_seconds=total,
+                aggregation_seconds=total - slowest_path,
+                merge_compute_seconds=merge_compute[0],
+                failed_leaves=sorted(set(range(len(self.nodes))) - delivered),
+                coverage=self._coverage(delivered),
+                retries_attempted=counters["retries"] + counters["agg_retries"],
+                hops_timed_out=counters["timeouts"] + counters["agg_timeouts"],
+                quarantined_leaves=quarantined,
+            )
+        finally:
+            if tracer is not None:
+                tracer.end()
+        if root_span is not None:
+            root_span.annotate(
+                coverage=outcome.coverage,
+                degraded=outcome.degraded,
+                retries=outcome.retries_attempted,
+                failed_leaves=outcome.failed_leaves,
+                simulated=True,
+            )
+            root_span.set_duration(total)
+        self._record_match_metrics(outcome, counters)
         self.simulated_clock += total
         return outcome
+
+    def _record_match_metrics(
+        self, outcome: DistributedMatchOutcome, counters: Dict[str, int]
+    ) -> None:
+        metrics = self._metrics
+        metrics.matches.inc()
+        if outcome.degraded:
+            metrics.degraded.inc()
+            if self.logger is not None:
+                self.logger.warning(
+                    "match.degraded",
+                    coverage=round(outcome.coverage, 6),
+                    failed_leaves=outcome.failed_leaves,
+                    quarantined=outcome.quarantined_leaves,
+                )
+        if counters["retries"]:
+            metrics.retries.labels(stage="leaf").inc(counters["retries"])
+        if counters["agg_retries"]:
+            metrics.retries.labels(stage="aggregation").inc(counters["agg_retries"])
+        if counters["timeouts"]:
+            metrics.timeouts.labels(stage="leaf").inc(counters["timeouts"])
+        if counters["agg_timeouts"]:
+            metrics.timeouts.labels(stage="aggregation").inc(counters["agg_timeouts"])
+        if outcome.failed_leaves:
+            metrics.failed_leaves.inc(len(outcome.failed_leaves))
+        metrics.match_seconds.observe(outcome.total_seconds)
+        metrics.coverage.observe(outcome.coverage)
+        failed = set(outcome.failed_leaves)
+        for leaf, seconds in enumerate(outcome.local_seconds):
+            if leaf not in failed and seconds > 0.0:
+                metrics.local_seconds.observe(seconds)
 
     def _fault_view(
         self, faults: Union[FaultPlan, FaultInjector, None]
@@ -383,12 +535,19 @@ class DistributedTopKSystem:
         leaf's answer — or its abandonment — is known to the overlay.
         """
         leaf = node.node_id
+        tracer = self.tracer
         clock = 0.0
         max_attempts = 1 if single_attempt else policy.max_attempts
         for attempt in range(1, max_attempts + 1):
             if attempt > 1:
-                clock += policy.backoff(attempt - 1)
+                backoff = policy.backoff(attempt - 1)
+                clock += backoff
                 counters["retries"] += 1
+                if tracer is not None:
+                    tracer.record(
+                        "leaf.backoff", backoff,
+                        leaf=leaf, attempt=attempt, simulated=True,
+                    )
             hop = self.latency.hop(event_size, rng)
             failure = None
             if view is not None and view.hop_dropped(("dis", leaf), attempt):
@@ -400,6 +559,12 @@ class DistributedTopKSystem:
             if failure is not None:
                 clock += failure
                 counters["timeouts"] += 1
+                if tracer is not None:
+                    tracer.record(
+                        "leaf.attempt", failure,
+                        leaf=leaf, attempt=attempt, outcome="timeout",
+                        simulated=True,
+                    )
                 if record_health:
                     self.health.record_timeout(leaf, now + clock)
                 if clock >= policy.deadline_seconds:
@@ -418,9 +583,22 @@ class DistributedTopKSystem:
                 # The (straggling) answer arrives too late to be waited
                 # for: the overlay gives up at the deadline.
                 counters["timeouts"] += 1
+                if tracer is not None:
+                    tracer.record(
+                        "leaf.attempt", policy.deadline_seconds - clock,
+                        leaf=leaf, attempt=attempt, outcome="abandoned",
+                        straggle_factor=factor, simulated=True,
+                    )
                 if record_health:
                     self.health.record_timeout(leaf, now + policy.deadline_seconds)
                 return [], 0.0, policy.deadline_seconds, False
+            if tracer is not None:
+                tracer.record("leaf.hop", hop, leaf=leaf, attempt=attempt, simulated=True)
+                tracer.record(
+                    "leaf.local_match", elapsed * factor,
+                    leaf=leaf, results=len(results), measured_seconds=elapsed,
+                    straggle_factor=factor,
+                )
             if record_health:
                 self.health.record_success(leaf, now + ready)
             return results, elapsed, ready, True
@@ -454,43 +632,83 @@ class DistributedTopKSystem:
             assert node.leaf_index is not None
             return partials[node.leaf_index], ready_at[node.leaf_index]
         assert node.children
-        child_results: List[List[MatchResult]] = []
-        arrival = 0.0
-        for child in node.children:
-            results, done_at = self._aggregate(
-                child, partials, ready_at, k, rng, merge_compute,
-                delivered, view, policy, counters,
-            )
-            span = child.leaf_indices()
-            contributing = delivered.intersection(span)
-            if contributing:
-                # Child -> this node: one hop carrying its partial set,
-                # retried with backoff when the wire drops it.
-                edge = ("agg", span[0], span[-1])
-                for attempt in range(1, policy.max_attempts + 1):
-                    if view is not None and view.hop_dropped(edge, attempt):
-                        done_at += policy.timeout_seconds
-                        counters["timeouts"] += 1
-                        if attempt >= policy.max_attempts:
-                            # Retries exhausted: the whole subtree's
-                            # contribution is lost for this match.
-                            delivered.difference_update(contributing)
-                            results = []
-                            break
-                        counters["retries"] += 1
-                        done_at += policy.backoff(attempt)
-                        continue
-                    done_at += self.latency.hop(len(results), rng)
-                    break
-            # A non-contributing child still delays its parent by the
-            # time spent discovering it had nothing to send (done_at).
-            child_results.append(results)
-            if done_at > arrival:
-                arrival = done_at
-        started = time.perf_counter()
-        merged = merge_topk(child_results, k)
-        merge_seconds = time.perf_counter() - started
-        merge_compute[0] += merge_seconds
+        tracer = self.tracer
+        leaves = node.leaf_indices()
+        agg_span = (
+            tracer.begin("aggregate", leaves=[leaves[0], leaves[-1]])
+            if tracer is not None
+            else None
+        )
+        try:
+            child_results: List[List[MatchResult]] = []
+            arrival = 0.0
+            for child in node.children:
+                results, done_at = self._aggregate(
+                    child, partials, ready_at, k, rng, merge_compute,
+                    delivered, view, policy, counters,
+                )
+                span = child.leaf_indices()
+                contributing = delivered.intersection(span)
+                if contributing:
+                    # Child -> this node: one hop carrying its partial set,
+                    # retried with backoff when the wire drops it.
+                    edge = ("agg", span[0], span[-1])
+                    for attempt in range(1, policy.max_attempts + 1):
+                        if view is not None and view.hop_dropped(edge, attempt):
+                            done_at += policy.timeout_seconds
+                            counters["agg_timeouts"] += 1
+                            if tracer is not None:
+                                tracer.record(
+                                    "aggregation.hop", policy.timeout_seconds,
+                                    leaves=[span[0], span[-1]], attempt=attempt,
+                                    outcome="dropped", simulated=True,
+                                )
+                            if attempt >= policy.max_attempts:
+                                # Retries exhausted: the whole subtree's
+                                # contribution is lost for this match.
+                                delivered.difference_update(contributing)
+                                results = []
+                                break
+                            counters["agg_retries"] += 1
+                            backoff = policy.backoff(attempt)
+                            done_at += backoff
+                            if tracer is not None:
+                                tracer.record(
+                                    "aggregation.backoff", backoff,
+                                    leaves=[span[0], span[-1]], attempt=attempt,
+                                    simulated=True,
+                                )
+                            continue
+                        hop = self.latency.hop(len(results), rng)
+                        done_at += hop
+                        if tracer is not None:
+                            tracer.record(
+                                "aggregation.hop", hop,
+                                leaves=[span[0], span[-1]], attempt=attempt,
+                                outcome="delivered", results=len(results),
+                                simulated=True,
+                            )
+                        break
+                # A non-contributing child still delays its parent by the
+                # time spent discovering it had nothing to send (done_at).
+                child_results.append(results)
+                if done_at > arrival:
+                    arrival = done_at
+            started = time.perf_counter()
+            merged = merge_topk(child_results, k)
+            merge_seconds = time.perf_counter() - started
+            merge_compute[0] += merge_seconds
+            if tracer is not None:
+                tracer.record(
+                    "merge", merge_seconds,
+                    inputs=len(child_results), results=len(merged),
+                )
+        finally:
+            if tracer is not None:
+                tracer.end()
+        if agg_span is not None:
+            agg_span.annotate(completed_at=arrival + merge_seconds, simulated=True)
+            agg_span.set_duration(arrival + merge_seconds)
         # Aggregation "has to receive all results to complete" — it starts
         # at the slowest child's arrival.
         return merged, arrival + merge_seconds
@@ -514,6 +732,10 @@ class DistributedTopKSystem:
         self.nodes[leaf_id].matcher = self._matcher_factory()
         self._down.add(leaf_id)
         self.health.quarantine(leaf_id, self.simulated_clock)
+        if self.logger is not None:
+            self.logger.error(
+                "leaf.crashed", leaf=leaf_id, now=self.simulated_clock
+            )
 
     def recover_leaf(self, leaf_id: int, snapshot_path=None) -> RecoveryReport:
         """Rebuild a failed leaf's partition and re-admit it.
@@ -562,6 +784,15 @@ class DistributedTopKSystem:
         self.nodes[leaf_id].matcher = fresh
         self._down.discard(leaf_id)
         self.health.readmit(leaf_id, self.simulated_clock)
+        if self.logger is not None:
+            self.logger.info(
+                "leaf.recovered",
+                leaf=leaf_id,
+                now=self.simulated_clock,
+                restored_from_snapshot=snapshot_count,
+                copied_from_replicas=copied,
+                lost=len(lost),
+            )
         return RecoveryReport(
             leaf_id=leaf_id,
             restored_from_snapshot=snapshot_count,
@@ -617,6 +848,14 @@ class DistributedTopKSystem:
         self.nodes[leaf_id].matcher = self._matcher_factory()
         self._down.add(leaf_id)
         self.health.quarantine(leaf_id, self.simulated_clock)
+        if self.logger is not None:
+            self.logger.info(
+                "leaf.reassigned",
+                leaf=leaf_id,
+                now=self.simulated_clock,
+                moved=moved,
+                lost=len(lost),
+            )
         return moved, lost
 
     def _surviving_source(

@@ -9,11 +9,14 @@ distribute subscriptions evenly amongst nodes."
 :class:`~repro.distributed.cluster.DistributedTopKSystem` the same
 textual ADD/CANCEL/MATCH protocol the local controller speaks
 (:mod:`repro.core.controller`), so a deployment can swap a single node
-for a cluster without changing its client protocol.
+for a cluster without changing its client protocol.  The METRICS and
+TRACE introspection requests are served from the cluster's own registry
+and tracer (docs/observability.md).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional
 
@@ -34,6 +37,8 @@ class DistributedResponse:
     request: Request
     results: List[MatchResult] = field(default_factory=list)
     error: str = ""
+    #: Rendered exposition for METRICS/TRACE requests ("" otherwise).
+    payload: str = ""
     #: Simulation record for MATCH requests (None otherwise).
     outcome: Optional[DistributedMatchOutcome] = None
     #: For MATCH requests: whether some subscriptions were unreachable
@@ -82,6 +87,33 @@ class DistributedController:
             if request.kind is RequestKind.CANCEL:
                 self.system.cancel_subscription(request.sid)
                 return DistributedResponse(ok=True, request=request)
+            if request.kind is RequestKind.METRICS:
+                registry = self.system.registry
+                payload = (
+                    registry.to_prom_text()
+                    if request.fmt == "prom"
+                    else json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+                )
+                return DistributedResponse(ok=True, request=request, payload=payload)
+            if request.kind is RequestKind.TRACE:
+                tracer = self.system.tracer
+                if tracer is None:
+                    self.requests_failed += 1
+                    return DistributedResponse(
+                        ok=False, request=request,
+                        error="no tracer attached (pass tracer= to the system)",
+                    )
+                if tracer.last_trace is None:
+                    self.requests_failed += 1
+                    return DistributedResponse(
+                        ok=False, request=request, error="no traces recorded yet"
+                    )
+                payload = (
+                    tracer.render()
+                    if request.fmt == "text"
+                    else json.dumps(tracer.to_json(), indent=2)
+                )
+                return DistributedResponse(ok=True, request=request, payload=payload)
             event = parse_event(request.event_text)
             outcome = self.system.match(event, request.k)
             if outcome.degraded:

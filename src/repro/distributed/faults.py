@@ -139,13 +139,26 @@ class FaultInjector:
     (True, False)
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, logger=None) -> None:
         self.plan = plan
         self.matches_started = 0
+        #: Optional :class:`repro.obs.logging.StructuredLogger`; when set,
+        #: each match against a non-noop plan emits a debug-level
+        #: ``faults.match_begin`` event so degraded runs can be replayed
+        #: against the exact injected fault sequence.
+        self.logger = logger.child(component="faults") if logger is not None else None
 
     def begin_match(self) -> "MatchFaults":
         """Start a new match; returns its frozen fault view."""
         view = MatchFaults(self.plan, self.matches_started)
+        if self.logger is not None and not self.plan.is_noop:
+            self.logger.debug(
+                "faults.match_begin",
+                match_index=self.matches_started,
+                seed=self.plan.seed,
+                crashed=sorted(self.plan.crashed),
+                hop_drop_rate=self.plan.hop_drop_rate,
+            )
         self.matches_started += 1
         return view
 

@@ -18,13 +18,19 @@ heartbeat/suspicion protocols and route around quarantined members.
 All times are simulated seconds supplied by the caller — the tracker
 never reads a wall clock, which keeps the whole failure machinery
 deterministic and replayable.
+
+Detection decisions were previously invisible at runtime;
+:meth:`HealthTracker.bind_observability` attaches a structured logger
+and a metrics registry so every state transition emits a ``leaf.*``
+JSON event and increments ``repro_quarantine_transitions_total``
+(docs/observability.md lists the full event and metric catalogue).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.errors import OverlayError
 
@@ -82,6 +88,35 @@ class HealthTracker:
         self._leaves: Dict[int, LeafHealth] = {
             leaf: LeafHealth() for leaf in range(node_count)
         }
+        self._logger: Optional[Any] = None
+        self._transitions: Optional[Any] = None
+        self._quarantined_gauge: Optional[Any] = None
+
+    def bind_observability(self, registry: Any = None, logger: Any = None) -> None:
+        """Attach a metrics registry and/or structured logger.
+
+        The cluster calls this once at construction; either argument may
+        be ``None``.  Transitions then increment
+        ``repro_quarantine_transitions_total{transition=...}``, maintain
+        the ``repro_quarantined_leaves`` gauge, and emit ``leaf.suspect``
+        / ``leaf.dead`` / ``leaf.alive`` / ``leaf.readmitted`` events.
+        """
+        self._logger = logger.child(component="health") if logger is not None else None
+        if registry is not None:
+            self._transitions = registry.counter(
+                "repro_quarantine_transitions_total",
+                "leaf failure-detection state transitions",
+                labels=("transition",),
+            )
+            self._quarantined_gauge = registry.gauge(
+                "repro_quarantined_leaves", "leaves currently quarantined (DEAD)"
+            )
+
+    def _observe_transition(self, transition: str) -> None:
+        if self._transitions is not None:
+            self._transitions.labels(transition=transition).inc()
+        if self._quarantined_gauge is not None:
+            self._quarantined_gauge.set(len(self.quarantined()))
 
     def _leaf(self, leaf: int) -> LeafHealth:
         try:
@@ -99,28 +134,64 @@ class HealthTracker:
     def record_success(self, leaf: int, now: float) -> None:
         """The leaf answered: fully alive again, suspicion cleared."""
         record = self._leaf(leaf)
+        previous = record.state
         record.state = LeafState.ALIVE
         record.consecutive_timeouts = 0
         record.last_heard_at = now
+        if previous is LeafState.DEAD:
+            self._observe_transition("readmit")
+            if self._logger is not None:
+                self._logger.info("leaf.readmitted", leaf=leaf, now=now)
+        elif previous is LeafState.SUSPECT:
+            self._observe_transition("recover")
+            if self._logger is not None:
+                self._logger.info("leaf.alive", leaf=leaf, now=now)
 
     def record_timeout(self, leaf: int, now: float) -> None:
         """One attempt against the leaf timed out."""
         record = self._leaf(leaf)
+        previous = record.state
         record.consecutive_timeouts += 1
         if record.consecutive_timeouts >= self.suspicion_threshold:
             record.state = LeafState.DEAD
             # Refreshed on every further timeout so a failed probe backs
             # off for a full readmission window before the next probe.
             record.quarantined_at = now
+            if previous is not LeafState.DEAD:
+                self._observe_transition("quarantine")
+                if self._logger is not None:
+                    self._logger.error(
+                        "leaf.dead",
+                        leaf=leaf,
+                        now=now,
+                        previous=previous.value,
+                        consecutive_timeouts=record.consecutive_timeouts,
+                    )
         elif record.state is LeafState.ALIVE:
             record.state = LeafState.SUSPECT
+            self._observe_transition("suspect")
+            if self._logger is not None:
+                self._logger.warning(
+                    "leaf.suspect",
+                    leaf=leaf,
+                    now=now,
+                    consecutive_timeouts=record.consecutive_timeouts,
+                )
 
     def quarantine(self, leaf: int, now: float) -> None:
         """Administratively quarantine a leaf (e.g. known crash)."""
         record = self._leaf(leaf)
+        previous = record.state
         record.state = LeafState.DEAD
         record.consecutive_timeouts = self.suspicion_threshold
         record.quarantined_at = now
+        if previous is not LeafState.DEAD:
+            self._observe_transition("quarantine")
+            if self._logger is not None:
+                self._logger.error(
+                    "leaf.dead", leaf=leaf, now=now, previous=previous.value,
+                    administrative=True,
+                )
 
     def readmit(self, leaf: int, now: float) -> None:
         """Administratively re-admit a leaf (e.g. after recovery)."""

@@ -38,6 +38,15 @@ class LatencyModel:
         """A fresh deterministic jitter stream."""
         return random.Random(f"latency:{self.seed}")
 
+    def as_dict(self) -> dict:
+        """JSON-ready configuration (for ``cluster.configured`` logs)."""
+        return {
+            "base_seconds": self.base_seconds,
+            "per_result_seconds": self.per_result_seconds,
+            "jitter_fraction": self.jitter_fraction,
+            "seed": self.seed,
+        }
+
     def hop(self, payload_results: int, rng: random.Random) -> float:
         """Latency of one hop carrying ``payload_results`` result entries."""
         if payload_results < 0:
@@ -86,3 +95,13 @@ class RetryPolicy:
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         return self.backoff_base_seconds * self.backoff_multiplier ** (attempt - 1)
+
+    def as_dict(self) -> dict:
+        """JSON-ready configuration (for ``cluster.configured`` logs)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "timeout_seconds": self.timeout_seconds,
+            "backoff_base_seconds": self.backoff_base_seconds,
+            "backoff_multiplier": self.backoff_multiplier,
+            "deadline_seconds": self.deadline_seconds,
+        }

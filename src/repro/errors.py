@@ -76,3 +76,7 @@ class FaultConfigError(ReproError):
 
 class RecoveryError(ReproError):
     """A leaf recovery operation could not be completed."""
+
+
+class ObservabilityError(ReproError):
+    """A metrics/tracing/logging facility was misused or misconfigured."""

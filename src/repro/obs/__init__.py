@@ -1,0 +1,41 @@
+"""repro.obs — dependency-free observability: metrics, tracing, logging.
+
+The cross-cutting layer documented in docs/observability.md:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters, gauges, and bucketed histograms with quantile estimates,
+  exposable as JSON or Prometheus text (and parseable back);
+* :mod:`repro.obs.tracing` — a :class:`Tracer` of nested spans covering
+  the FX-TM match pipeline and every distributed hop, exportable as JSON
+  trace trees or a flame-style text summary;
+* :mod:`repro.obs.logging` — a :class:`StructuredLogger` emitting
+  JSON-line runtime events (failure detection, recovery, degradation)
+  into a bounded ring buffer and an optional stream.
+"""
+
+from repro.obs.logging import LEVELS, StructuredLogger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    parse_prom_text,
+)
+from repro.obs.tracing import Span, Tracer, aggregate_phases
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LEVELS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "aggregate_phases",
+    "parse_prom_text",
+]

@@ -85,6 +85,64 @@ class TestExplainMatch:
         assert "raw" in text
 
 
+class TestExplainNonMatching:
+    def test_render_all_misses(self):
+        schema = Schema()
+        subscription = sub(
+            Constraint("a", Interval(0, 1), 1.0),
+            Constraint("b", Interval(0, 1), 1.0),
+        )
+        explanation = explain_match(subscription, Event({"b": 99}), schema)
+        assert not explanation.matched
+        text = explanation.render()
+        assert "subscription 's':" in text
+        assert "[ miss] a: missing" in text
+        assert "[ miss] b: no-overlap" in text
+        assert "[match]" not in text
+        assert "raw 0 x budget 1 = 0" in text
+
+    def test_render_unknown_attribute(self):
+        schema = Schema()
+        subscription = sub(Constraint("a", Interval(0, 1), 1.0))
+        explanation = explain_match(subscription, Event({"a": UNKNOWN}), schema)
+        assert explanation.render().count("[ miss] a: unknown") == 1
+        assert explanation.raw_score == 0.0
+        assert explanation.final_score == 0.0
+
+    def test_explain_through_matcher_non_matching_event(self):
+        matcher = FXTMMatcher(prorate=True)
+        matcher.add_subscription(sub(Constraint("age", Interval(18, 24), 2.0)))
+        explanation = explain(matcher, Event({"age": 50}), "s")
+        assert not explanation.matched
+        assert explanation.final_score == 0.0
+        assert explanation.constraints[0].reason == "no-overlap"
+        # The matcher agrees: the event produces no results.
+        assert matcher.match(Event({"age": 50}), 5) == []
+
+    def test_explain_through_matcher_unknown_value(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            sub(Constraint("age", Interval(18, 24), 2.0), Constraint("state", "IN", 1.0))
+        )
+        explanation = explain(matcher, Event({"age": UNKNOWN, "state": "IN"}), "s")
+        reasons = {e.attribute: e.reason for e in explanation.constraints}
+        assert reasons["age"] == "unknown"
+        assert explanation.matched  # partial-match rule: state still matched
+        assert explanation.final_score == pytest.approx(1.0)
+        results = matcher.match(Event({"age": UNKNOWN, "state": "IN"}), 5)
+        assert results[0].score == pytest.approx(explanation.final_score)
+
+    def test_render_shows_fraction_only_when_prorated(self):
+        schema = Schema()
+        subscription = sub(Constraint("age", Interval(18, 24), 2.0))
+        full = explain_match(subscription, Event({"age": 20}), schema, prorate=True)
+        partial = explain_match(
+            subscription, Event({"age": Interval(20, 30)}), schema, prorate=True
+        )
+        assert "fraction" not in full.render()
+        assert "fraction" in partial.render()
+
+
 class TestExplainThroughMatcher:
     def test_final_score_equals_match_score(self):
         rng = random.Random(19)

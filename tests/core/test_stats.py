@@ -143,3 +143,49 @@ class TestInstrumentedMatcher:
         stats = MatcherStats()
         assert stats.top_served() == []
         assert stats.snapshot()["match_ms_max"] == 0.0
+
+    def test_snapshot_surfaces_latency_percentiles(self):
+        wrapped = self.build()
+        for _ in range(20):
+            wrapped.match(Event({"a": 5}), 1)
+        snapshot = wrapped.stats.snapshot()
+        assert snapshot["match_ms_p50"] > 0
+        assert snapshot["match_ms_p50"] <= snapshot["match_ms_p95"]
+        assert snapshot["match_ms_p95"] <= snapshot["match_ms_p99"]
+        # Quantile estimates stay within the exact Welford min/max.
+        assert snapshot["match_ms_p99"] <= snapshot["match_ms_max"] * 1.0001
+
+    def test_stats_backed_by_registry(self):
+        wrapped = self.build()
+        wrapped.match(Event({"a": 5}), 1)
+        registry = wrapped.registry
+        assert registry.counter("repro_matches_total").value == 1.0
+        assert registry.counter("repro_subscription_ops_total").labels(op="add").value == 2.0
+        latency = registry.get("repro_match_seconds").labels()
+        assert latency.count == 1
+        assert "repro_matches_total" in registry.to_prom_text()
+
+    def test_shared_registry_across_matchers(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first = InstrumentedMatcher(FXTMMatcher(), registry=registry)
+        second = InstrumentedMatcher(FXTMMatcher(), registry=registry)
+        first.add_subscription(Subscription("s", [Constraint("a", Interval(0, 10))]))
+        first.match(Event({"a": 5}), 1)
+        second.match(Event({"a": 5}), 1)
+        # Both wrappers share one scrape surface.
+        assert registry.counter("repro_matches_total").value == 2.0
+
+    def test_tracer_attached_to_inner_matcher(self):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        wrapped = InstrumentedMatcher(FXTMMatcher(prorate=True), tracer=tracer)
+        wrapped.add_subscription(Subscription("s", [Constraint("a", Interval(0, 10))]))
+        wrapped.match(Event({"a": 5}), 1)
+        trace = tracer.last_trace
+        assert trace.name == "match"
+        # FX-TM's pipeline spans nest beneath the wrapper's match span.
+        assert trace.find("fxtm.match")
+        assert trace.find("topk.select")

@@ -1,0 +1,293 @@
+"""End-to-end observability of the distributed matcher under faults.
+
+The acceptance scenario: a distributed match under an injected leaf
+crash (seeded :class:`FaultPlan`) must produce
+
+* a trace tree showing the failed leaf's timed-out attempts, the
+  retries/backoffs between them, and the merge;
+* ``repro_retries_total`` and ``repro_quarantine_transitions_total``
+  counters in the cluster's registry;
+* a structured log line for the SUSPECT -> DEAD transition;
+
+and the registry's Prometheus exposition must round-trip through
+:func:`repro.obs.metrics.parse_prom_text`.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.harness import make_matcher
+from repro.core.attributes import Interval
+from repro.core.events import Event
+from repro.core.subscriptions import Constraint, Subscription
+from repro.distributed.cluster import DistributedTopKSystem
+from repro.distributed.controller import DistributedController
+from repro.distributed.faults import FaultPlan
+from repro.distributed.health import LeafState
+from repro.obs import MetricsRegistry, StructuredLogger, Tracer, parse_prom_text
+
+NODE_COUNT = 6
+CRASHED_LEAF = 2
+
+
+def subscriptions(count=30):
+    return [
+        Subscription(f"s{index}", [Constraint("price", Interval(0, 100), 1.0)])
+        for index in range(count)
+    ]
+
+
+def build_system(replication_factor=2, plan=None, stream=None):
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    logger = StructuredLogger(stream=stream)
+    system = DistributedTopKSystem(
+        lambda: make_matcher("fx-tm", prorate=True),
+        node_count=NODE_COUNT,
+        replication_factor=replication_factor,
+        faults=plan
+        if plan is not None
+        else FaultPlan(crashed=frozenset({CRASHED_LEAF}), seed=11),
+        registry=registry,
+        tracer=tracer,
+        logger=logger,
+    )
+    system.add_subscriptions(subscriptions())
+    return system, registry, tracer, logger
+
+
+class TestCrashedLeafScenario:
+    def test_trace_tree_shows_failed_hop_retries_and_merge(self):
+        system, registry, tracer, logger = build_system()
+        outcome = system.match(Event({"price": 42}), k=5)
+        assert CRASHED_LEAF in outcome.failed_leaves
+
+        trace = tracer.last_trace
+        assert trace.name == "distributed.match"
+        assert trace.attributes["failed_leaves"] == [CRASHED_LEAF]
+
+        dispatches = {
+            span.attributes["leaf"]: span for span in trace.find("leaf.dispatch")
+        }
+        failed = dispatches[CRASHED_LEAF]
+        assert failed.attributes["outcome"] == "failed"
+        # Every attempt against the crashed leaf timed out...
+        attempts = failed.find("leaf.attempt")
+        assert len(attempts) == system.retry.max_attempts
+        assert all(a.attributes["outcome"] == "timeout" for a in attempts)
+        # ...with a backoff wait before each retry.
+        assert len(failed.find("leaf.backoff")) == system.retry.max_attempts - 1
+        # Healthy leaves delivered their hop + local match.
+        healthy = dispatches[0]
+        assert healthy.attributes["outcome"] == "delivered"
+        assert healthy.find("leaf.hop")
+        assert healthy.find("leaf.local_match")
+        # Aggregation happened: merge spans inside aggregate spans.
+        assert trace.find("aggregate")
+        assert trace.find("merge")
+        assert trace.find("root.hop")
+
+    def test_counters_count_retries_and_quarantine_transitions(self):
+        system, registry, tracer, logger = build_system()
+        system.match(Event({"price": 42}), k=5)
+
+        retries = registry.get("repro_retries_total")
+        assert retries.labels(stage="leaf").value == system.retry.max_attempts - 1
+        timeouts = registry.get("repro_hop_timeouts_total")
+        assert timeouts.labels(stage="leaf").value == system.retry.max_attempts
+
+        # Three consecutive timeouts crossed the suspicion threshold in
+        # this very match: ALIVE -> SUSPECT -> DEAD.
+        transitions = registry.get("repro_quarantine_transitions_total")
+        assert transitions.labels(transition="suspect").value == 1.0
+        assert transitions.labels(transition="quarantine").value == 1.0
+        assert system.health.state_of(CRASHED_LEAF) is LeafState.DEAD
+        assert registry.get("repro_quarantined_leaves").value == 1.0
+        assert registry.get("repro_distributed_matches_total").value == 1.0
+
+    def test_structured_log_records_suspect_then_dead(self):
+        stream = io.StringIO()
+        system, registry, tracer, logger = build_system(stream=stream)
+        system.match(Event({"price": 42}), k=5)
+
+        (suspect,) = logger.records_for(event="leaf.suspect")
+        assert suspect["leaf"] == CRASHED_LEAF
+        assert suspect["level"] == "warning"
+        (dead,) = logger.records_for(event="leaf.dead")
+        assert dead["leaf"] == CRASHED_LEAF
+        assert dead["level"] == "error"
+        assert dead["previous"] == LeafState.SUSPECT.value
+        assert dead["consecutive_timeouts"] == system.health.suspicion_threshold
+        # Every emitted line is valid JSON.
+        for line in stream.getvalue().splitlines():
+            json.loads(line)
+
+    def test_prom_exposition_round_trips(self):
+        system, registry, tracer, logger = build_system()
+        system.match(Event({"price": 42}), k=5)
+        parsed = parse_prom_text(registry.to_prom_text())
+        assert parsed["repro_retries_total"]["type"] == "counter"
+        samples = {
+            tuple(sorted(labels.items())): value
+            for _, labels, value in parsed["repro_retries_total"]["samples"]
+        }
+        assert samples[(("stage", "leaf"),)] == system.retry.max_attempts - 1
+        transitions = {
+            labels["transition"]: value
+            for _, labels, value in parsed["repro_quarantine_transitions_total"]["samples"]
+        }
+        assert transitions == {"suspect": 1.0, "quarantine": 1.0}
+        histogram = parsed["repro_distributed_match_seconds"]
+        counts = [v for name, _, v in histogram["samples"] if name.endswith("_count")]
+        assert counts == [1.0]
+
+    def test_second_match_skips_quarantined_leaf(self):
+        system, registry, tracer, logger = build_system()
+        system.match(Event({"price": 42}), k=5)
+        outcome = system.match(Event({"price": 42}), k=5)
+        assert outcome.quarantined_leaves == [CRASHED_LEAF]
+        trace = tracer.last_trace
+        skipped = trace.find("leaf.quarantined")
+        assert [s.attributes["leaf"] for s in skipped] == [CRASHED_LEAF]
+        # No attempts were wasted on the quarantined leaf.
+        leaves_attempted = {
+            span.attributes["leaf"] for span in trace.find("leaf.dispatch")
+        }
+        assert CRASHED_LEAF not in leaves_attempted
+
+    def test_replication_keeps_answer_complete_and_undegraded(self):
+        system, registry, tracer, logger = build_system(replication_factor=2)
+        outcome = system.match(Event({"price": 42}), k=5)
+        assert outcome.coverage == 1.0
+        assert not outcome.degraded
+        assert registry.get("repro_degraded_matches_total").value == 0.0
+        assert logger.records_for(event="match.degraded") == []
+
+
+class TestDegradedMatchScenario:
+    def test_unreplicated_crash_logs_and_counts_degradation(self):
+        system, registry, tracer, logger = build_system(replication_factor=1)
+        outcome = system.match(Event({"price": 42}), k=5)
+        assert outcome.degraded
+        assert registry.get("repro_degraded_matches_total").value == 1.0
+        (record,) = logger.records_for(event="match.degraded")
+        assert record["level"] == "warning"
+        assert record["failed_leaves"] == [CRASHED_LEAF]
+        assert 0.0 < record["coverage"] < 1.0
+
+
+class TestAdminEventLogging:
+    def test_crash_and_recover_emit_events(self):
+        system, registry, tracer, logger = build_system(plan=FaultPlan())
+        system.crash_leaf(3)
+        (crashed,) = logger.records_for(event="leaf.crashed")
+        assert crashed["leaf"] == 3
+        report = system.recover_leaf(3)
+        (recovered,) = logger.records_for(event="leaf.recovered")
+        assert recovered["leaf"] == 3
+        assert recovered["copied_from_replicas"] == report.copied_from_replicas
+        assert recovered["lost"] == len(report.lost)
+        # Replica fallback actually happened (replication_factor=2).
+        assert report.copied_from_replicas > 0
+        (readmitted,) = logger.records_for(event="leaf.readmitted")
+        assert readmitted["leaf"] == 3
+
+    def test_reassign_orphans_logs_moves(self):
+        system, registry, tracer, logger = build_system(plan=FaultPlan())
+        moved, lost = system.reassign_orphans(4)
+        (record,) = logger.records_for(event="leaf.reassigned")
+        assert record["leaf"] == 4
+        assert record["moved"] == moved
+        assert record["lost"] == len(lost)
+
+    def test_cluster_configuration_logged_at_construction(self):
+        system, registry, tracer, logger = build_system(plan=FaultPlan())
+        (record,) = logger.records_for(event="cluster.configured")
+        assert record["node_count"] == NODE_COUNT
+        assert record["replication_factor"] == 2
+        assert record["retry"]["max_attempts"] == system.retry.max_attempts
+        assert record["latency"]["base_seconds"] == system.latency.base_seconds
+
+
+class TestControllerIntrospection:
+    def test_metrics_and_trace_requests(self):
+        system, registry, tracer, logger = build_system()
+        controller = DistributedController(system)
+        assert controller.submit("MATCH 5 price: 42").ok
+
+        metrics = controller.submit("METRICS")
+        assert metrics.ok
+        document = json.loads(metrics.payload)
+        assert document["repro_distributed_matches_total"]["values"][0]["value"] == 1.0
+
+        prom = controller.submit("METRICS prom")
+        assert prom.ok
+        assert "repro_retries_total" in parse_prom_text(prom.payload)
+
+        text_trace = controller.submit("TRACE text")
+        assert text_trace.ok
+        assert "distributed.match" in text_trace.payload
+
+        json_trace = controller.submit("TRACE json")
+        assert json_trace.ok
+        assert json.loads(json_trace.payload)["name"] == "distributed.match"
+
+    def test_trace_without_tracer_fails_cleanly(self):
+        system = DistributedTopKSystem(
+            lambda: make_matcher("fx-tm", prorate=True), node_count=3
+        )
+        controller = DistributedController(system)
+        response = controller.submit("TRACE")
+        assert not response.ok
+        assert "no tracer" in response.error
+
+    def test_bad_format_rejected(self):
+        system, registry, tracer, logger = build_system()
+        controller = DistributedController(system)
+        response = controller.submit("METRICS xml")
+        assert not response.ok
+
+
+class TestFaultPlanReplayLogging:
+    def test_match_begin_debug_event(self):
+        system, registry, tracer, logger = build_system()
+        system.match(Event({"price": 42}), k=5)
+        (record,) = logger.records_for(event="faults.match_begin")
+        assert record["match_index"] == 0
+        assert record["seed"] == 11
+        assert record["crashed"] == [CRASHED_LEAF]
+
+
+class TestDeterminism:
+    def test_same_seed_same_counters_and_trace_shape(self):
+        def run():
+            system, registry, tracer, logger = build_system()
+            system.match(Event({"price": 42}), k=5)
+            trace = tracer.last_trace
+            return (
+                registry.get("repro_retries_total").labels(stage="leaf").value,
+                registry.get("repro_hop_timeouts_total").labels(stage="leaf").value,
+                [s.name for s in trace.find("leaf.attempt")],
+                [s.attributes["outcome"] for s in trace.find("leaf.dispatch")],
+            )
+
+        assert run() == run()
+
+
+@pytest.mark.parametrize("fmt", ["json", "prom"])
+def test_local_controller_metrics_kind(fmt):
+    """The single-node controller serves the same introspection surface."""
+    from repro.core.controller import LocalController
+    from repro.core.stats import InstrumentedMatcher
+
+    controller = LocalController(InstrumentedMatcher(make_matcher("fx-tm")))
+    controller.submit("ADD s price in [0, 100]")
+    controller.submit("MATCH 1 price: 42")
+    response = controller.submit(f"METRICS {fmt}")
+    assert response.ok
+    if fmt == "json":
+        assert json.loads(response.payload)["repro_matches_total"]["values"][0]["value"] == 1.0
+    else:
+        assert "repro_matches_total 1" in response.payload

@@ -1,0 +1,96 @@
+"""Structured JSON logging: records, streams, bound context."""
+
+import io
+import json
+
+from repro.obs.logging import LEVELS, StructuredLogger
+
+
+def fixed_clock():
+    return 1234.5
+
+
+class TestLogRecords:
+    def test_record_shape(self):
+        logger = StructuredLogger(clock=fixed_clock)
+        logger.info("leaf.dead", leaf=3, now=0.5)
+        (record,) = logger.records_for()
+        assert record == {
+            "ts": 1234.5,
+            "level": "info",
+            "event": "leaf.dead",
+            "leaf": 3,
+            "now": 0.5,
+        }
+
+    def test_level_helpers(self):
+        logger = StructuredLogger(clock=fixed_clock)
+        logger.debug("a")
+        logger.info("b")
+        logger.warning("c")
+        logger.error("d")
+        assert [r["level"] for r in logger.records_for()] == list(LEVELS)
+
+    def test_stream_receives_json_lines(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, clock=fixed_clock)
+        logger.info("one", x=1)
+        logger.error("two", y="z")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "one"
+        assert first["x"] == 1
+        assert json.loads(lines[1])["level"] == "error"
+
+    def test_ring_buffer_bounded(self):
+        logger = StructuredLogger(clock=fixed_clock, max_records=5)
+        for index in range(20):
+            logger.info("tick", index=index)
+        records = logger.records_for()
+        assert len(records) == 5
+        assert records[-1]["index"] == 19
+
+
+class TestChildLoggers:
+    def test_child_binds_context(self):
+        logger = StructuredLogger(clock=fixed_clock)
+        health = logger.child(component="health")
+        health.warning("leaf.suspect", leaf=1)
+        (record,) = logger.records_for()
+        assert record["component"] == "health"
+        assert record["leaf"] == 1
+
+    def test_child_shares_buffer_and_stream(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, clock=fixed_clock)
+        logger.child(component="a").info("x")
+        logger.child(component="b").info("y")
+        assert len(logger.records_for()) == 2
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_nested_children_accumulate_context(self):
+        logger = StructuredLogger(clock=fixed_clock)
+        inner = logger.child(component="cluster").child(leaf=7)
+        inner.info("z")
+        (record,) = logger.records_for()
+        assert record["component"] == "cluster"
+        assert record["leaf"] == 7
+
+    def test_call_fields_override_bound_context(self):
+        logger = StructuredLogger(clock=fixed_clock)
+        child = logger.child(component="health")
+        child.info("x", component="override")
+        assert logger.records_for()[0]["component"] == "override"
+
+
+class TestRecordsFor:
+    def test_filter_by_event_level_and_fields(self):
+        logger = StructuredLogger(clock=fixed_clock)
+        logger.warning("leaf.suspect", leaf=1)
+        logger.error("leaf.dead", leaf=1)
+        logger.error("leaf.dead", leaf=2)
+        assert len(logger.records_for(event="leaf.dead")) == 2
+        assert len(logger.records_for(level="error")) == 2
+        assert len(logger.records_for(event="leaf.dead", leaf=2)) == 1
+        assert logger.records_for(event="ghost") == []

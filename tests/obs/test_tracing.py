@@ -1,0 +1,132 @@
+"""Span-based tracing: nesting, simulated durations, exports."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.tracing import Span, Tracer, aggregate_phases
+
+
+class TestSpanLifecycle:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        trace = tracer.last_trace
+        assert trace.name == "root"
+        assert [child.name for child in trace.children] == ["child-a", "child-b"]
+        assert trace.children[0].children[0].name == "grandchild"
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ObservabilityError):
+            Tracer().end()
+
+    def test_exception_annotated_not_swallowed(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.last_trace.attributes["error"] == "ValueError"
+
+    def test_record_attaches_finished_span(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.record("hop", 0.25, leaf=3)
+        hop = tracer.last_trace.children[0]
+        assert hop.duration == 0.25
+        assert hop.attributes["leaf"] == 3
+
+    def test_record_outside_any_span_is_its_own_trace(self):
+        tracer = Tracer()
+        tracer.record("standalone", 1.0)
+        assert tracer.last_trace.name == "standalone"
+
+    def test_set_duration_overrides_wall_time(self):
+        span = Span("x", start=0.0)
+        span.end = 100.0
+        span.set_duration(0.5)
+        assert span.duration == 0.5
+        with pytest.raises(ObservabilityError):
+            span.set_duration(-1)
+
+    def test_history_bounded(self):
+        tracer = Tracer(max_traces=3)
+        for index in range(10):
+            with tracer.span(f"t{index}"):
+                pass
+        assert len(tracer.traces) == 3
+        assert tracer.traces[-1].name == "t9"
+
+    def test_clear_refuses_open_spans(self):
+        tracer = Tracer()
+        tracer.begin("open")
+        with pytest.raises(ObservabilityError):
+            tracer.clear()
+        tracer.end()
+        tracer.clear()
+        assert tracer.traces == []
+
+
+class TestFind:
+    def test_find_collects_all_descendants(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.record("hop", 0.1)
+            with tracer.span("mid"):
+                tracer.record("hop", 0.2)
+        hops = tracer.last_trace.find("hop")
+        assert [span.duration for span in hops] == [0.1, 0.2]
+
+
+class TestExport:
+    def test_to_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("root", k=5):
+            tracer.record("hop", 0.1, leaf=0)
+        tree = json.loads(json.dumps(tracer.to_json()))
+        assert tree["name"] == "root"
+        assert tree["attributes"]["k"] == 5
+        assert tree["children"][0]["name"] == "hop"
+        assert tree["children"][0]["duration_seconds"] == 0.1
+
+    def test_to_json_empty_tracer_is_none(self):
+        assert Tracer().to_json() is None
+
+    def test_render_flame_text(self):
+        tracer = Tracer()
+        root = tracer.begin("root")
+        tracer.record("hop", 0.25, leaf=1)
+        tracer.end()
+        root.set_duration(1.0)
+        text = tracer.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "100.0%" in lines[0]
+        assert "hop" in lines[1]
+        assert "25.0%" in lines[1]
+        assert "leaf=1" in lines[1]
+
+    def test_render_empty(self):
+        assert Tracer().render() == "(no traces recorded)"
+
+
+class TestAggregatePhases:
+    def test_totals_by_span_name(self):
+        tracer = Tracer()
+        for _ in range(2):
+            root = tracer.begin("match")
+            tracer.record("probe", 0.1)
+            tracer.record("probe", 0.2)
+            tracer.record("select", 0.4)
+            tracer.end()
+            root.set_duration(1.0)
+        totals = aggregate_phases(tracer.traces)
+        assert totals["probe"]["count"] == 4
+        assert totals["probe"]["seconds"] == pytest.approx(0.6)
+        assert totals["select"]["seconds"] == pytest.approx(0.8)
+        assert totals["match"]["count"] == 2

@@ -72,12 +72,22 @@ class TestMain:
         assert "match [ad-1=" in captured.out
         assert "loaded 1 subscriptions" in captured.err
 
-    def test_stats_flag(self, tmp_path, capsys):
+    def test_explicit_serve_subcommand(self, tmp_path, capsys):
         requests = tmp_path / "requests.txt"
         requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
-        assert main(["--stats", str(requests)]) == 0
-        err = capsys.readouterr().err
-        assert "matches: 1" in err
+        assert main(["serve", str(requests)]) == 0
+        assert "match [a=" in capsys.readouterr().out
+
+    def test_inline_metrics_and_trace_requests(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text(
+            "ADD a x in [1, 2]\nMATCH 1 x: 1\nMETRICS prom\nTRACE text\n"
+        )
+        assert main(["serve", str(requests)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_matches_total 1" in out
+        # The TRACE response replays the spans of the preceding MATCH.
+        assert "fxtm.match" in out
 
     def test_algorithm_selection(self, tmp_path, capsys):
         requests = tmp_path / "requests.txt"
@@ -97,6 +107,66 @@ class TestMain:
     def test_parser_help_smoke(self):
         parser = build_parser()
         assert "fx-tm" in parser.format_help()
+
+
+class TestMetricsSubcommand:
+    def test_json_output_is_valid_json(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["metrics", str(requests)]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        family = document["repro_matches_total"]
+        assert family["type"] == "counter"
+        assert family["values"][0]["value"] == 1.0
+
+    def test_prom_output_parses(self, tmp_path, capsys):
+        from repro.obs import parse_prom_text
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["metrics", "--format", "prom", str(requests)]) == 0
+        out = capsys.readouterr().out
+        parsed = parse_prom_text(out)
+        assert "repro_matches_total" in parsed
+        assert "repro_match_seconds" in parsed
+
+    def test_request_errors_go_to_stderr_not_stdout(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("CANCEL ghost\nMATCH 1 x: 1\n")
+        assert main(["metrics", str(requests)]) == 1
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout still parses cleanly
+        assert "error" in captured.err
+
+
+class TestTraceSubcommand:
+    def test_text_trace_shows_pipeline_spans(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["trace", str(requests)]) == 0
+        out = capsys.readouterr().out
+        assert "fxtm.match" in out
+        assert "topk.select" in out
+
+    def test_json_trace_parses(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["trace", "--format", "json", str(requests)]) == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["name"] == "match"
+
+    def test_no_match_request_fails(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\n")
+        assert main(["trace", str(requests)]) == 1
+        assert "no traces" in capsys.readouterr().err
 
 
 class TestModuleInvocation:

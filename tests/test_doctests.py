@@ -16,6 +16,9 @@ import repro.core.parser
 import repro.core.subscriptions
 import repro.distributed.cluster
 import repro.distributed.overlay
+import repro.obs.logging
+import repro.obs.metrics
+import repro.obs.tracing
 import repro.structures.interval_tree
 import repro.structures.rbtree
 import repro.structures.treeset
@@ -29,6 +32,9 @@ MODULES = [
     repro.core.subscriptions,
     repro.distributed.cluster,
     repro.distributed.overlay,
+    repro.obs.logging,
+    repro.obs.metrics,
+    repro.obs.tracing,
     repro.structures.interval_tree,
     repro.structures.rbtree,
     repro.structures.treeset,

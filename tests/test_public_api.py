@@ -41,11 +41,13 @@ class TestTopLevelExports:
         import repro.bench
         import repro.core
         import repro.distributed
+        import repro.obs
         import repro.structures
         import repro.workloads
 
         assert repro.baselines.NaiveMatcher
         assert repro.distributed.DistributedTopKSystem
+        assert repro.obs.MetricsRegistry
         assert repro.workloads.MicroWorkload
 
 
