@@ -11,7 +11,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _WORKLOAD = {}
 
 
-def low_selectivity_workload():
+def low_selectivity_workload() -> MicroWorkload:
+    """A cached low-selectivity micro workload shared across variants."""
     if "w" not in _WORKLOAD:
         _WORKLOAD["w"] = MicroWorkload(
             MicroWorkloadConfig(n=BENCH_N * 2, selectivity=0.05)

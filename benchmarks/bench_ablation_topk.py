@@ -11,7 +11,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _WORKLOAD = {}
 
 
-def high_selectivity_workload():
+def high_selectivity_workload() -> MicroWorkload:
+    """A cached high-selectivity micro workload shared across variants."""
     if "w" not in _WORKLOAD:
         _WORKLOAD["w"] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N, selectivity=0.6))
     return _WORKLOAD["w"]

@@ -19,7 +19,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _STATE = {}
 
 
-def workload():
+def workload() -> MicroWorkload:
+    """A cached micro workload shared by every concurrency benchmark."""
     if "w" not in _STATE:
         _STATE["w"] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
     return _STATE["w"]

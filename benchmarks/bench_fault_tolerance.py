@@ -33,7 +33,8 @@ SCENARIOS = {
 }
 
 
-def system_for(scenario):
+def system_for(scenario: str) -> tuple:
+    """A cached (system, event cycle) pair for one replication scenario."""
     if scenario not in _STATE:
         workload = _STATE.setdefault(
             "workload", MicroWorkload(MicroWorkloadConfig(n=BENCH_N))

@@ -9,7 +9,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _WORKLOADS = {}
 
 
-def workload_with_m(m):
+def workload_with_m(m: int) -> MicroWorkload:
+    """A cached micro workload with m constraints per subscription."""
     if m not in _WORKLOADS:
         _WORKLOADS[m] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N, m=m))
     return _WORKLOADS[m]

@@ -13,7 +13,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _WORKLOADS = {}
 
 
-def workload_of_size(n):
+def workload_of_size(n: int) -> MicroWorkload:
+    """A cached micro workload with n subscriptions."""
     if n not in _WORKLOADS:
         _WORKLOADS[n] = MicroWorkload(MicroWorkloadConfig(n=n))
     return _WORKLOADS[n]

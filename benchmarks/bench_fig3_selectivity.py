@@ -9,7 +9,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _WORKLOADS = {}
 
 
-def workload_with_selectivity(selectivity):
+def workload_with_selectivity(selectivity: float) -> MicroWorkload:
+    """A cached micro workload at the given constraint selectivity."""
     if selectivity not in _WORKLOADS:
         _WORKLOADS[selectivity] = MicroWorkload(
             MicroWorkloadConfig(n=BENCH_N, selectivity=selectivity)

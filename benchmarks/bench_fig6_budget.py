@@ -4,6 +4,8 @@ Bar groups: each algorithm without the mechanism, with synchronous
 updates, and (BE* only) with the asynchronous propagation refresh.
 """
 
+from typing import Any
+
 import pytest
 
 from conftest import BENCH_N, EVENT_POOL, MatcherBench
@@ -11,7 +13,10 @@ from repro.bench.fig6 import with_budget_windows
 from repro.bench.harness import load_subscriptions, make_matcher
 
 
-def budget_bench(workload, algorithm, with_budget, k, **extra):
+def budget_bench(
+    workload: Any, algorithm: str, with_budget: bool, k: int, **extra: Any
+) -> MatcherBench:
+    """A loaded MatcherBench with budget windows optionally attached."""
     matcher = make_matcher(
         algorithm,
         schema=workload.schema(),

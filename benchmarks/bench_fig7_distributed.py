@@ -17,7 +17,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _STATE = {}
 
 
-def system_for(algorithm, node_count):
+def system_for(algorithm: str, node_count: int) -> tuple:
+    """A cached (system, event cycle) pair for one cluster shape."""
     key = (algorithm, node_count)
     if key not in _STATE:
         workload = _STATE.setdefault(

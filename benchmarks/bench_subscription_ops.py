@@ -16,7 +16,8 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 _STATE = {}
 
 
-def workload():
+def workload() -> MicroWorkload:
+    """A cached micro workload shared by the subscription-ops benchmarks."""
     if "w" not in _STATE:
         _STATE["w"] = MicroWorkload(MicroWorkloadConfig(n=BENCH_N))
     return _STATE["w"]

@@ -29,6 +29,7 @@ from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The overhead-check argument parser."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--budget", type=float, default=0.15,
@@ -52,7 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: "list[str] | None" = None) -> int:
+    """Measure instrumented-vs-bare overhead; exit 1 over budget."""
     args = build_parser().parse_args(argv)
     workload = MicroWorkload(MicroWorkloadConfig(n=args.n))
     events = workload.events(args.events)

@@ -11,6 +11,7 @@ under measurement is exactly the harness code the figures use.
 import itertools
 import os
 import sys
+from typing import Any, Iterable, List, Optional
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -43,16 +44,23 @@ def yahoo_workload():
 class MatcherBench:
     """A loaded matcher plus an endless event stream to match against."""
 
-    def __init__(self, matcher, events, k):
+    def __init__(self, matcher: Any, events: Iterable[Any], k: int) -> None:
         self.matcher = matcher
         self.k = k
         self._events = itertools.cycle(events)
 
-    def match_one(self):
+    def match_one(self) -> List[Any]:
         return self.matcher.match(next(self._events), self.k)
 
 
-def build_bench(algorithm, workload, k, schema=None, event_pool=EVENT_POOL, **extra):
+def build_bench(
+    algorithm: str,
+    workload: Any,
+    k: int,
+    schema: Optional[Any] = None,
+    event_pool: int = EVENT_POOL,
+    **extra: Any,
+) -> "MatcherBench":
     """Load a matcher with the workload and wrap it for benchmarking."""
     if schema is None:
         schema_fn = getattr(workload, "schema", None)

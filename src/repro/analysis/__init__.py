@@ -1,0 +1,57 @@
+"""fxlint — the project-specific static checker for the FX-TM reproduction.
+
+The reproduction leans on invariants that ordinary linters cannot see:
+fault-plan replay requires seeded randomness and simulated time
+(docs/fault_tolerance.md), the concurrency layer requires writes to go
+through :class:`repro.core.concurrent.ReadWriteLock`'s write side, and
+exact top-k semantics forbid float equality on scores.  This package
+checks those invariants mechanically, over the AST, with zero external
+dependencies — the same correctness-tooling posture that lets large
+matching systems stay exact under churn.
+
+Layout:
+
+* :mod:`repro.analysis.findings` — the :class:`Finding` record;
+* :mod:`repro.analysis.rules` — the rule base class and registry;
+* :mod:`repro.analysis.pragmas` — ``# fxlint: disable=CODE`` handling;
+* :mod:`repro.analysis.checker` — file walking and rule dispatch;
+* :mod:`repro.analysis.determinism` / :mod:`~repro.analysis.locks` /
+  :mod:`~repro.analysis.hygiene` / :mod:`~repro.analysis.invariants` —
+  the built-in rule families (codes FX1xx–FX4xx);
+* :mod:`repro.analysis.reporters` — human-readable and JSON output;
+* :mod:`repro.analysis.racedetect` — the *runtime* companion: an
+  instrumented ``ReadWriteLock`` asserting reader/writer exclusion and
+  recording lock-order edges under stress tests;
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis`` entry point.
+
+See docs/static_analysis.md for the rule catalogue and pragma syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checker import check_file, check_paths, load_default_rules
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaSet
+from repro.analysis.racedetect import (
+    InstrumentedRWLock,
+    LockOrderCycleError,
+    RaceDetector,
+    instrument_matcher,
+)
+from repro.analysis.rules import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Finding",
+    "InstrumentedRWLock",
+    "LockOrderCycleError",
+    "PragmaSet",
+    "RaceDetector",
+    "Rule",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "get_rule",
+    "instrument_matcher",
+    "load_default_rules",
+    "register",
+]

@@ -1,0 +1,161 @@
+"""FX1xx — determinism rules for simulation-critical code.
+
+Fault-plan replay (``distributed/faults.py``), simulated network latency
+(``distributed/network.py``), pinned trace durations (``obs/tracing.py``)
+and the reproducible workload generators all promise: same seed, same
+run.  Wall-clock reads and unseeded randomness silently break that
+promise, so inside the simulation-critical packages (see
+:data:`repro.analysis.rules.SIMULATION_CRITICAL`) they are flagged:
+
+* **FX101** — wall-clock calls (``time.time``, ``datetime.now``, …).
+  Monotonic *measurement* clocks (``perf_counter``/``monotonic``) are
+  deliberately allowed: measuring how long local compute took is fine,
+  branching on the time of day is not.
+* **FX102** — module-level :mod:`random` convenience functions
+  (``random.random()``, ``random.shuffle()`` …), which draw from the
+  shared, implicitly-seeded global generator.  Enforced everywhere, not
+  just simulation-critical code: the global generator is cross-module
+  shared state, so *any* use perturbs every other draw.
+* **FX103** — ``random.Random()`` constructed without a seed argument
+  (seeds from OS entropy).  Enforced everywhere for the same reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import import_aliases, resolve_call_origin
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["WallClockRule", "GlobalRandomRule", "UnseededRandomRule"]
+
+#: Call origins that read the wall clock (time-of-day, not durations).
+WALL_CLOCK_ORIGINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level convenience functions on the shared global generator.
+GLOBAL_RANDOM_ORIGINS = frozenset(
+    f"random.{name}"
+    for name in (
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "paretovariate",
+        "weibullvariate",
+        "triangular",
+        "vonmisesvariate",
+        "gammavariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    )
+)
+
+
+@register
+class WallClockRule(Rule):
+    """FX101: wall-clock reads in simulation-critical code."""
+
+    code = "FX101"
+    name = "no-wall-clock"
+    description = (
+        "wall-clock call in simulation-critical code; use the simulated "
+        "clock, a seeded source, or a monotonic measurement clock"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # Scope decided per-module in check() via the context; path-level
+        # filtering happens there so reports keep exact locations.
+        return True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.is_simulation_critical():
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_call_origin(node.func, aliases)
+            if origin in WALL_CLOCK_ORIGINS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call {origin}() in simulation-critical code "
+                    "breaks deterministic replay; use the simulated/logical "
+                    "clock or time.perf_counter for durations",
+                )
+
+
+@register
+class GlobalRandomRule(Rule):
+    """FX102: module-level random.* on the shared global generator."""
+
+    code = "FX102"
+    name = "no-global-random"
+    description = (
+        "module-level random.* draws from the shared implicitly-seeded "
+        "generator; construct a seeded random.Random instead"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_call_origin(node.func, aliases)
+            if origin in GLOBAL_RANDOM_ORIGINS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{origin}() uses the process-global RNG; draw from a "
+                    "seeded random.Random(seed) so runs replay exactly",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """FX103: random.Random()/SystemRandom() constructed without a seed."""
+
+    code = "FX103"
+    name = "no-unseeded-random"
+    description = "random.Random() without a seed argument seeds from OS entropy"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_call_origin(node.func, aliases)
+            if origin in ("random.Random", "random.SystemRandom") and not (
+                node.args or node.keywords
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{origin}() without a seed is nondeterministic; pass an "
+                    "explicit seed (derive per-stream seeds as f-strings, "
+                    "e.g. random.Random(f'{seed}:events'))",
+                )

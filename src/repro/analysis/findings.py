@@ -1,0 +1,43 @@
+"""The finding record emitted by fxlint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line`` is 1-based (as in tracebacks), ``col`` is 0-based (as in
+    :mod:`ast`).  ``code`` is the stable rule identifier (``FX101`` …)
+    that pragmas and ``--select``/``--ignore`` address; ``rule`` is the
+    human-readable rule name.
+    """
+
+    code: str
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the one-line human form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }

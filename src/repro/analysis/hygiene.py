@@ -1,0 +1,270 @@
+"""FX3xx — API hygiene rules.
+
+The repro exposes a deliberately small public surface per module via
+``__all__`` (tests/test_public_api.py leans on it).  These rules keep
+that surface honest:
+
+* **FX301** — ``__all__`` drift: a listed name that is not bound at
+  module top level (stale export after a rename/removal).
+* **FX302** — ``__all__`` completeness: a public (non-underscore)
+  module-level function or class missing from an existing ``__all__``.
+  Modules without ``__all__`` are not flagged (they opt out of the
+  convention); helpers meant to stay internal should be underscore-
+  prefixed instead.
+* **FX303** — a public API function (exported module-level function, or
+  public method of an exported class) missing parameter or return
+  annotations — the static gate behind the mypy-strict packages.
+* **FX304** — an exported module-level function or class without a
+  docstring.
+
+pytest collection targets (``test_*`` functions and
+``@pytest.fixture``-decorated functions) are exempt from FX303/FX304:
+the framework collects them by name, nothing imports them, so they are
+not public API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = [
+    "AllDriftRule",
+    "AllCompletenessRule",
+    "MissingAnnotationsRule",
+    "MissingDocstringRule",
+]
+
+_DEF_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_pytest_collected(node: ast.stmt) -> bool:
+    """Whether pytest collects this def by convention (not public API)."""
+    if not isinstance(node, _DEF_TYPES):
+        return False
+    if node.name.startswith("test_"):
+        return True
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name in ("fixture", "parametrize"):
+            return True
+    return False
+
+
+def _declared_all(tree: ast.Module) -> Optional[List[Tuple[str, ast.AST]]]:
+    """The ``(name, node)`` entries of ``__all__``, or None when absent.
+
+    Handles plain assignment plus ``__all__ += [...]`` / ``.extend``-free
+    augmented forms; non-literal entries are ignored.
+    """
+    entries: List[Tuple[str, ast.AST]] = []
+    declared = False
+    for node in tree.body:
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+                value = node.value
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                value = node.value
+        if value is None:
+            continue
+        declared = True
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    entries.append((element.value, element))
+    return entries if declared else None
+
+
+def _top_level_bindings(tree: ast.Module) -> Set[str]:
+    """Every name bound at module top level (descending into if/try)."""
+    names: Set[str] = set()
+
+    def visit_block(statements: List[ast.stmt]) -> None:
+        for node in statements:
+            if isinstance(node, _DEF_TYPES + (ast.ClassDef,)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _bind_target(target)
+            elif isinstance(node, ast.AnnAssign):
+                _bind_target(node.target)
+            elif isinstance(node, ast.AugAssign):
+                _bind_target(node.target)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    names.add(item.asname or item.name.split(".")[0])
+            elif isinstance(node, ast.If):
+                visit_block(node.body)
+                visit_block(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_block(node.body)
+                visit_block(node.orelse)
+                visit_block(node.finalbody)
+                for handler in node.handlers:
+                    visit_block(handler.body)
+            elif isinstance(node, (ast.For, ast.While, ast.With)):
+                visit_block(node.body)
+
+    def _bind_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _bind_target(element)
+
+    visit_block(tree.body)
+    return names
+
+
+def _exported_definitions(tree: ast.Module) -> List[ast.stmt]:
+    """Module-level defs/classes that form the public API.
+
+    With ``__all__``: the listed ones.  Without: every non-underscore
+    def/class (the de-facto public surface).
+    """
+    all_entries = _declared_all(tree)
+    exported = None if all_entries is None else {name for name, _ in all_entries}
+    result = []
+    for node in tree.body:
+        if not isinstance(node, _DEF_TYPES + (ast.ClassDef,)):
+            continue
+        if exported is not None:
+            if node.name in exported:
+                result.append(node)
+        elif not node.name.startswith("_"):
+            result.append(node)
+    return result
+
+
+def _unannotated_parts(node: ast.AST) -> List[str]:
+    """Parameter names missing annotations, plus "return" when absent."""
+    args = node.args  # type: ignore[attr-defined]
+    missing = []
+    positional = list(getattr(args, "posonlyargs", [])) + list(args.args)
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if node.returns is None:  # type: ignore[attr-defined]
+        missing.append("return")
+    return missing
+
+
+@register
+class AllDriftRule(Rule):
+    """FX301: stale names listed in __all__."""
+
+    code = "FX301"
+    name = "all-drift"
+    description = "__all__ lists a name not bound at module top level"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        entries = _declared_all(module.tree)
+        if entries is None:
+            return
+        bindings = _top_level_bindings(module.tree)
+        for name, node in entries:
+            if name not in bindings:
+                yield self.finding(
+                    module, node, f"__all__ entry {name!r} is not defined in the module"
+                )
+
+
+@register
+class AllCompletenessRule(Rule):
+    """FX302: public defs/classes missing from an existing __all__."""
+
+    code = "FX302"
+    name = "all-completeness"
+    description = "public module-level def/class missing from an existing __all__"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        entries = _declared_all(module.tree)
+        if entries is None:
+            return
+        exported = {name for name, _ in entries}
+        for node in module.tree.body:
+            if not isinstance(node, _DEF_TYPES + (ast.ClassDef,)):
+                continue
+            if node.name.startswith("_") or node.name in exported:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"public {'class' if isinstance(node, ast.ClassDef) else 'function'} "
+                f"{node.name!r} is missing from __all__ (export it or prefix "
+                "with an underscore)",
+            )
+
+
+@register
+class MissingAnnotationsRule(Rule):
+    """FX303: public API functions with unannotated params or returns."""
+
+    code = "FX303"
+    name = "public-annotations"
+    description = "public API function missing parameter or return annotations"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in _exported_definitions(module.tree):
+            if _is_pytest_collected(node):
+                continue
+            if isinstance(node, _DEF_TYPES):
+                yield from self._check_function(module, node, node.name)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, _DEF_TYPES) and (
+                        not item.name.startswith("_") or item.name == "__init__"
+                    ):
+                        yield from self._check_function(
+                            module, item, f"{node.name}.{item.name}"
+                        )
+
+    def _check_function(
+        self, module: ModuleContext, node: ast.AST, qualname: str
+    ) -> Iterator[Finding]:
+        missing = _unannotated_parts(node)
+        if missing:
+            yield self.finding(
+                module,
+                node,
+                f"public function {qualname!r} lacks annotations for: "
+                + ", ".join(missing),
+            )
+
+
+@register
+class MissingDocstringRule(Rule):
+    """FX304: exported module-level defs/classes without docstrings."""
+
+    code = "FX304"
+    name = "public-docstrings"
+    description = "exported module-level function or class without a docstring"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in _exported_definitions(module.tree):
+            if _is_pytest_collected(node):
+                continue
+            if ast.get_docstring(node) is None:  # type: ignore[arg-type]
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.finding(
+                    module, node, f"exported {kind} {node.name!r} has no docstring"
+                )

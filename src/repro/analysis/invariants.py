@@ -1,0 +1,158 @@
+"""FX4xx — scoring and index invariant rules.
+
+Exactness of the top-k matching set is the paper's headline property;
+two coding patterns quietly break it:
+
+* **FX401** — direct ``==``/``!=`` on floating-point scores.  Scores are
+  sums/products of float weights (prorated fractions, budget
+  multipliers), so equality is representation-dependent: two paths to
+  "the same" score can differ in the last ulp and flip a top-k
+  admission.  Compare with an explicit tolerance (``math.isclose``) or
+  order with ``<``/``>`` like :class:`repro.structures.treeset.BoundedTopK`
+  does.  Identifiers are score-like when a ``score`` word appears in
+  them (``score``, ``min_score``, ``subscore`` …).
+* **FX402** — mutating :class:`~repro.core.subscriptions.Subscription` /
+  :class:`~repro.core.events.Event` value objects after construction.
+  Matcher indexes key off ``sid``/constraint values at add time, so
+  in-place mutation desynchronises every index silently (the classes
+  raise on ``__setattr__``, but ``object.__setattr__`` bypasses that —
+  and so does assigning to a field name on a duck-typed stand-in).
+  Flagged: assignments to the frozen field names ``sid`` /
+  ``constraints`` / ``budget`` on anything but ``self``, any attribute
+  assignment on variables conventionally holding these value objects
+  (``subscription``/``sub``/``event``/``evt``), and
+  ``object.__setattr__`` on anything but ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["FloatScoreEqualityRule", "FrozenFieldMutationRule"]
+
+_SCORE_WORD = re.compile(r"(?:^|_)(?:sub)?scores?(?:_|$)|(?:^|_)subscore", re.IGNORECASE)
+
+#: Fields Subscription/Event construction freezes.
+_FROZEN_FIELDS = frozenset({"sid", "constraints", "budget"})
+
+#: Conventional variable names for the frozen value objects.
+_FROZEN_VALUE_NAMES = frozenset({"subscription", "sub", "event", "evt"})
+
+
+def _is_score_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return _SCORE_WORD.search(node.id) is not None
+    if isinstance(node, ast.Attribute):
+        return _SCORE_WORD.search(node.attr) is not None
+    if isinstance(node, ast.Call):
+        # score_of(...), .score() accessors
+        return _is_score_like(node.func)
+    if isinstance(node, ast.Subscript):
+        # scoremap[sid], scores[i]
+        return _is_score_like(node.value)
+    return False
+
+
+@register
+class FloatScoreEqualityRule(Rule):
+    """FX401: ==/!= between floating-point score expressions."""
+
+    code = "FX401"
+    name = "no-float-score-equality"
+    description = (
+        "direct ==/!= on floating-point scores; use math.isclose or ordering"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                # `x == None`-style sentinels are not float comparisons.
+                if any(
+                    isinstance(side, ast.Constant) and side.value is None
+                    for side in (left, right)
+                ):
+                    continue
+                if _is_score_like(left) or _is_score_like(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module,
+                        node,
+                        f"float score compared with {symbol}; scores are float "
+                        "aggregates — compare with math.isclose(..., rel_tol=...) "
+                        "or order with </>",
+                    )
+                    break
+
+
+@register
+class FrozenFieldMutationRule(Rule):
+    """FX402: post-construction mutation of Subscription/Event fields."""
+
+    code = "FX402"
+    name = "no-frozen-field-mutation"
+    description = (
+        "Subscription/Event value objects mutated after construction "
+        "(index desynchronisation hazard)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    message = self._mutation_message(target)
+                    if message is not None:
+                        yield self.finding(module, node, message)
+            elif isinstance(node, ast.Call):
+                message = self._setattr_bypass_message(node)
+                if message is not None:
+                    yield self.finding(module, node, message)
+
+    def _mutation_message(self, target: ast.AST) -> "str | None":
+        if not isinstance(target, ast.Attribute):
+            return None
+        base = target.value
+        base_name = base.id if isinstance(base, ast.Name) else None
+        if base_name in ("self", "cls"):
+            return None
+        if base_name in _FROZEN_VALUE_NAMES:
+            return (
+                f"attribute {target.attr!r} assigned on {base_name!r} — "
+                "Subscription/Event are immutable value objects; build a new "
+                "one and re-add it (matcher indexes key off construction-time "
+                "values)"
+            )
+        if target.attr in _FROZEN_FIELDS:
+            return (
+                f"frozen field {target.attr!r} assigned outside the owning "
+                "object — mutating it desynchronises matcher indexes; "
+                "cancel + re-add instead"
+            )
+        return None
+
+    def _setattr_bypass_message(self, node: ast.Call) -> "str | None":
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            return None
+        if node.args and isinstance(node.args[0], ast.Name) and node.args[0].id == "self":
+            return None
+        return (
+            "object.__setattr__ on a non-self target bypasses value-object "
+            "immutability; construct a new Subscription/Event instead"
+        )

@@ -1,0 +1,279 @@
+"""FX2xx — lock-discipline rules for classes built on ReadWriteLock.
+
+:class:`repro.core.concurrent.ReadWriteLock` is writer-preferring: a
+waiting writer blocks *new* readers.  That gives two static invariants
+for any class that owns such a lock:
+
+* **FX201** — shared state (``self.*`` attributes) must only be assigned
+  inside ``with self.<lock>.write_locked():`` regions (``__init__`` is
+  exempt: the object is not yet shared).  A bare assignment in a method
+  races with concurrent readers.
+* **FX202** — a read-locked region must never enter the write side —
+  neither by calling a write-guarded method of the same class nor by
+  acquiring the write lock directly.  Because writers block behind
+  active readers and readers block behind waiting writers, a
+  read-to-write upgrade deadlocks the instant a second thread is
+  waiting to write (lock-ordering hazard).
+
+Detection is lexical: a class "owns" a lock when any method assigns
+``self.<attr> = ReadWriteLock()`` (or a subclass whose name ends in
+``RWLock``); write/read regions are ``with``-blocks over
+``self.<attr>.write_locked()`` / ``read_locked()``, and a method calling
+``self.<attr>.acquire_write()`` / ``acquire_read()`` directly is treated
+as guarded throughout (conservative — fxlint does no flow analysis).
+
+The runtime companion (:mod:`repro.analysis.racedetect`) checks the same
+discipline dynamically under stress, catching what lexical analysis
+cannot (e.g. mutation through an aliased reference).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["UnguardedMutationRule", "ReadCallsWriteRule"]
+
+_LOCK_CLASS_SUFFIXES = ("ReadWriteLock", "RWLock")
+_METHOD_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.x`` → ``"x"``; anything else → None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_guard_call(node: ast.AST, lock_attrs: Set[str]) -> Optional[str]:
+    """Classify ``self.<lock>.write_locked()``-style calls.
+
+    Returns ``"write"``/``"read"`` for guard or acquire calls on an owned
+    lock attribute, else None.
+    """
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    method = node.func.attr
+    owner = _self_attr(node.func.value)
+    if owner is None or owner not in lock_attrs:
+        return None
+    if method in ("write_locked", "acquire_write"):
+        return "write"
+    if method in ("read_locked", "acquire_read"):
+        return "read"
+    return None
+
+
+class _LockClass:
+    """What the checker learns about one ReadWriteLock-owning class."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.lock_attrs: Set[str] = set()
+        self.methods: Dict[str, ast.AST] = {
+            item.name: item for item in node.body if isinstance(item, _METHOD_TYPES)
+        }
+        self.write_guarded: Set[str] = set()
+        self.read_guarded: Set[str] = set()
+
+
+def _collect_lock_classes(tree: ast.Module) -> List[_LockClass]:
+    classes = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = _LockClass(node)
+        for method in info.methods.values():
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not isinstance(sub.value, ast.Call):
+                    continue
+                func = sub.value.func
+                callee = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if callee is None or not callee.endswith(_LOCK_CLASS_SUFFIXES):
+                    continue
+                for target in sub.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        info.lock_attrs.add(attr)
+        if info.lock_attrs:
+            _classify_methods(info)
+            classes.append(info)
+    return classes
+
+
+def _classify_methods(info: _LockClass) -> None:
+    for name, method in info.methods.items():
+        for sub in ast.walk(method):
+            kind = _lock_guard_call(sub, info.lock_attrs)
+            if kind == "write":
+                info.write_guarded.add(name)
+            elif kind == "read":
+                info.read_guarded.add(name)
+
+
+class _RegionVisitor(ast.NodeVisitor):
+    """Tracks lexical read/write guard nesting while walking a method."""
+
+    def __init__(self, info: _LockClass) -> None:
+        self.info = info
+        self.read_depth = 0
+        self.write_depth = 0
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        kinds = [
+            _lock_guard_call(item.context_expr, self.info.lock_attrs)
+            for item in node.items  # type: ignore[attr-defined]
+        ]
+        reads = kinds.count("read")
+        writes = kinds.count("write")
+        for item in node.items:  # type: ignore[attr-defined]
+            self.visit(item.context_expr)
+        self.read_depth += reads
+        self.write_depth += writes
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self.visit(stmt)
+        self.read_depth -= reads
+        self.write_depth -= writes
+
+
+class _MutationVisitor(_RegionVisitor):
+    def __init__(self, info: _LockClass, rule: Rule, module: ModuleContext) -> None:
+        super().__init__(info)
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def _flag_unguarded_target(self, node: ast.AST, target: ast.AST, verb: str) -> None:
+        # Unwrap subscript writes (self._items[k] = v mutates self._items).
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        attr = _self_attr(target)
+        if attr is None or attr in self.info.lock_attrs:
+            return
+        if self.write_depth == 0:
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    node,
+                    f"self.{attr} {verb} outside a write_locked region of "
+                    f"lock-owning class {self.info.node.name}",
+                )
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._flag_unguarded_target(node, target, "assigned")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._flag_unguarded_target(node, node.target, "mutated")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._flag_unguarded_target(node, target, "deleted")
+        self.generic_visit(node)
+
+
+class _ReadUpgradeVisitor(_RegionVisitor):
+    def __init__(self, info: _LockClass, rule: Rule, module: ModuleContext) -> None:
+        super().__init__(info)
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.read_depth > 0 and self.write_depth == 0:
+            kind = _lock_guard_call(node, self.info.lock_attrs)
+            if kind == "write":
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        "write-lock acquisition inside a read_locked region: "
+                        "read-to-write upgrade deadlocks under the "
+                        "writer-preferring ReadWriteLock",
+                    )
+                )
+            else:
+                callee = _self_attr(node.func)
+                if callee is not None and callee in self.info.write_guarded:
+                    self.findings.append(
+                        self.rule.finding(
+                            self.module,
+                            node,
+                            f"read_locked region calls write-guarded method "
+                            f"self.{callee}(): lock-ordering hazard "
+                            "(read-to-write upgrade)",
+                        )
+                    )
+        self.generic_visit(node)
+
+
+@register
+class UnguardedMutationRule(Rule):
+    """FX201: self.* assignment outside write_locked in lock-owning classes."""
+
+    code = "FX201"
+    name = "write-under-write-lock"
+    description = (
+        "shared self.* state in a ReadWriteLock-owning class assigned "
+        "outside a write_locked region"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for info in _collect_lock_classes(module.tree):
+            for name, method in info.methods.items():
+                if name == "__init__":
+                    continue
+                # Methods that take the write lock by explicit acquire/release
+                # calls are treated as guarded throughout (no flow analysis).
+                if any(
+                    isinstance(sub, ast.Call)
+                    and _lock_guard_call(sub, info.lock_attrs) == "write"
+                    and not isinstance(sub.func, ast.Name)
+                    and getattr(sub.func, "attr", "") == "acquire_write"
+                    for sub in ast.walk(method)
+                ):
+                    continue
+                visitor = _MutationVisitor(info, self, module)
+                for stmt in method.body:  # type: ignore[attr-defined]
+                    visitor.visit(stmt)
+                yield from visitor.findings
+
+
+@register
+class ReadCallsWriteRule(Rule):
+    """FX202: read-locked regions entering the write side (upgrade deadlock)."""
+
+    code = "FX202"
+    name = "no-read-to-write-upgrade"
+    description = (
+        "read_locked region entering the write side (direct acquire or a "
+        "write-guarded method of the same class) — deadlock hazard"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for info in _collect_lock_classes(module.tree):
+            for method in info.methods.values():
+                visitor = _ReadUpgradeVisitor(info, self, module)
+                for stmt in method.body:  # type: ignore[attr-defined]
+                    visitor.visit(stmt)
+                yield from visitor.findings

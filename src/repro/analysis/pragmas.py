@@ -1,0 +1,84 @@
+"""``# fxlint: disable=CODE`` pragma parsing and suppression checks.
+
+Two pragma forms are recognised:
+
+* **Line pragma** — ``# fxlint: disable=FX101`` (or a comma-separated
+  list, or ``all``) appended to a source line suppresses those codes for
+  findings reported *on that line*.  For a multi-line statement the
+  pragma goes on the line the finding points at (the statement's first
+  line for most rules).
+
+* **File pragma** — ``# fxlint: disable-file=FX302`` on a line of its
+  own suppresses the codes for the whole module.  Conventionally placed
+  right below the module docstring, next to a comment saying why.
+
+Pragmas are extracted with :mod:`tokenize` so string literals containing
+the pragma text are never misread as pragmas.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, Set
+
+__all__ = ["PragmaSet", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*fxlint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9,\s]+)"
+)
+
+
+class PragmaSet:
+    """The suppression pragmas of one module."""
+
+    __slots__ = ("file_codes", "line_codes")
+
+    def __init__(self) -> None:
+        #: Codes disabled for the whole file ("all" disables everything).
+        self.file_codes: Set[str] = set()
+        #: Codes disabled per line number (1-based).
+        self.line_codes: Dict[int, Set[str]] = {}
+
+    def add(self, kind: str, line: int, codes: Iterable[str]) -> None:
+        target = self.file_codes if kind == "disable-file" else self.line_codes.setdefault(line, set())
+        target.update(codes)
+
+    def suppresses(self, code: str, line: int) -> bool:
+        """Whether a finding of ``code`` at ``line`` is pragma-suppressed."""
+        if "all" in self.file_codes or code in self.file_codes:
+            return True
+        at_line = self.line_codes.get(line)
+        if at_line is None:
+            return False
+        return "all" in at_line or code in at_line
+
+    def __bool__(self) -> bool:
+        return bool(self.file_codes or self.line_codes)
+
+
+def parse_pragmas(source: str) -> PragmaSet:
+    """Extract every fxlint pragma from ``source``.
+
+    Tolerates files :mod:`tokenize` cannot process (the caller reports
+    syntax errors separately) by returning an empty set.
+    """
+    pragmas = PragmaSet()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type is not tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                part.strip().upper() if part.strip().lower() != "all" else "all"
+                for part in match.group("codes").split(",")
+                if part.strip()
+            }
+            pragmas.add(match.group("kind"), token.start[0], codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return pragmas

@@ -35,6 +35,8 @@ class Claim:
 
 @dataclass(frozen=True)
 class ClaimVerdict:
+    """The outcome of checking one paper claim against a regenerated figure."""
+
     claim_id: str
     figure: str
     statement: str

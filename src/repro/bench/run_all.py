@@ -13,7 +13,7 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.bench import ablations, fig3, fig4, fig5, fig6, fig7, table1
 from repro.bench.harness import FigureResult
@@ -52,7 +52,8 @@ EXPERIMENTS: Dict[str, Callable[[], FigureResult]] = {
 }
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    """Regenerate the requested figures/tables; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.run_all",
         description="Regenerate every figure/table of the paper's evaluation.",

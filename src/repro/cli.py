@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli [serve] [options] [REQUEST_FILE ...]
     python -m repro.cli metrics [options] [REQUEST_FILE ...]
     python -m repro.cli trace [options] [REQUEST_FILE ...]
+    python -m repro.cli analyze [options] [PATH ...]
 
 ``serve`` (the default when no subcommand is named) reads controller
 requests (``ADD`` / ``CANCEL`` / ``MATCH`` / ``METRICS`` / ``TRACE`` —
@@ -20,7 +21,9 @@ matcher's metrics to stdout — a valid JSON document by default, or
 Prometheus text format with ``--format prom`` (scrapeable; see
 docs/observability.md).  ``trace`` does the same but writes the last
 match's trace tree (flame-style text by default, ``--format json`` for
-the structured tree).
+the structured tree).  ``analyze`` runs fxlint, the project's static
+checker, over the given paths (see docs/static_analysis.md); it is the
+same entry point as ``python -m repro.analysis``.
 
 Shared options:
 
@@ -57,7 +60,7 @@ from repro.obs.tracing import Tracer
 __all__ = ["build_parser", "serve", "main"]
 
 #: Subcommands recognised by :func:`main`; anything else is ``serve``.
-_SUBCOMMANDS = ("serve", "metrics", "trace")
+_SUBCOMMANDS = ("serve", "metrics", "trace", "analyze")
 
 
 def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
@@ -80,6 +83,7 @@ def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the default ``serve`` subcommand."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Serve top-k matching over textual request streams.",
@@ -239,6 +243,7 @@ def _main_trace(argv: List[str]) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch to a subcommand; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in _SUBCOMMANDS:
         command, rest = argv[0], argv[1:]
@@ -246,6 +251,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _main_metrics(rest)
         if command == "trace":
             return _main_trace(rest)
+        if command == "analyze":
+            from repro.analysis.cli import main as fxlint_main
+
+            return fxlint_main(rest)
         return _main_serve(rest)
     return _main_serve(argv)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
@@ -86,14 +86,14 @@ class ReadWriteLock:
     class _Guard:
         __slots__ = ("_acquire", "_release")
 
-        def __init__(self, acquire, release) -> None:
+        def __init__(self, acquire: Callable[[], None], release: Callable[[], None]) -> None:
             self._acquire = acquire
             self._release = release
 
         def __enter__(self) -> None:
             self._acquire()
 
-        def __exit__(self, *exc_info) -> None:
+        def __exit__(self, *exc_info: Any) -> None:
             self._release()
 
     def read_locked(self) -> "ReadWriteLock._Guard":
@@ -177,10 +177,12 @@ class ParallelFXTMMatcher(FXTMMatcher):
     def __enter__(self) -> "ParallelFXTMMatcher":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def _search_attribute(self, attribute: str, value: Any, event: Event):
+    def _search_attribute(
+        self, attribute: str, value: Any, event: Event
+    ) -> List[Tuple[Any, float]]:
         """One worker's share: all (sid, subscore) pairs for an attribute."""
         structure = self._master_index.get(attribute)
         if structure is None:

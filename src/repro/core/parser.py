@@ -35,7 +35,7 @@ An event weight is attached with ``@``: ``age: [18..29] @ 2.0``.
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from repro.core.attributes import UNKNOWN, Interval
 from repro.core.budget import BudgetWindowSpec
@@ -154,7 +154,7 @@ def _parse_interval(tokens: _Tokenizer) -> Interval:
     return Interval(low, high)
 
 
-def _parse_set(tokens: _Tokenizer) -> frozenset:
+def _parse_set(tokens: _Tokenizer) -> FrozenSet[Any]:
     """``{v1, v2, ...}`` (the opening ``{`` already consumed)."""
     members = [_parse_scalar(tokens)]
     while True:

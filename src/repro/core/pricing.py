@@ -22,12 +22,13 @@ This module implements that idea on top of the existing budget machinery:
 from __future__ import annotations
 
 import math
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.core.budget import Clock, LogicalClock
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
 from repro.core.results import MatchResult
+from repro.core.subscriptions import Subscription
 from repro.errors import ReproError
 
 __all__ = ["PricingError", "ExponentialMovingRate", "DemandBasedPricer", "PricedExchange"]
@@ -171,7 +172,7 @@ class PricedExchange:
         self.revenue = 0.0
         self.auctions = 0
         #: (time, price) samples, one per auction — for dashboards/tests.
-        self.price_history: List[tuple] = []
+        self.price_history: List[Tuple[int, float]] = []
 
     def match(self, event: Event, k: int) -> List[MatchResult]:
         """Run one priced auction.
@@ -197,10 +198,10 @@ class PricedExchange:
             clock.tick()
         return results
 
-    def add_subscription(self, subscription) -> None:
+    def add_subscription(self, subscription: Subscription) -> None:
         self.matcher.add_subscription(subscription)
 
-    def cancel_subscription(self, sid: Any):
+    def cancel_subscription(self, sid: Any) -> Subscription:
         return self.matcher.cancel_subscription(sid)
 
     def __len__(self) -> int:

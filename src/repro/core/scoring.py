@@ -16,7 +16,7 @@ and :data:`MIN` rounds out the classical trio.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.attributes import AttributeKind, Interval, Schema
 from repro.core.events import Event
@@ -31,6 +31,8 @@ __all__ = [
     "constraint_matches",
     "constraint_score",
     "score_subscription",
+    "infer_kind",
+    "resolve_kind",
 ]
 
 
@@ -45,7 +47,13 @@ class Aggregation:
 
     __slots__ = ("name", "zero", "_combine", "monotone_with_mixed_signs")
 
-    def __init__(self, name: str, zero: float, combine, monotone_with_mixed_signs: bool) -> None:
+    def __init__(
+        self,
+        name: str,
+        zero: float,
+        combine: Callable[[float, float], float],
+        monotone_with_mixed_signs: bool,
+    ) -> None:
         self.name = name
         self.zero = zero
         self._combine = combine

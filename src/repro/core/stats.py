@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
@@ -194,11 +194,11 @@ class MatcherStats:
         return int(self._empty.value)
 
     @property
-    def latency_histogram(self):
+    def latency_histogram(self) -> Any:
         """The bucketed match-latency histogram (seconds)."""
         return self._latency.labels()
 
-    def top_served(self, limit: int = 10) -> List[tuple]:
+    def top_served(self, limit: int = 10) -> List[Tuple[Any, int]]:
         """The most-served subscriptions as ``(sid, count)``, best first."""
         ordered = sorted(
             self.serves_by_sid.items(),
@@ -298,19 +298,19 @@ class InstrumentedMatcher:
         return self.inner.name
 
     @property
-    def schema(self):
+    def schema(self) -> Any:
         return self.inner.schema
 
     @property
-    def budget_tracker(self):
+    def budget_tracker(self) -> Any:
         return self.inner.budget_tracker
 
     @property
-    def tracer(self):
+    def tracer(self) -> Any:
         return getattr(self.inner, "tracer", None)
 
     @tracer.setter
-    def tracer(self, value) -> None:
+    def tracer(self, value: Any) -> None:
         self.inner.tracer = value
 
     def __repr__(self) -> str:

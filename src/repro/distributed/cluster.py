@@ -716,7 +716,7 @@ class DistributedTopKSystem:
     # ------------------------------------------------------------------
     # Failure and recovery administration
     # ------------------------------------------------------------------
-    def save_leaf_snapshot(self, leaf_id: int, path) -> int:
+    def save_leaf_snapshot(self, leaf_id: int, path: str) -> int:
         """Persist one leaf's partition via :mod:`repro.core.snapshot`."""
         self._check_leaf(leaf_id)
         return save_matcher(self.nodes[leaf_id].matcher, path)
@@ -737,7 +737,7 @@ class DistributedTopKSystem:
                 "leaf.crashed", leaf=leaf_id, now=self.simulated_clock
             )
 
-    def recover_leaf(self, leaf_id: int, snapshot_path=None) -> RecoveryReport:
+    def recover_leaf(self, leaf_id: int, snapshot_path: Optional[str] = None) -> RecoveryReport:
         """Rebuild a failed leaf's partition and re-admit it.
 
         The partition is reassembled from two sources, in order:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import FaultConfigError
 
@@ -139,7 +139,7 @@ class FaultInjector:
     (True, False)
     """
 
-    def __init__(self, plan: FaultPlan, logger=None) -> None:
+    def __init__(self, plan: FaultPlan, logger: Optional[Any] = None) -> None:
         self.plan = plan
         self.matches_started = 0
         #: Optional :class:`repro.obs.logging.StructuredLogger`; when set,

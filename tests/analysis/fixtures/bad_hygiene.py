@@ -1,0 +1,19 @@
+"""Known-bad fixture: API-hygiene violations (FX3xx)."""
+
+__all__ = [
+    "bare",
+    "gone_helper",  # expect: FX301
+    "visible",
+]
+
+
+def visible(x) -> None:  # expect: FX303
+    """Annotated return but not the parameter."""
+
+
+def bare() -> None:  # expect: FX304
+    pass
+
+
+def stray() -> None:  # expect: FX302
+    """Public, documented, annotated — but missing from __all__."""

@@ -1,0 +1,13 @@
+"""Known-bad fixture: scoring/value-object invariant violations (FX4xx)."""
+
+
+def _tie(score_a, score_b):
+    return score_a == score_b  # expect: FX401
+
+
+def _retag(sub, new_sid):
+    sub.sid = new_sid  # expect: FX402
+
+
+def _bypass(event):
+    object.__setattr__(event, "values", {})  # expect: FX402

@@ -1,0 +1,26 @@
+"""Known-bad fixture: lock-discipline violations (FX2xx)."""
+
+from repro.core.concurrent import ReadWriteLock
+
+
+class _LeakyStore:
+    def __init__(self):
+        self._lock = ReadWriteLock()
+        self._items = {}
+        self._count = 0
+
+    def put(self, key, value):
+        self._items[key] = value  # expect: FX201
+
+    def bump(self):
+        with self._lock.read_locked():
+            self._count += 1  # expect: FX201
+
+    def _store(self, key, value):
+        with self._lock.write_locked():
+            self._items[key] = value
+
+    def refresh(self, key):
+        with self._lock.read_locked():
+            self._store(key, None)  # expect: FX202
+            self._lock.acquire_write()  # expect: FX202

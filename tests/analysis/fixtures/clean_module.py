@@ -1,0 +1,15 @@
+"""A fully disciplined module the checker must report as clean."""
+
+import random
+
+__all__ = ["seeded_stream", "pick"]
+
+
+def seeded_stream(seed: int) -> random.Random:
+    """A per-purpose RNG stream derived from an explicit seed."""
+    return random.Random(f"{seed}:fixture")
+
+
+def pick(seed: int, low: int, high: int) -> int:
+    """A deterministic draw from the seeded stream."""
+    return seeded_stream(seed).randint(low, high)

@@ -1,0 +1,23 @@
+"""Known-bad fixture: nondeterminism in simulation-critical code.
+
+The path places this file under ``repro/distributed/``, so the
+determinism family applies in full.  Trailing ``expect`` comments
+declare the findings the checker must produce, and the test harness
+diffs them against the actual report.
+"""
+
+import random
+import time
+from datetime import datetime
+
+
+def _stamp_run():
+    started = time.time()  # expect: FX101
+    stamp = datetime.now()  # expect: FX101
+    return started, stamp
+
+
+def _draw():
+    noise = random.random()  # expect: FX102
+    stream = random.Random()  # expect: FX103
+    return noise, stream

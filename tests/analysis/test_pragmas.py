@@ -1,0 +1,59 @@
+"""Pragma parsing and suppression semantics."""
+
+from repro.analysis import check_file
+from repro.analysis.pragmas import parse_pragmas
+
+BAD_LINE = "noise = random.random()"
+
+
+def _check(tmp_path, source):
+    path = tmp_path / "module.py"
+    path.write_text(source)
+    return check_file(str(path))
+
+
+def test_line_pragma_suppresses_only_its_line(tmp_path):
+    findings = _check(
+        tmp_path,
+        "import random\n"
+        f"{BAD_LINE}  # fxlint: disable=FX102\n"
+        f"{BAD_LINE}\n",
+    )
+    assert [(finding.code, finding.line) for finding in findings] == [("FX102", 3)]
+
+
+def test_file_pragma_suppresses_whole_file(tmp_path):
+    findings = _check(
+        tmp_path,
+        "# fxlint: disable-file=FX102\n"
+        "import random\n"
+        f"{BAD_LINE}\n"
+        f"{BAD_LINE}\n",
+    )
+    assert findings == []
+
+
+def test_pragma_wildcard_all(tmp_path):
+    findings = _check(
+        tmp_path,
+        "import random\n"
+        "stream = random.Random()  # fxlint: disable=all\n",
+    )
+    assert findings == []
+
+
+def test_pragma_does_not_suppress_other_codes(tmp_path):
+    findings = _check(
+        tmp_path,
+        "import random\n"
+        f"{BAD_LINE}  # fxlint: disable=FX101\n",
+    )
+    assert [finding.code for finding in findings] == ["FX102"]
+
+
+def test_parse_pragmas_multiple_codes():
+    pragmas = parse_pragmas("x = 1  # fxlint: disable=FX101, FX102\n")
+    assert pragmas.suppresses("FX101", 1)
+    assert pragmas.suppresses("FX102", 1)
+    assert not pragmas.suppresses("FX103", 1)
+    assert not pragmas.suppresses("FX101", 2)

@@ -1,0 +1,40 @@
+"""The strict-typing gate over repro.core / repro.structures.
+
+The mypy run itself only executes where mypy is installed (CI's
+static-analysis job); the marker/config checks run everywhere.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_py_typed_marker_exists():
+    assert (REPO / "src" / "repro" / "py.typed").is_file()
+
+
+def test_mypy_config_present():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in pyproject
+
+
+def test_mypy_strict_core_and_structures():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--strict",
+            "src/repro/core",
+            "src/repro/structures",
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
