@@ -1,0 +1,110 @@
+"""CI gate: batched matching must beat the single-event loop on skew.
+
+Drives one loaded FX-TM matcher over a skewed event stream (a small
+pool of distinct events, cycled — the hot-value pattern batching is
+for) both ways: ``match(event, k)`` per event, and the same stream
+chunked into ``match_batch`` calls.  The shared per-batch probe cache
+must deliver at least ``--threshold`` (default 1.5x) the single-loop
+events/second; otherwise the gate fails.
+
+Rounds are interleaved A/B over ``--repeats`` and the per-variant
+*best* throughput is compared, discarding scheduler noise rather than
+averaging it in.  The measured numbers are emitted on one
+machine-readable line prefixed ``BENCH `` so CI logs can be scraped::
+
+    BENCH {"benchmark": "batch_throughput", "single_eps": ..., ...}
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py \
+        --n 4000 --batch-size 128 --events 512 --threshold 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.batch import batch_speedup, batch_throughput
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The batch-throughput gate argument parser."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="minimum batch/single events-per-second ratio (default: 1.5)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=2000,
+        help="subscriptions in the micro workload (default: 2000)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=10, help="top-k size (default: 10)"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64,
+        help="events per match_batch call (default: 64)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=256,
+        help="total events per measured round (default: 256)",
+    )
+    parser.add_argument(
+        "--pool", type=int, default=6,
+        help="distinct events cycled to form the skewed stream (default: 6)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="interleaved measurement rounds per variant (default: 3)",
+    )
+    parser.add_argument(
+        "--selectivity", type=float, default=0.1,
+        help="micro-workload S/N target (default: 0.1)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Measure batch-vs-single throughput; exit 1 under threshold."""
+    args = build_parser().parse_args(argv)
+    result = batch_throughput(
+        n=args.n,
+        k=args.k,
+        batch_sizes=(args.batch_size,),
+        event_pool=args.pool,
+        events_total=args.events,
+        repeats=args.repeats,
+        selectivity=args.selectivity,
+    )
+    single_eps = result.series_by_label("single-loop").at(float(args.batch_size))
+    batch_eps = result.series_by_label("batch").at(float(args.batch_size))
+    speedup = batch_speedup(result)
+    print(f"single loop: {single_eps:10.1f} events/s (best of {args.repeats})")
+    print(f"batched:     {batch_eps:10.1f} events/s (best of {args.repeats})")
+    print(f"speedup:     {speedup:10.2f}x  (threshold {args.threshold:.2f}x)")
+    record = {
+        "benchmark": "batch_throughput",
+        "n": args.n,
+        "k": args.k,
+        "batch_size": args.batch_size,
+        "events": args.events,
+        "event_pool": args.pool,
+        "selectivity": args.selectivity,
+        "single_eps": round(single_eps, 1),
+        "batch_eps": round(batch_eps, 1),
+        "speedup": round(speedup, 3),
+        "threshold": args.threshold,
+    }
+    print("BENCH " + json.dumps(record, sort_keys=True))
+    if speedup < args.threshold:
+        print("FAIL: batched throughput under threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Batched-matching throughput: ``match_batch`` vs. the single-event loop.
+
+Not a paper figure — this experiment sizes the repo's own extension:
+:meth:`repro.core.interfaces.TopKMatcher.match_batch` shares one
+:class:`~repro.core.probecache.ProbeCache` across a batch, so repeated
+attribute values pay for their index probes once.  The workload is
+therefore deliberately *skewed*: events are drawn from a small pool and
+cycled, the way a hot ad-serving stream repeats popular attribute
+values, so cache hits dominate inside every batch.
+
+Two series over the batch size:
+
+* ``single-loop`` — ``match(event, k)`` called once per event;
+* ``batch``       — the same event stream chunked into ``match_batch``
+  calls of the swept size.
+
+Both are reported as events per second over identical streams against
+one loaded matcher, so the only variable is the batching itself.  The
+standalone CI gate (``benchmarks/bench_batch_throughput.py``) asserts a
+minimum speedup on this workload; here we only record the curve.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import FigureResult, Series, load_subscriptions, make_matcher
+from repro.bench.scale import scaled
+from repro.core.events import Event
+from repro.core.interfaces import TopKMatcher
+from repro.workloads.defaults import GENERATED_N
+from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+__all__ = ["skewed_event_stream", "batch_throughput", "batch_speedup"]
+
+#: Distinct events cycled to form the skewed stream (hot-value pool).
+DEFAULT_EVENT_POOL = 6
+
+
+def skewed_event_stream(
+    workload: MicroWorkload, total: int, pool: int = DEFAULT_EVENT_POOL
+) -> List[Event]:
+    """``total`` events cycling a pool of ``pool`` distinct ones.
+
+    Attribute popularity inside the pool is already Zipf-skewed by the
+    generator; cycling the pool adds the value-level skew that makes a
+    shared probe cache pay off.
+    """
+    if total < 1:
+        raise ValueError(f"total must be >= 1, got {total}")
+    if pool < 1:
+        raise ValueError(f"pool must be >= 1, got {pool}")
+    distinct = workload.events(pool)
+    return [distinct[index % pool] for index in range(total)]
+
+
+def _events_per_second(elapsed: float, count: int) -> float:
+    return count / elapsed if elapsed > 0 else 0.0
+
+
+def _time_single_loop(matcher: TopKMatcher, events: Sequence[Event], k: int) -> float:
+    started = time.perf_counter()
+    for event in events:
+        matcher.match(event, k)
+    return time.perf_counter() - started
+
+
+def _time_batched(
+    matcher: TopKMatcher, events: Sequence[Event], k: int, batch_size: int
+) -> float:
+    started = time.perf_counter()
+    for offset in range(0, len(events), batch_size):
+        matcher.match_batch(events[offset : offset + batch_size], k)
+    return time.perf_counter() - started
+
+
+def batch_throughput(
+    n: Optional[int] = None,
+    k: Optional[int] = None,
+    batch_sizes: Sequence[int] = (1, 8, 32, 128),
+    event_pool: int = DEFAULT_EVENT_POOL,
+    events_total: Optional[int] = None,
+    repeats: int = 3,
+    selectivity: Optional[float] = None,
+) -> FigureResult:
+    """Events/second for batched vs. single-event matching, by batch size.
+
+    Per batch size the same skewed stream (``events_total`` events, a
+    multiple of the largest batch size by default) is matched both ways;
+    runs are interleaved over ``repeats`` rounds and the best round per
+    variant is kept, discarding scheduler noise rather than averaging
+    it in.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if not batch_sizes or any(size < 1 for size in batch_sizes):
+        raise ValueError(f"batch sizes must be >= 1, got {batch_sizes!r}")
+    n = n if n is not None else scaled(GENERATED_N)
+    k = k if k is not None else max(1, n // 100)
+    events_total = events_total if events_total is not None else max(batch_sizes)
+
+    config = MicroWorkloadConfig(n=n)
+    if selectivity is not None:
+        config = config.with_selectivity(selectivity)
+    workload = MicroWorkload(config)
+    matcher = make_matcher("fx-tm", prorate=True)
+    load_subscriptions(matcher, workload.subscriptions())
+    stream = skewed_event_stream(workload, events_total, pool=event_pool)
+
+    result = FigureResult(
+        figure="batch-throughput",
+        title="batched matching throughput (skewed event stream)",
+        x_label="batch size",
+        y_label="events per second",
+    )
+    single_series = Series(label="single-loop")
+    batch_series = Series(label="batch")
+    result.series = [single_series, batch_series]
+    result.notes.update(
+        {
+            "N": n,
+            "k": k,
+            "events": events_total,
+            "event_pool": event_pool,
+            "selectivity": config.selectivity,
+        }
+    )
+
+    # One untimed pass warms the flattened index views and allocator.
+    _time_single_loop(matcher, stream[: min(len(stream), 8)], k)
+
+    for size in batch_sizes:
+        single_best: Optional[float] = None
+        batch_best: Optional[float] = None
+        for _ in range(repeats):
+            single = _events_per_second(
+                _time_single_loop(matcher, stream, k), len(stream)
+            )
+            batched = _events_per_second(
+                _time_batched(matcher, stream, k, size), len(stream)
+            )
+            single_best = single if single_best is None else max(single_best, single)
+            batch_best = batched if batch_best is None else max(batch_best, batched)
+        assert single_best is not None and batch_best is not None
+        single_series.add(float(size), single_best)
+        batch_series.add(float(size), batch_best)
+    return result
+
+
+def batch_speedup(result: FigureResult) -> float:
+    """Batch-over-single throughput ratio at the largest swept batch size."""
+    batch = result.series_by_label("batch")
+    single = result.series_by_label("single-loop")
+    largest = max(batch.x_values)
+    baseline = single.at(largest)
+    return batch.at(largest) / baseline if baseline > 0 else 0.0

@@ -15,7 +15,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.bench import ablations, fig3, fig4, fig5, fig6, fig7, table1
+from repro.bench import ablations, batch, fig3, fig4, fig5, fig6, fig7, table1
 from repro.bench.harness import FigureResult
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -49,6 +49,7 @@ EXPERIMENTS: Dict[str, Callable[[], FigureResult]] = {
     "ablation-index": ablations.ablation_index_structure,
     "ablation-topk": ablations.ablation_topk_structure,
     "ablation-betree-leaf": ablations.ablation_betree_leaf_capacity,
+    "batch-throughput": batch.batch_throughput,
 }
 
 

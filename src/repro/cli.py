@@ -8,8 +8,8 @@ Usage::
     python -m repro.cli analyze [options] [PATH ...]
 
 ``serve`` (the default when no subcommand is named) reads controller
-requests (``ADD`` / ``CANCEL`` / ``MATCH`` / ``METRICS`` / ``TRACE`` —
-see :mod:`repro.core.controller`) from the given files, or stdin when
+requests (``ADD`` / ``CANCEL`` / ``MATCH`` / ``BATCH`` / ``METRICS`` /
+``TRACE`` — see :mod:`repro.core.controller`) from the given files, or stdin when
 none are given, and prints one response line per request.  This is
 exactly the paper's section 6.1 deployment surface: "a local controller
 has two input streams — one for subscriptions and one for events" — here
@@ -140,6 +140,12 @@ def serve(
         elif request.kind is RequestKind.MATCH:
             rendered = ", ".join(f"{r.sid}={r.score:.3f}" for r in response.results)
             out.write(f"match [{rendered}]\n")
+        elif request.kind is RequestKind.BATCH:
+            # One line per event, in request order, prefixed with its
+            # position so clients can correlate results to events.
+            for index, results in enumerate(response.batch_results):
+                rendered = ", ".join(f"{r.sid}={r.score:.3f}" for r in results)
+                out.write(f"batch[{index}] [{rendered}]\n")
         elif request.kind in (RequestKind.METRICS, RequestKind.TRACE):
             out.write(response.payload)
             if not response.payload.endswith("\n"):

@@ -250,3 +250,22 @@ class Schema:
     def copy(self) -> "Schema":
         """An independent, unfrozen copy."""
         return Schema(dict(self._kinds))
+
+    def snapshot_kinds(self) -> Dict[str, AttributeKind]:
+        """A copy of the currently resolved kinds.
+
+        Pair with :meth:`restore_kinds` for exception-safe bulk
+        operations: kinds pinned by a failed load must not survive its
+        rollback (they would constrain future subscriptions on a matcher
+        that is supposed to be untouched).
+        """
+        return dict(self._kinds)
+
+    def restore_kinds(self, kinds: Dict[str, AttributeKind]) -> None:
+        """Reset the resolved kinds to a :meth:`snapshot_kinds` copy.
+
+        This is a rollback primitive, not a declaration: it bypasses the
+        frozen check because it only ever reinstates a state the schema
+        was already in.
+        """
+        self._kinds = dict(kinds)

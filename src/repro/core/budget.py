@@ -371,15 +371,33 @@ class BudgetTracker:
         """Yield every sid with an active budget window."""
         return iter(self._states)
 
-    def multiplier_bounds(self) -> Tuple[float, float]:
-        """(min, max) multiplier over all tracked sids at the current time.
+    def multiplier_bounds(self, include_untracked: bool = True) -> Tuple[float, float]:
+        """Bounds on the current multipliers, optionally widened to 1.0.
 
-        Used by the BE* baseline, which must propagate multiplier bounds up
-        its tree to keep pruning sound (paper section 7.7).  Returns
-        ``(1.0, 1.0)`` when nothing is tracked.
+        With ``include_untracked=True`` (the default) the bounds also
+        cover the implicit multiplier of *untracked* sids, which is 1.0 —
+        i.e. the returned interval always contains 1.0.  That is the
+        widened contract BE*-style pruning relies on (paper section 7.7):
+        a bound propagated up a subscription tree must hold for every
+        descendant, tracked or not, so pruning with it stays sound even
+        when some subscriptions carry no budget window.
+
+        With ``include_untracked=False`` the bounds are the exact
+        ``(min, max)`` multiplier over the tracked sids only — e.g. a
+        lone tracked multiplier of 10.0 yields ``(10.0, 10.0)``, not
+        ``(1.0, 10.0)``.
+
+        Returns ``(1.0, 1.0)`` when nothing is tracked, under either
+        contract: an empty tracker means every sid carries the implicit
+        multiplier, so the exact bounds and the widened bounds coincide.
         """
         if not self._states:
             return (1.0, 1.0)
         now = self.clock.now()
         multipliers = [state.multiplier(now) for state in self._states.values()]
-        return (min(itertools.chain(multipliers, [1.0])), max(itertools.chain(multipliers, [1.0])))
+        if include_untracked:
+            return (
+                min(itertools.chain(multipliers, [1.0])),
+                max(itertools.chain(multipliers, [1.0])),
+            )
+        return (min(multipliers), max(multipliers))

@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
 from repro.core.matcher import FXTMMatcher, _RangedAttributeIndex
+from repro.core.probecache import ProbeCache
 from repro.core.results import MatchResult, sort_results
 from repro.core.scoring import SUM
 from repro.core.subscriptions import Subscription
@@ -136,6 +137,24 @@ class ThreadSafeMatcher:
                 return self.inner.match(event, k)
         with self._lock.read_locked():
             return self.inner.match(event, k)
+
+    def match_batch(
+        self,
+        events: Sequence[Event],
+        k: int,
+        probe_cache: Optional[ProbeCache] = None,
+    ) -> List[List[MatchResult]]:
+        """Match a whole batch under one lock acquisition.
+
+        Holding the lock across the batch is what licenses the inner
+        matcher's probe cache: no subscription churn can interleave, so
+        the index really is immutable for the batch's duration.
+        """
+        if self._exclusive_match:
+            with self._lock.write_locked():
+                return self.inner.match_batch(events, k, probe_cache)
+        with self._lock.read_locked():
+            return self.inner.match_batch(events, k, probe_cache)
 
     def __len__(self) -> int:
         with self._lock.read_locked():

@@ -15,8 +15,15 @@ algorithm component.  Textual request forms::
     ADD <sid> <predicate> [BUDGET <amount> WINDOW <length>]
     CANCEL <sid>
     MATCH <k> <event>
+    BATCH <k> <event> [; <event> ...]
     METRICS [json|prom]
     TRACE [json|text]
+
+BATCH extends the paper's protocol with batched matching: the events are
+matched in order through :meth:`TopKMatcher.match_batch` (one pass,
+shared probe cache) and the response carries one result list per event.
+``;`` is safe as the separator because the event grammar has no
+semicolon token.
 
 Responses are :class:`Response` objects carrying the outcome (and, for
 MATCH, the top-k results).  METRICS and TRACE extend the paper's
@@ -30,7 +37,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.budget import BudgetWindowSpec
 from repro.core.events import Event
@@ -48,6 +55,7 @@ class RequestKind(enum.Enum):
     ADD = "add"
     CANCEL = "cancel"
     MATCH = "match"
+    BATCH = "batch"
     METRICS = "metrics"
     TRACE = "trace"
 
@@ -68,6 +76,8 @@ class Request:
     predicate: str = ""
     k: int = 0
     event_text: str = ""
+    #: The batch's event texts, in match order (BATCH requests only).
+    event_texts: Tuple[str, ...] = ()
     budget: Optional[BudgetWindowSpec] = None
     #: Exposition format for METRICS ("json"/"prom") and TRACE
     #: ("json"/"text"); ignored by the other kinds.
@@ -84,6 +94,8 @@ class Response:
     error: str = ""
     #: Rendered exposition for METRICS/TRACE requests ("" otherwise).
     payload: str = ""
+    #: One result list per event, in request order (BATCH requests only).
+    batch_results: List[List[MatchResult]] = field(default_factory=list)
 
 
 class LocalController:
@@ -147,6 +159,20 @@ class LocalController:
             if not event_text.strip():
                 raise ParseError("MATCH needs an event after k", line, len(head))
             return Request(RequestKind.MATCH, k=k, event_text=event_text.strip())
+        if command == "BATCH":
+            k_text, _, events_text = rest.strip().partition(" ")
+            try:
+                k = int(k_text)
+            except ValueError:
+                raise ParseError(
+                    "BATCH needs '<k> <event> [; <event> ...]'", line, len(head)
+                ) from None
+            texts = tuple(text.strip() for text in events_text.split(";"))
+            if not events_text.strip() or not all(texts):
+                raise ParseError(
+                    "BATCH needs ';'-separated events after k", line, len(head)
+                )
+            return Request(RequestKind.BATCH, k=k, event_texts=texts)
         if command in ("METRICS", "TRACE"):
             kind = RequestKind.METRICS if command == "METRICS" else RequestKind.TRACE
             choices = _FMT_CHOICES[kind]
@@ -206,6 +232,10 @@ class LocalController:
                 return self._metrics_response(request)
             if request.kind is RequestKind.TRACE:
                 return self._trace_response(request)
+            if request.kind is RequestKind.BATCH:
+                events = [parse_event(text) for text in request.event_texts]
+                batches = self.matcher.match_batch(events, request.k)
+                return Response(ok=True, request=request, batch_results=batches)
             event = parse_event(request.event_text)
             results = self.matcher.match(event, request.k)
             return Response(ok=True, request=request, results=results)

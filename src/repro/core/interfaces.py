@@ -15,11 +15,12 @@ matcher only implements the score computation itself.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.attributes import Schema
 from repro.core.budget import BudgetTracker, LogicalClock
 from repro.core.events import Event
+from repro.core.probecache import ProbeCache
 from repro.core.results import MatchResult
 from repro.core.scoring import SUM, Aggregation
 from repro.core.subscriptions import Subscription
@@ -168,6 +169,31 @@ class TopKMatcher(abc.ABC):
         results = self._match_topk(event, k)
         self._settle(results)
         return results
+
+    def match_batch(
+        self,
+        events: Sequence[Event],
+        k: int,
+        probe_cache: Optional[ProbeCache] = None,
+    ) -> List[List[MatchResult]]:
+        """Match a batch of events in order; one result list per event.
+
+        The batched contract is **exactness**: element ``i`` of the
+        return value equals what ``match(events[i], k)`` would have
+        returned at that point of the sequence — budgets are settled
+        after each event exactly as in the single-event loop.  This
+        default implementation *is* that loop; index-based algorithms
+        override it to share probes across the batch (FX-TM memoises
+        stabs and bucket lookups in a per-batch
+        :class:`~repro.core.probecache.ProbeCache`).
+
+        ``probe_cache`` lets the caller supply the cache so hit/miss
+        counts can be observed afterwards; implementations that do not
+        probe a shared index ignore it.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return [self.match(event, k) for event in events]
 
     def _settle(self, results: List[MatchResult]) -> None:
         tracker = self.budget_tracker

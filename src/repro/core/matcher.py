@@ -20,11 +20,12 @@ size k — ``O(M log N + S log k)`` time and ``O(MN + k)`` space
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attributes import AttributeKind, Interval
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
+from repro.core.probecache import ProbeCache
 from repro.core.results import MatchResult, sort_results
 from repro.core.scoring import SUM, infer_kind
 from repro.core.subscriptions import Constraint, Subscription
@@ -175,6 +176,9 @@ class FXTMMatcher(TopKMatcher):
         if len(self._subscriptions):
             raise MatcherStateError("bulk_load requires an empty matcher")
         ranged_entries: Dict[str, List[Any]] = {}
+        # _resolve_kind pins kinds into the schema as it goes; a failed
+        # load must not leave those behind on the rolled-back matcher.
+        schema_snapshot = self.schema.snapshot_kinds()
         try:
             for subscription in subscriptions:
                 sid = subscription.sid
@@ -208,7 +212,23 @@ class FXTMMatcher(TopKMatcher):
                 for sid in list(self._subscriptions):
                     self.budget_tracker.unregister(sid)
             self._subscriptions.clear()
+            self.schema.restore_kinds(schema_snapshot)
             raise
+
+    def ensure_built(self) -> None:
+        """Warm every ranged attribute's flattened stab view.
+
+        The benchmark harness calls this after loading subscriptions so
+        the one-time flat-array build is charged to load time, not to
+        the first match touching each attribute — the same static-build
+        methodology the BE* baseline uses.
+        """
+        # Duck-typed: ablation variants swap in tree stand-ins that have
+        # no flattened view to warm.
+        for structure in self._master_index.values():
+            ensure = getattr(getattr(structure, "tree", None), "ensure_flat", None)
+            if callable(ensure):
+                ensure()
 
     # ------------------------------------------------------------------
     # Algorithm 2: weighted partial matching
@@ -229,6 +249,153 @@ class FXTMMatcher(TopKMatcher):
                 select.annotate(results=len(results))
             root.annotate(results=len(results))
         return results
+
+    # ------------------------------------------------------------------
+    # Batched matching (tentpole of ISSUE 5): one pass, shared probes
+    # ------------------------------------------------------------------
+    def match_batch(
+        self,
+        events: Sequence[Event],
+        k: int,
+        probe_cache: Optional[ProbeCache] = None,
+    ) -> List[List[MatchResult]]:
+        """Match ``events`` in order with a shared per-batch probe cache.
+
+        Exact per the base-class contract: the index structures do not
+        mutate during a batch, so a memoised stab / bucket lookup returns
+        the very list a fresh probe would, and the per-event folds
+        (overrides, proration, budget multipliers) consume it in the same
+        order — element ``i`` is bitwise-identical to a sequential
+        ``match(events[i], k)``.  Budgets settle after each event, so
+        budget-window dynamics across the batch are preserved too.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        cache = probe_cache if probe_cache is not None else ProbeCache()
+        out: List[List[MatchResult]] = []
+        tracer = self.tracer
+        if tracer is None:
+            for event in events:
+                scoremap = self._build_scoremap_cached(event, cache)
+                results = self._select_topk(scoremap, k)
+                self._settle(results)
+                out.append(results)
+            return out
+        with tracer.span(
+            "fxtm.match_batch", algorithm=self.name, k=k, batch=len(events)
+        ) as root:
+            for event in events:
+                scoremap = self._build_scoremap_cached_traced(event, cache, tracer)
+                with tracer.span("topk.select", candidates=len(scoremap)) as select:
+                    results = self._select_topk(scoremap, k)
+                    select.annotate(results=len(results))
+                self._settle(results)
+                out.append(results)
+            root.annotate(probe_hits=cache.hits, probe_misses=cache.misses)
+        return out
+
+    def _build_scoremap_cached(
+        self, event: Event, cache: ProbeCache
+    ) -> Dict[Any, float]:
+        """:meth:`_build_scoremap` with probes memoised in ``cache``."""
+        use_event_weights = event.has_weights
+        scoremap: Dict[Any, float] = {}
+        for attribute, value in event.known_items():
+            structure = self._master_index.get(attribute)
+            if structure is None:
+                continue
+            override = event.weight_for(attribute) if use_event_weights else None
+            if isinstance(structure, _RangedAttributeIndex):
+                interval = event.interval_of(attribute)
+                qlo, qhi = interval.low, interval.high
+                matches = cache.get_ranged(attribute, qlo, qhi)
+                if matches is None:
+                    matches = structure.tree.stab(qlo, qhi)
+                    cache.put_ranged(attribute, qlo, qhi, matches)
+                if override is None:
+                    scored = cache.get_scored(attribute, qlo, qhi)
+                    if scored is None:
+                        scored = self._scored_ranged(matches, attribute, qlo, qhi)
+                        cache.put_scored(attribute, qlo, qhi, scored)
+                    self._fold_scored(scoremap, scored)
+                else:
+                    # Per-event weight overrides fold from the raw probe.
+                    self._fold_ranged(
+                        scoremap, matches, attribute, qlo, qhi, override
+                    )
+            else:
+                pairs = cache.get_discrete(attribute, value)
+                if pairs is None:
+                    bucket = structure.buckets.get(value)
+                    pairs = bucket.get_all() if bucket is not None else []
+                    cache.put_discrete(attribute, value, pairs)
+                if pairs:
+                    self._fold_discrete(scoremap, pairs, override)
+        return scoremap
+
+    def _build_scoremap_cached_traced(
+        self, event: Event, cache: ProbeCache, tracer: Any
+    ) -> Dict[Any, float]:
+        """The traced twin of :meth:`_build_scoremap_cached` (same folds).
+
+        Cache outcomes surface as zero-duration ``probe_cache.hit`` /
+        ``probe_cache.miss`` spans — the probe they summarise either
+        never happened (hit) or is the enclosed ``attribute.probe`` span
+        (miss).
+        """
+        use_event_weights = event.has_weights
+        scoremap: Dict[Any, float] = {}
+        for attribute, value in event.known_items():
+            with tracer.span("master_index.lookup", attribute=attribute) as lookup:
+                structure = self._master_index.get(attribute)
+                lookup.annotate(hit=structure is not None)
+            if structure is None:
+                continue
+            override = event.weight_for(attribute) if use_event_weights else None
+            if isinstance(structure, _RangedAttributeIndex):
+                interval = event.interval_of(attribute)
+                qlo, qhi = interval.low, interval.high
+                matches = cache.get_ranged(attribute, qlo, qhi)
+                if matches is None:
+                    tracer.record("probe_cache.miss", 0.0, attribute=attribute)
+                    with tracer.span(
+                        "attribute.probe", attribute=attribute, kind="ranged"
+                    ) as probe:
+                        matches = structure.tree.stab(qlo, qhi)
+                        probe.annotate(candidates=len(matches))
+                    cache.put_ranged(attribute, qlo, qhi, matches)
+                else:
+                    tracer.record("probe_cache.hit", 0.0, attribute=attribute)
+                with tracer.span("candidates.score", attribute=attribute):
+                    if override is None:
+                        scored = cache.get_scored(attribute, qlo, qhi)
+                        if scored is None:
+                            scored = self._scored_ranged(
+                                matches, attribute, qlo, qhi
+                            )
+                            cache.put_scored(attribute, qlo, qhi, scored)
+                        self._fold_scored(scoremap, scored)
+                    else:
+                        self._fold_ranged(
+                            scoremap, matches, attribute, qlo, qhi, override
+                        )
+            else:
+                pairs = cache.get_discrete(attribute, value)
+                if pairs is None:
+                    tracer.record("probe_cache.miss", 0.0, attribute=attribute)
+                    with tracer.span(
+                        "attribute.probe", attribute=attribute, kind="discrete"
+                    ) as probe:
+                        bucket = structure.buckets.get(value)
+                        pairs = bucket.get_all() if bucket is not None else []
+                        probe.annotate(candidates=len(pairs))
+                    cache.put_discrete(attribute, value, pairs)
+                else:
+                    tracer.record("probe_cache.hit", 0.0, attribute=attribute)
+                if pairs:
+                    with tracer.span("candidates.score", attribute=attribute):
+                        self._fold_discrete(scoremap, pairs, override)
+        return scoremap
 
     def _build_scoremap(self, event: Event) -> Dict[Any, float]:
         """Algorithm 2 lines 22-39: fold every probed weight per sid."""
@@ -331,6 +498,52 @@ class FXTMMatcher(TopKMatcher):
                     scoremap[sid] = scoremap.get(sid, 0.0) + weight
                 else:
                     scoremap[sid] = combine(scoremap.get(sid, zero), weight)
+
+    def _scored_ranged(
+        self,
+        matches: List[Any],
+        attribute: str,
+        qlo: Any,
+        qhi: Any,
+    ) -> List[Tuple[Any, float]]:
+        """One stab's ``(sid, weight * fraction)`` pairs, fold-ready.
+
+        Mirrors :meth:`_fold_ranged`'s no-override arithmetic exactly
+        (same operations, same order), so folding these pairs is
+        bitwise-identical to folding the raw probe — the precondition
+        for memoising them in the batch probe cache.
+        """
+        if not self.prorate:
+            return [(sid, weight) for _low, _high, sid, weight in matches]
+        kind = self.schema.kind_of(attribute)
+        constant = kind.proration_constant if kind is not None else 0
+        event_width = qhi - qlo + constant
+        scored: List[Tuple[Any, float]] = []
+        for low, high, sid, weight in matches:
+            overlap = min(qhi, high) - max(qlo, low) + constant
+            if event_width > 0:
+                fraction = overlap / event_width
+                if fraction > 1.0:
+                    fraction = 1.0
+            else:
+                fraction = 1.0
+            scored.append((sid, weight * fraction))
+        return scored
+
+    def _fold_scored(
+        self, scoremap: Dict[Any, float], pairs: List[Tuple[Any, float]]
+    ) -> None:
+        """Fold precomputed ``(sid, subscore)`` pairs into the scoremap."""
+        aggregation = self.aggregation
+        if aggregation is SUM:
+            get = scoremap.get
+            for sid, subscore in pairs:
+                scoremap[sid] = get(sid, 0.0) + subscore
+        else:
+            combine = aggregation.combine
+            zero = aggregation.zero
+            for sid, subscore in pairs:
+                scoremap[sid] = combine(scoremap.get(sid, zero), subscore)
 
     def _fold_discrete(
         self, scoremap: Dict[Any, float], pairs: Any, override: Any

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
+from repro.core.probecache import ProbeCache
 from repro.core.results import MatchResult
 from repro.core.subscriptions import Subscription
 from repro.obs.metrics import MetricsRegistry
@@ -131,6 +132,11 @@ class MatcherStats:
         "_empty",
         "_latency",
         "_results",
+        "_batch_events",
+        "_batch_seconds",
+        "_probe_hits",
+        "_probe_misses",
+        "_probe_hit_ratio",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -154,6 +160,21 @@ class MatcherStats:
             "results returned per match",
             buckets=_RESULT_BUCKETS,
         )
+        self._batch_events = self.registry.counter(
+            "repro_batch_events_total", "events served through match_batch"
+        )
+        self._batch_seconds = self.registry.histogram(
+            "repro_batch_seconds", "wall seconds per match_batch call"
+        )
+        self._probe_hits = self.registry.counter(
+            "repro_probe_cache_hits_total", "batch probe-cache lookups answered"
+        )
+        self._probe_misses = self.registry.counter(
+            "repro_probe_cache_misses_total", "batch probe-cache lookups that probed"
+        )
+        self._probe_hit_ratio = self.registry.gauge(
+            "repro_probe_cache_hit_ratio", "probe-cache hit ratio of the last batch"
+        )
         self.match_seconds = RunningStats()
         self.results_returned = RunningStats()
         self.serves_by_sid: Dict[Any, int] = {}
@@ -176,10 +197,41 @@ class MatcherStats:
         for result in results:
             self.serves_by_sid[result.sid] = self.serves_by_sid.get(result.sid, 0) + 1
 
+    def record_batch(
+        self,
+        elapsed_seconds: float,
+        batches: List[List[MatchResult]],
+        cache: Optional[ProbeCache] = None,
+    ) -> None:
+        """Fold one ``match_batch`` call: per-event results + cache stats.
+
+        Per-event aggregates (result sizes, empty matches, serves) fold
+        exactly as ``len(batches)`` single matches would; only the wall
+        time is batch-granular, recorded in ``repro_batch_seconds``.
+        """
+        self._batch_events.inc(len(batches))
+        self._batch_seconds.observe(elapsed_seconds)
+        for results in batches:
+            self._results.observe(len(results))
+            self.results_returned.record(len(results))
+            if not results:
+                self._empty.inc()
+            for result in results:
+                self.serves_by_sid[result.sid] = self.serves_by_sid.get(result.sid, 0) + 1
+        if cache is not None and cache.probes:
+            self._probe_hits.inc(cache.hits)
+            self._probe_misses.inc(cache.misses)
+            self._probe_hit_ratio.set(cache.hit_ratio)
+
     # -- the pre-registry attribute surface -------------------------------
     @property
     def matches(self) -> int:
         return int(self._matches.value)
+
+    @property
+    def batch_events(self) -> int:
+        """Events served through ``match_batch`` (not counted in matches)."""
+        return int(self._batch_events.value)
 
     @property
     def adds(self) -> int:
@@ -283,6 +335,27 @@ class InstrumentedMatcher:
                 results = self.inner.match(event, k)
         self.stats.record_match(time.perf_counter() - started, results)
         return results
+
+    def match_batch(self, events: List[Event], k: int) -> List[List[MatchResult]]:
+        """Batched matching with probe-cache observability.
+
+        Supplies the per-batch :class:`~repro.core.probecache.ProbeCache`
+        itself so hit/miss counts land in the registry
+        (``repro_probe_cache_*``); matchers whose ``match_batch`` ignores
+        the cache (the base-class loop) simply record zero probes.
+        """
+        started = time.perf_counter()
+        cache = ProbeCache()
+        tracer = self.tracer
+        if tracer is None:
+            batches = self.inner.match_batch(events, k, probe_cache=cache)
+        else:
+            with tracer.span(
+                "match_batch", algorithm=self.inner.name, k=k, batch=len(events)
+            ):
+                batches = self.inner.match_batch(events, k, probe_cache=cache)
+        self.stats.record_batch(time.perf_counter() - started, batches, cache)
+        return batches
 
     def get_subscription(self, sid: Any) -> Subscription:
         return self.inner.get_subscription(sid)

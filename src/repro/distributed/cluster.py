@@ -52,6 +52,7 @@ from repro.errors import OverlayError, RecoveryError, UnknownSubscriptionError
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "DistributedBatchOutcome",
     "DistributedMatchOutcome",
     "DistributedTopKSystem",
     "RecoveryReport",
@@ -122,6 +123,50 @@ class DistributedMatchOutcome:
 
 
 @dataclass
+class DistributedBatchOutcome:
+    """Everything recorded about one distributed *batched* match.
+
+    The batch ships whole: one dissemination hop per leaf and one hop
+    per aggregation edge carry every event's data, so the per-hop
+    retry/timeout/backoff machinery is paid once per batch instead of
+    once per event.  Failure granularity is therefore the batch — a leaf
+    that times out contributes to no event of the batch.
+    """
+
+    #: Per-event aggregated top-k, in request order.
+    results: List[List[MatchResult]]
+    #: Measured wall seconds of each leaf's local *batched* match (0.0
+    #: for leaves that contributed nothing).
+    local_seconds: List[float]
+    #: Simulated end-to-end seconds for the whole batch.
+    total_seconds: float
+    #: Simulated seconds spent inside the aggregation overlay only.
+    aggregation_seconds: float = 0.0
+    #: Measured wall seconds spent in merge computations.
+    merge_compute_seconds: float = 0.0
+    #: Leaves whose results did not reach the root this batch.
+    failed_leaves: List[int] = field(default_factory=list)
+    #: Fraction of registered subscriptions reachable this batch.
+    coverage: float = 1.0
+    #: Re-attempts made anywhere (dissemination, leaf, aggregation hops).
+    retries_attempted: int = 0
+    #: Attempts that ended in a simulated timeout anywhere in the overlay.
+    hops_timed_out: int = 0
+    #: Leaves skipped because they were quarantined at batch start.
+    quarantined_leaves: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any registered subscription was unreachable."""
+        return self.coverage < 1.0
+
+    @property
+    def events(self) -> int:
+        """Number of events in the batch."""
+        return len(self.results)
+
+
+@dataclass
 class RecoveryReport:
     """What :meth:`DistributedTopKSystem.recover_leaf` accomplished."""
 
@@ -149,6 +194,7 @@ class _ClusterMetrics:
 
     __slots__ = (
         "matches",
+        "batch_events",
         "degraded",
         "retries",
         "timeouts",
@@ -161,6 +207,10 @@ class _ClusterMetrics:
     def __init__(self, registry: MetricsRegistry) -> None:
         self.matches = registry.counter(
             "repro_distributed_matches_total", "distributed matches served"
+        )
+        self.batch_events = registry.counter(
+            "repro_distributed_batch_events_total",
+            "events served through distributed batched matches",
         )
         self.degraded = registry.counter(
             "repro_degraded_matches_total",
@@ -461,11 +511,152 @@ class DistributedTopKSystem:
         self.simulated_clock += total
         return outcome
 
+    def match_batch(
+        self,
+        events: Sequence[Event],
+        k: int,
+        faults: Union[FaultPlan, FaultInjector, None] = None,
+    ) -> DistributedBatchOutcome:
+        """Match a batch of events across the cluster in one pass.
+
+        The whole batch ships to each leaf in *one* dissemination hop
+        (payload: the summed event sizes) and each aggregation edge
+        carries every event's partials in *one* hop — so the retry
+        policy's timeouts and backoffs, the hop latencies, and the
+        tracer's bookkeeping are paid once per batch instead of once per
+        event.  Each leaf runs its local ``match_batch`` (probe caching
+        included); per-event results are then merged via ``merge_topk``
+        exactly as ``len(events)`` single matches would have been.
+
+        ``faults`` behaves as in :meth:`match`: a per-call plan is a
+        what-if injection that does not feed the health tracker.
+        """
+        view = self._fault_view(faults)
+        record_health = faults is None
+        rng = self.latency.rng()
+        policy = self.retry
+        now = self.simulated_clock
+        counters = {"retries": 0, "timeouts": 0, "agg_retries": 0, "agg_timeouts": 0}
+        tracer = self.tracer
+        root_span = (
+            tracer.begin(
+                "distributed.match_batch",
+                k=k, nodes=len(self.nodes), batch=len(events),
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            partials: List[List[List[MatchResult]]] = []
+            ready_at: List[float] = []
+            local_seconds: List[float] = []
+            delivered: Set[int] = set()
+            quarantined: List[int] = []
+            payload = sum(event.size for event in events)
+
+            for node in self.nodes:
+                leaf = node.node_id
+                probing = False
+                if self.health.is_quarantined(leaf):
+                    if self.health.probe_due(leaf, now):
+                        probing = True
+                    else:
+                        quarantined.append(leaf)
+                        partials.append([[] for _ in events])
+                        local_seconds.append(0.0)
+                        ready_at.append(0.0)
+                        if tracer is not None:
+                            tracer.record(
+                                "leaf.quarantined", 0.0, leaf=leaf, simulated=True
+                            )
+                        continue
+                if tracer is not None:
+                    with tracer.span("leaf.dispatch", leaf=leaf, probe=probing) as leaf_span:
+                        batches, elapsed, ready, success = self._attempt_leaf_batch(
+                            node, events, k, payload, rng, view, policy, now,
+                            counters, single_attempt=probing,
+                            record_health=record_health,
+                        )
+                        leaf_span.annotate(
+                            outcome="delivered" if success else "failed",
+                            simulated=True,
+                        )
+                        leaf_span.set_duration(ready)
+                else:
+                    batches, elapsed, ready, success = self._attempt_leaf_batch(
+                        node, events, k, payload, rng, view, policy, now,
+                        counters, single_attempt=probing, record_health=record_health,
+                    )
+                partials.append(batches)
+                local_seconds.append(elapsed)
+                ready_at.append(ready)
+                if success:
+                    delivered.add(leaf)
+
+            merge_compute = [0.0]
+            root_results, root_time = self._aggregate_batch(
+                self.overlay.root, partials, ready_at, len(events), k, rng,
+                merge_compute, delivered, view, policy, counters,
+            )
+            # Root -> controller: one final hop with every event's results.
+            final_hop = self.latency.hop(
+                sum(len(results) for results in root_results), rng
+            )
+            total = root_time + final_hop
+            if tracer is not None:
+                tracer.record(
+                    "root.hop", final_hop,
+                    results=sum(len(results) for results in root_results),
+                    simulated=True,
+                )
+            slowest_path = max(ready_at) if ready_at else 0.0
+            outcome = DistributedBatchOutcome(
+                results=root_results,
+                local_seconds=local_seconds,
+                total_seconds=total,
+                aggregation_seconds=total - slowest_path,
+                merge_compute_seconds=merge_compute[0],
+                failed_leaves=sorted(set(range(len(self.nodes))) - delivered),
+                coverage=self._coverage(delivered),
+                retries_attempted=counters["retries"] + counters["agg_retries"],
+                hops_timed_out=counters["timeouts"] + counters["agg_timeouts"],
+                quarantined_leaves=quarantined,
+            )
+        finally:
+            if tracer is not None:
+                tracer.end()
+        if root_span is not None:
+            root_span.annotate(
+                coverage=outcome.coverage,
+                degraded=outcome.degraded,
+                retries=outcome.retries_attempted,
+                failed_leaves=outcome.failed_leaves,
+                simulated=True,
+            )
+            root_span.set_duration(total)
+        self._record_batch_metrics(outcome, counters)
+        self.simulated_clock += total
+        return outcome
+
     def _record_match_metrics(
         self, outcome: DistributedMatchOutcome, counters: Dict[str, int]
     ) -> None:
+        self._metrics.matches.inc()
+        self._record_overlay_metrics(outcome, counters)
+
+    def _record_batch_metrics(
+        self, outcome: DistributedBatchOutcome, counters: Dict[str, int]
+    ) -> None:
+        self._metrics.batch_events.inc(outcome.events)
+        self._record_overlay_metrics(outcome, counters)
+
+    def _record_overlay_metrics(
+        self,
+        outcome: Union[DistributedMatchOutcome, DistributedBatchOutcome],
+        counters: Dict[str, int],
+    ) -> None:
+        """The overlay-health metrics shared by single and batched matches."""
         metrics = self._metrics
-        metrics.matches.inc()
         if outcome.degraded:
             metrics.degraded.inc()
             if self.logger is not None:
@@ -604,6 +795,93 @@ class DistributedTopKSystem:
             return results, elapsed, ready, True
         return [], 0.0, min(clock, policy.deadline_seconds), False
 
+    def _attempt_leaf_batch(
+        self,
+        node: MatcherNode,
+        events: Sequence[Event],
+        k: int,
+        payload: int,
+        rng,
+        view: Optional[MatchFaults],
+        policy: RetryPolicy,
+        now: float,
+        counters: Dict[str, int],
+        single_attempt: bool,
+        record_health: bool,
+    ) -> "tuple[List[List[MatchResult]], float, float, bool]":
+        """The batched twin of :meth:`_attempt_leaf`.
+
+        One dissemination hop ships the whole batch (``payload`` summed
+        event sizes), so each retry/timeout/backoff is paid once per
+        batch.  Returns ``(per-event results, elapsed, ready, ok)``; a
+        failed leaf contributes empty results for *every* event.
+        """
+        leaf = node.node_id
+        tracer = self.tracer
+        clock = 0.0
+        nothing: List[List[MatchResult]] = [[] for _ in events]
+        max_attempts = 1 if single_attempt else policy.max_attempts
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                backoff = policy.backoff(attempt - 1)
+                clock += backoff
+                counters["retries"] += 1
+                if tracer is not None:
+                    tracer.record(
+                        "leaf.backoff", backoff,
+                        leaf=leaf, attempt=attempt, simulated=True,
+                    )
+            hop = self.latency.hop(payload, rng)
+            failure = None
+            if view is not None and view.hop_dropped(("dis", leaf), attempt):
+                failure = policy.timeout_seconds
+            elif self._leaf_down(leaf, view):
+                failure = hop + policy.timeout_seconds
+            elif view is not None and view.flaky_failure(leaf, attempt):
+                failure = hop + policy.timeout_seconds
+            if failure is not None:
+                clock += failure
+                counters["timeouts"] += 1
+                if tracer is not None:
+                    tracer.record(
+                        "leaf.attempt", failure,
+                        leaf=leaf, attempt=attempt, outcome="timeout",
+                        simulated=True,
+                    )
+                if record_health:
+                    self.health.record_timeout(leaf, now + clock)
+                if clock >= policy.deadline_seconds:
+                    break
+                continue
+            batches, elapsed = node.match_batch_timed(events, k)
+            factor = view.straggle_factor(leaf) if view is not None else 1.0
+            ready = clock + hop + elapsed * factor
+            # Same deadline model as the single-event path: only overlay
+            # waiting counts, a slow-but-healthy leaf is never abandoned.
+            if ready - elapsed > policy.deadline_seconds:
+                counters["timeouts"] += 1
+                if tracer is not None:
+                    tracer.record(
+                        "leaf.attempt", policy.deadline_seconds - clock,
+                        leaf=leaf, attempt=attempt, outcome="abandoned",
+                        straggle_factor=factor, simulated=True,
+                    )
+                if record_health:
+                    self.health.record_timeout(leaf, now + policy.deadline_seconds)
+                return nothing, 0.0, policy.deadline_seconds, False
+            if tracer is not None:
+                tracer.record("leaf.hop", hop, leaf=leaf, attempt=attempt, simulated=True)
+                tracer.record(
+                    "leaf.local_match_batch", elapsed * factor,
+                    leaf=leaf, events=len(events),
+                    results=sum(len(results) for results in batches),
+                    measured_seconds=elapsed, straggle_factor=factor,
+                )
+            if record_health:
+                self.health.record_success(leaf, now + ready)
+            return batches, elapsed, ready, True
+        return nothing, 0.0, min(clock, policy.deadline_seconds), False
+
     def _coverage(self, delivered: Set[int]) -> float:
         if not self._owner_of:
             return 1.0
@@ -711,6 +989,111 @@ class DistributedTopKSystem:
             agg_span.set_duration(arrival + merge_seconds)
         # Aggregation "has to receive all results to complete" — it starts
         # at the slowest child's arrival.
+        return merged, arrival + merge_seconds
+
+    def _aggregate_batch(
+        self,
+        node: OverlayNode,
+        partials: List[List[List[MatchResult]]],
+        ready_at: List[float],
+        batch_size: int,
+        k: int,
+        rng,
+        merge_compute: List[float],
+        delivered: Set[int],
+        view: Optional[MatchFaults],
+        policy: RetryPolicy,
+        counters: Dict[str, int],
+    ) -> "tuple[List[List[MatchResult]], float]":
+        """The batched twin of :meth:`_aggregate`.
+
+        Each child edge carries *all* of the batch's per-event partial
+        sets in one hop; a dropped edge therefore loses the subtree's
+        contribution to every event at once.  Returns ``(per-event
+        results, completion time)`` for the overlay subtree.
+        """
+        if node.is_leaf:
+            assert node.leaf_index is not None
+            return partials[node.leaf_index], ready_at[node.leaf_index]
+        assert node.children
+        tracer = self.tracer
+        leaves = node.leaf_indices()
+        agg_span = (
+            tracer.begin(
+                "aggregate", leaves=[leaves[0], leaves[-1]], batch=batch_size
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            child_results: List[List[List[MatchResult]]] = []
+            arrival = 0.0
+            for child in node.children:
+                batches, done_at = self._aggregate_batch(
+                    child, partials, ready_at, batch_size, k, rng,
+                    merge_compute, delivered, view, policy, counters,
+                )
+                span = child.leaf_indices()
+                contributing = delivered.intersection(span)
+                if contributing:
+                    edge = ("agg", span[0], span[-1])
+                    for attempt in range(1, policy.max_attempts + 1):
+                        if view is not None and view.hop_dropped(edge, attempt):
+                            done_at += policy.timeout_seconds
+                            counters["agg_timeouts"] += 1
+                            if tracer is not None:
+                                tracer.record(
+                                    "aggregation.hop", policy.timeout_seconds,
+                                    leaves=[span[0], span[-1]], attempt=attempt,
+                                    outcome="dropped", simulated=True,
+                                )
+                            if attempt >= policy.max_attempts:
+                                delivered.difference_update(contributing)
+                                batches = [[] for _ in range(batch_size)]
+                                break
+                            counters["agg_retries"] += 1
+                            backoff = policy.backoff(attempt)
+                            done_at += backoff
+                            if tracer is not None:
+                                tracer.record(
+                                    "aggregation.backoff", backoff,
+                                    leaves=[span[0], span[-1]], attempt=attempt,
+                                    simulated=True,
+                                )
+                            continue
+                        carried = sum(len(results) for results in batches)
+                        hop = self.latency.hop(carried, rng)
+                        done_at += hop
+                        if tracer is not None:
+                            tracer.record(
+                                "aggregation.hop", hop,
+                                leaves=[span[0], span[-1]], attempt=attempt,
+                                outcome="delivered", results=carried,
+                                events=batch_size, simulated=True,
+                            )
+                        break
+                child_results.append(batches)
+                if done_at > arrival:
+                    arrival = done_at
+            started = time.perf_counter()
+            merged = [
+                merge_topk([child[index] for child in child_results], k)
+                for index in range(batch_size)
+            ]
+            merge_seconds = time.perf_counter() - started
+            merge_compute[0] += merge_seconds
+            if tracer is not None:
+                tracer.record(
+                    "merge", merge_seconds,
+                    inputs=len(child_results), events=batch_size,
+                    results=sum(len(results) for results in merged),
+                )
+        finally:
+            if tracer is not None:
+                tracer.end()
+        if agg_span is not None:
+            agg_span.annotate(completed_at=arrival + merge_seconds, simulated=True)
+            agg_span.set_duration(arrival + merge_seconds)
         return merged, arrival + merge_seconds
 
     # ------------------------------------------------------------------

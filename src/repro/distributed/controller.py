@@ -23,7 +23,11 @@ from typing import Iterable, Iterator, List, Optional
 from repro.core.controller import LocalController, Request, RequestKind
 from repro.core.parser import ParseError, parse_event, parse_subscription
 from repro.core.results import MatchResult
-from repro.distributed.cluster import DistributedMatchOutcome, DistributedTopKSystem
+from repro.distributed.cluster import (
+    DistributedBatchOutcome,
+    DistributedMatchOutcome,
+    DistributedTopKSystem,
+)
 from repro.errors import ReproError
 
 __all__ = ["DistributedResponse", "DistributedController"]
@@ -41,6 +45,10 @@ class DistributedResponse:
     payload: str = ""
     #: Simulation record for MATCH requests (None otherwise).
     outcome: Optional[DistributedMatchOutcome] = None
+    #: One result list per event, in request order (BATCH requests only).
+    batch_results: List[List[MatchResult]] = field(default_factory=list)
+    #: Simulation record for BATCH requests (None otherwise).
+    batch_outcome: Optional[DistributedBatchOutcome] = None
     #: For MATCH requests: whether some subscriptions were unreachable
     #: (the answer is still served, ``ok`` stays True — degradation is a
     #: quality signal, not a failure).
@@ -114,6 +122,19 @@ class DistributedController:
                     else json.dumps(tracer.to_json(), indent=2)
                 )
                 return DistributedResponse(ok=True, request=request, payload=payload)
+            if request.kind is RequestKind.BATCH:
+                events = [parse_event(text) for text in request.event_texts]
+                batch_outcome = self.system.match_batch(events, request.k)
+                if batch_outcome.degraded:
+                    self.matches_degraded += 1
+                return DistributedResponse(
+                    ok=True,
+                    request=request,
+                    batch_results=batch_outcome.results,
+                    batch_outcome=batch_outcome,
+                    degraded=batch_outcome.degraded,
+                    coverage=batch_outcome.coverage,
+                )
             event = parse_event(request.event_text)
             outcome = self.system.match(event, request.k)
             if outcome.degraded:

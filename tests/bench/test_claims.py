@@ -68,6 +68,21 @@ class TestIndividualClaims:
         )
         assert not check(different)
 
+    def test_batch_amortization(self):
+        check = claim("batch-amortized").check
+        faster = figure(
+            "batch-throughput",
+            {"single-loop": [(1.0, 1000.0), (64.0, 1000.0)],
+             "batch": [(1.0, 990.0), (64.0, 1700.0)]},
+        )
+        assert check(faster)
+        slower = figure(
+            "batch-throughput",
+            {"single-loop": [(1.0, 1000.0), (64.0, 1000.0)],
+             "batch": [(1.0, 900.0), (64.0, 950.0)]},
+        )
+        assert not check(slower)
+
     def test_distribution_optimum(self):
         check = claim("7-optimum").check
         u_shaped = figure(

@@ -178,6 +178,46 @@ class TestAblations:
         assert_sound(result, ["be-star"])
 
 
+class TestBatchThroughput:
+    def test_experiment_shape(self):
+        from repro.bench import batch
+
+        result = batch.batch_throughput(
+            n=TINY_N, k=3, batch_sizes=(1, 4), events_total=8, repeats=1
+        )
+        assert_sound(result, ["single-loop", "batch"])
+        assert result.series_by_label("batch").x_values == [1.0, 4.0]
+        assert result.notes["events"] == 8
+        assert batch.batch_speedup(result) > 0
+        assert "batch-throughput" in EXPERIMENTS
+
+    def test_skewed_stream_cycles_pool(self):
+        from repro.bench.batch import skewed_event_stream
+        from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+        workload = MicroWorkload(MicroWorkloadConfig(n=50))
+        stream = skewed_event_stream(workload, 10, pool=3)
+        assert len(stream) == 10
+        assert len({id(event) for event in stream}) == 3
+        assert stream[0] is stream[3] is stream[9]
+
+    def test_bad_parameters_rejected(self):
+        from repro.bench.batch import batch_throughput, skewed_event_stream
+        from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
+
+        with pytest.raises(ValueError):
+            batch_throughput(n=TINY_N, batch_sizes=(), events_total=4)
+        with pytest.raises(ValueError):
+            batch_throughput(n=TINY_N, batch_sizes=(0,), events_total=4)
+        with pytest.raises(ValueError):
+            batch_throughput(n=TINY_N, repeats=0)
+        workload = MicroWorkload(MicroWorkloadConfig(n=20))
+        with pytest.raises(ValueError):
+            skewed_event_stream(workload, 0)
+        with pytest.raises(ValueError):
+            skewed_event_stream(workload, 4, pool=0)
+
+
 class TestRunAllRegistry:
     def test_every_paper_artifact_has_an_experiment(self):
         expected = {

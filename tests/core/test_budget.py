@@ -264,6 +264,31 @@ class TestBudgetTracker:
         low, high = tracker.multiplier_bounds()
         assert low < 1.0 < high
 
+    def test_multiplier_bounds_include_untracked_widens_to_one(self):
+        """The default bounds cover untracked sids' implicit 1.0 multiplier."""
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        tracker.register("slow", BudgetWindowSpec(budget=10, window_length=100))
+        tracker.record_match("slow")  # 1 of 10 spent
+        clock.tick(50)  # half window: multiplier 5.0
+        assert tracker.multiplier_bounds() == (1.0, 5.0)
+        assert tracker.multiplier_bounds(include_untracked=True) == (1.0, 5.0)
+
+    def test_multiplier_bounds_exact_excludes_one(self):
+        """include_untracked=False reports the tracked extrema verbatim."""
+        clock = LogicalClock()
+        tracker = BudgetTracker(clock=clock)
+        tracker.register("slow", BudgetWindowSpec(budget=10, window_length=100))
+        tracker.record_match("slow")
+        clock.tick(50)
+        low, high = tracker.multiplier_bounds(include_untracked=False)
+        assert low == high == pytest.approx(5.0)
+
+    def test_multiplier_bounds_empty_identical_under_both_contracts(self):
+        tracker = BudgetTracker()
+        assert tracker.multiplier_bounds(include_untracked=True) == (1.0, 1.0)
+        assert tracker.multiplier_bounds(include_untracked=False) == (1.0, 1.0)
+
     def test_tracked_sids(self):
         tracker = BudgetTracker()
         tracker.register("a", BudgetWindowSpec(budget=1, window_length=1))

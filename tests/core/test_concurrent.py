@@ -102,6 +102,66 @@ class TestThreadSafeMatcher:
         safe = ThreadSafeMatcher(FXTMMatcher(budget_tracker=BudgetTracker()))
         assert safe._exclusive_match
 
+    def test_match_batch_transparent(self):
+        rng = random.Random(7)
+        subs = random_subscriptions(rng, 100, with_sets=True)
+        plain = FXTMMatcher(prorate=True)
+        safe = ThreadSafeMatcher(FXTMMatcher(prorate=True))
+        for sub in subs:
+            plain.add_subscription(sub)
+            safe.add_subscription(sub)
+        events = [random_event(rng) for _ in range(9)]
+        assert safe.match_batch(events, 5) == plain.match_batch(events, 5)
+
+    def test_match_batch_exclusive_path_for_budgeted_inner(self):
+        safe = ThreadSafeMatcher(FXTMMatcher(budget_tracker=BudgetTracker()))
+        safe.add_subscription(Subscription("s", [Constraint("a", Interval(0, 10))]))
+        batches = safe.match_batch([Event({"a": 5}), Event({"a": 50})], 1)
+        assert [[r.sid for r in results] for results in batches] == [["s"], []]
+
+    def test_match_batch_atomic_under_churn(self):
+        """A batch holds the read lock once: every event of one batch sees
+        the same snapshot, so a sid either appears for all events of a
+        (repeated-event) batch or for none."""
+        safe = ThreadSafeMatcher(FXTMMatcher())
+        safe.add_subscription(
+            Subscription("base", [Constraint("a", Interval(0, 100), 1.0)])
+        )
+        errors = []
+        stop = threading.Event()
+
+        def batch_worker():
+            while not stop.is_set():
+                try:
+                    batches = safe.match_batch([Event({"a": 5})] * 4, 10)
+                    sid_sets = [frozenset(r.sid for r in results) for results in batches]
+                    assert len(set(sid_sets)) == 1, f"torn batch: {sid_sets}"
+                except Exception as error:  # pragma: no cover - test guard
+                    errors.append(error)
+                    return
+
+        def churn_worker():
+            try:
+                for index in range(200):
+                    sid = f"churn-{index}"
+                    safe.add_subscription(
+                        Subscription(sid, [Constraint("a", Interval(0, 100), 1.0)])
+                    )
+                    safe.cancel_subscription(sid)
+            except Exception as error:  # pragma: no cover - test guard
+                errors.append(error)
+
+        workers = [threading.Thread(target=batch_worker) for _ in range(2)]
+        churner = threading.Thread(target=churn_worker)
+        for worker in workers:
+            worker.start()
+        churner.start()
+        churner.join()
+        stop.set()
+        for worker in workers:
+            worker.join()
+        assert errors == []
+
     def test_concurrent_churn_never_corrupts(self):
         """Matches racing adds/cancels: every match returns a consistent
         snapshot and the final state equals the serial outcome."""

@@ -59,6 +59,30 @@ class TestRequestParsing:
         with pytest.raises(ParseError):
             LocalController.parse_request("CANCEL ")
 
+    def test_batch(self):
+        request = LocalController.parse_request("BATCH 4 a: 1 ; a: 2 ;b: 3")
+        assert request.kind is RequestKind.BATCH
+        assert request.k == 4
+        assert request.event_texts == ("a: 1", "a: 2", "b: 3")
+
+    def test_batch_single_event(self):
+        request = LocalController.parse_request("BATCH 2 a: 1")
+        assert request.event_texts == ("a: 1",)
+
+    def test_batch_with_bad_k_rejected(self):
+        with pytest.raises(ParseError):
+            LocalController.parse_request("BATCH nope a: 1")
+
+    def test_batch_without_events_rejected(self):
+        with pytest.raises(ParseError):
+            LocalController.parse_request("BATCH 3")
+        with pytest.raises(ParseError):
+            LocalController.parse_request("BATCH 3   ")
+
+    def test_batch_empty_segment_rejected(self):
+        with pytest.raises(ParseError):
+            LocalController.parse_request("BATCH 3 a: 1 ; ; b: 2")
+
     def test_match_with_bad_k_rejected(self):
         with pytest.raises(ParseError):
             LocalController.parse_request("MATCH ten a: 1")
@@ -87,6 +111,33 @@ class TestProcessing:
         c.submit("ADD s1 a in [0, 10]")
         assert c.submit("CANCEL s1").ok
         assert c.submit("MATCH 5 a: 5").results == []
+
+    def test_batch_matches_in_order(self):
+        c = controller()
+        c.submit("ADD s1 a in [0, 10] : 2.0")
+        c.submit("ADD s2 b in [0, 10] : 1.0")
+        response = c.submit("BATCH 5 a: 5 ; b: 5 ; c: 5")
+        assert response.ok
+        assert [[r.sid for r in results] for results in response.batch_results] == [
+            ["s1"], ["s2"], []
+        ]
+        assert response.results == []  # per-event results live in batch_results
+
+    def test_batch_equals_sequence_of_matches(self):
+        c = controller()
+        c.submit("ADD s1 a in [0, 10] : 2.0")
+        c.submit("ADD s2 a in [3, 4] : 1.0")
+        batched = c.submit("BATCH 2 a: 3 ; a: 7").batch_results
+        assert batched == [
+            c.submit("MATCH 2 a: 3").results,
+            c.submit("MATCH 2 a: 7").results,
+        ]
+
+    def test_batch_bad_event_fails_gracefully(self):
+        c = controller()
+        response = c.submit("BATCH 2 a: 5 ; not an event ???")
+        assert not response.ok
+        assert response.error
 
     def test_duplicate_add_fails_gracefully(self):
         c = controller()

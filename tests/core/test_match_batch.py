@@ -1,0 +1,209 @@
+"""Batched matching (``match_batch``) and the per-batch probe cache.
+
+The contract under test: ``match_batch(events, k)`` returns, for every
+event, exactly what a sequential ``match(events[i], k)`` on an
+identically built matcher would have returned — bitwise-identical
+scores, same order — across every scoring mode (proration, event
+weights, set constraints, budget pacing).  The probe cache only
+memoises raw index probes, so it must never change an answer.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import NaiveMatcher
+from repro.core.attributes import Interval
+from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock
+from repro.core.events import Event
+from repro.core.matcher import FXTMMatcher
+from repro.core.probecache import ProbeCache
+from repro.core.subscriptions import Constraint, Subscription
+from repro.obs.tracing import Tracer
+
+from tests.helpers import random_event, random_subscriptions
+
+
+def build_pair(subs, **kwargs):
+    """Two identically loaded matchers (kwargs must not share a tracker)."""
+    left = FXTMMatcher(**kwargs)
+    right = FXTMMatcher(**kwargs)
+    for sub in subs:
+        left.add_subscription(sub)
+        right.add_subscription(sub)
+    return left, right
+
+
+class TestProbeCache:
+    def test_ranged_roundtrip(self):
+        cache = ProbeCache()
+        assert cache.get_ranged("age", 1.0, 2.0) is None
+        cache.put_ranged("age", 1.0, 2.0, [(1.0, 2.0, "s1", 0.5)])
+        assert cache.get_ranged("age", 1.0, 2.0) == [(1.0, 2.0, "s1", 0.5)]
+        assert cache.get_ranged("age", 1.0, 3.0) is None  # different key
+
+    def test_discrete_roundtrip_caches_empty(self):
+        cache = ProbeCache()
+        assert cache.get_discrete("state", "IN") is None
+        cache.put_discrete("state", "IN", [])
+        assert cache.get_discrete("state", "IN") == []
+
+    def test_counters_and_ratio(self):
+        cache = ProbeCache()
+        assert cache.hit_ratio == 0.0
+        cache.get_ranged("a", 0, 1)  # miss
+        cache.put_ranged("a", 0, 1, [])
+        cache.get_ranged("a", 0, 1)  # hit
+        cache.get_discrete("d", "x")  # miss
+        assert (cache.hits, cache.misses, cache.probes) == (1, 2, 3)
+        assert cache.hit_ratio == pytest.approx(1 / 3)
+
+
+class TestMatchBatchEqualsSequential:
+    def test_mixed_workload(self):
+        rng = random.Random(51)
+        subs = random_subscriptions(rng, 200, with_sets=True)
+        batch_side, seq_side = build_pair(subs, prorate=True)
+        events = [random_event(rng) for _ in range(25)]
+        batches = batch_side.match_batch(events, 7)
+        assert batches == [seq_side.match(event, 7) for event in events]
+
+    def test_event_weight_overrides_not_cached(self):
+        """Two events probing identically but weighted differently."""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            Subscription("s1", [Constraint("a", Interval(0, 10), 1.0)])
+        )
+        plain = Event({"a": 5})
+        boosted = Event({"a": 5}, weights={"a": 3.0})
+        cache = ProbeCache()
+        first, second = matcher.match_batch([plain, boosted], 1, probe_cache=cache)
+        assert first[0].score == 1.0
+        assert second[0].score == 3.0
+        assert cache.hits == 1  # same probe, different fold
+
+    def test_budget_settles_per_event(self):
+        """Pacing dynamics across the batch match the sequential story."""
+        spec = BudgetWindowSpec(budget=4, window_length=100)
+        subs = [
+            Subscription("paced", [Constraint("a", Interval(0, 100), 5.0)], budget=spec),
+            Subscription("free", [Constraint("a", Interval(0, 100), 1.0)]),
+        ]
+        clock_b, clock_s = LogicalClock(), LogicalClock()
+        batch_side = FXTMMatcher(budget_tracker=BudgetTracker(clock=clock_b))
+        seq_side = FXTMMatcher(budget_tracker=BudgetTracker(clock=clock_s))
+        for sub in subs:
+            batch_side.add_subscription(sub)
+            seq_side.add_subscription(sub)
+        events = [Event({"a": float(i)}) for i in range(30)]
+        batches = batch_side.match_batch(events, 2)
+        sequential = [seq_side.match(event, 2) for event in events]
+        assert batches == sequential
+        # The multiplier moved during the batch: scores are not constant.
+        assert len({tuple(r.score for r in results) for results in batches}) > 1
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FXTMMatcher().match_batch([Event({"a": 1})], 0)
+
+    def test_empty_batch(self):
+        assert FXTMMatcher().match_batch([], 3) == []
+
+    def test_base_class_default_loops_match(self):
+        rng = random.Random(53)
+        subs = random_subscriptions(rng, 80)
+        naive_batch = NaiveMatcher(prorate=True)
+        naive_seq = NaiveMatcher(prorate=True)
+        for sub in subs:
+            naive_batch.add_subscription(sub)
+            naive_seq.add_subscription(sub)
+        events = [random_event(rng) for _ in range(6)]
+        assert naive_batch.match_batch(events, 5) == [
+            naive_seq.match(event, 5) for event in events
+        ]
+
+    def test_traced_path_identical_and_annotated(self):
+        rng = random.Random(57)
+        subs = random_subscriptions(rng, 120, with_sets=True)
+        traced, plain = FXTMMatcher(prorate=True, tracer=Tracer()), FXTMMatcher(prorate=True)
+        for sub in subs:
+            traced.add_subscription(sub)
+            plain.add_subscription(sub)
+        events = [random_event(rng) for _ in range(4)] * 2  # guarantee hits
+        assert traced.match_batch(events, 6) == plain.match_batch(events, 6)
+        root = traced.tracer.last_trace
+        assert root.name == "fxtm.match_batch"
+        assert root.attributes["batch"] == len(events)
+        assert root.attributes["probe_hits"] > 0
+        assert root.find("probe_cache.hit")
+        assert root.find("probe_cache.miss")
+
+
+class TestProbeCacheBehaviour:
+    def test_repeated_events_hit(self):
+        rng = random.Random(61)
+        subs = random_subscriptions(rng, 150, with_sets=True)
+        matcher, _ = build_pair(subs)
+        event = random_event(rng)
+        cache = ProbeCache()
+        matcher.match_batch([event] * 5, 4, probe_cache=cache)
+        # First pass misses once per known, indexed attribute; the four
+        # repeats hit every time.
+        assert cache.misses * 4 == cache.hits
+
+    def test_distinct_events_all_miss(self):
+        matcher = FXTMMatcher()
+        matcher.add_subscription(Subscription("s", [Constraint("a", Interval(0, 99))]))
+        events = [Event({"a": float(i)}) for i in range(10)]
+        cache = ProbeCache()
+        matcher.match_batch(events, 1, probe_cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 10
+
+    def test_caller_supplied_cache_spans_batches(self):
+        """An explicit cache carries its memo across calls (index unchanged)."""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(Subscription("s", [Constraint("a", Interval(0, 9))]))
+        cache = ProbeCache()
+        event = Event({"a": 5})
+        matcher.match_batch([event], 1, probe_cache=cache)
+        matcher.match_batch([event], 1, probe_cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+
+
+@st.composite
+def batch_scenarios(draw):
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    subs = random_subscriptions(
+        rng, draw(st.integers(1, 60)), with_sets=draw(st.booleans())
+    )
+    events = [
+        random_event(rng, with_weights=draw(st.booleans()))
+        for _ in range(draw(st.integers(0, 12)))
+    ]
+    return subs, events, draw(st.integers(1, 9)), draw(st.booleans()), draw(st.booleans())
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch_scenarios())
+def test_property_match_batch_equals_sequential(scenario):
+    """Across modes, batching never changes a single score or ordering."""
+    subs, events, k, prorate, budgeted = scenario
+    kwargs = {"prorate": prorate}
+    batch_side = FXTMMatcher(
+        budget_tracker=BudgetTracker() if budgeted else None, **kwargs
+    )
+    seq_side = FXTMMatcher(
+        budget_tracker=BudgetTracker() if budgeted else None, **kwargs
+    )
+    spec = BudgetWindowSpec(budget=3, window_length=50) if budgeted else None
+    for sub in subs:
+        rebudgeted = Subscription(sub.sid, sub.constraints, budget=spec)
+        batch_side.add_subscription(rebudgeted)
+        seq_side.add_subscription(rebudgeted)
+    assert batch_side.match_batch(events, k) == [
+        seq_side.match(event, k) for event in events
+    ]

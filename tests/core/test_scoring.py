@@ -88,6 +88,34 @@ def test_property_containment_gives_full_fraction(e_low, e_width, pad_left, pad_
     assert prorate_fraction(event, constraint) == pytest.approx(1.0)
 
 
+class TestDefinition2WorkedExample:
+    """The paper's worked example: subscription [18,24], event [20,30].
+
+    Definition 2's fraction is (overlap + C) / (event width + C); the
+    value of C hangs on the attribute's declared kind, so the *same*
+    predicate scores differently under a declared discrete range than
+    under the continuous kind inferred from an interval constraint.
+    """
+
+    def _scored(self, schema):
+        subscription = Subscription(
+            "spring-break", [Constraint("age", Interval(18, 24), 1.0)]
+        )
+        event = Event({"age": Interval(20, 30)})
+        return score_subscription(subscription, event, schema, prorate=True)
+
+    def test_declared_discrete_range_is_five_elevenths(self):
+        """C = 1: overlap {20..24} has 5 integers, event {20..30} has 11."""
+        schema = Schema({"age": AttributeKind.RANGE_DISCRETE})
+        assert self._scored(schema) == 5 / 11
+
+    def test_inferred_continuous_range_is_two_fifths(self):
+        """An undeclared interval attribute infers C = 0: |[20,24]| / |[20,30]|."""
+        schema = Schema()
+        assert self._scored(schema) == 0.4
+        assert schema.kind_of("age") is AttributeKind.RANGE_CONTINUOUS
+
+
 class TestConstraintMatches:
     def test_interval_overlap(self):
         constraint = Constraint("a", Interval(10, 20))

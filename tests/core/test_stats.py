@@ -112,6 +112,40 @@ class TestInstrumentedMatcher:
         assert stats.match_seconds.count == 5
         assert stats.results_returned.mean == pytest.approx(4 / 5)
 
+    def test_match_batch_transparent_and_counted(self):
+        wrapped = self.build()
+        plain = FXTMMatcher(prorate=True)
+        plain.add_subscription(Subscription("s1", [Constraint("a", Interval(0, 10), 2.0)]))
+        plain.add_subscription(Subscription("s2", [Constraint("a", Interval(0, 10), 1.0)]))
+        events = [Event({"a": 5}), Event({"a": 5}), Event({"zzz": 1})]
+        batches = wrapped.match_batch(events, 2)
+        assert batches == plain.match_batch(events, 2)
+        stats = wrapped.stats
+        assert stats.batch_events == 3
+        assert stats.matches == 0  # batch events are counted separately
+        assert stats.empty_matches == 1
+        assert stats.results_returned.count == 3
+        assert stats.serves_by_sid == {"s1": 2, "s2": 2}
+
+    def test_match_batch_probe_cache_metrics(self):
+        wrapped = self.build()
+        wrapped.match_batch([Event({"a": 5})] * 4, 1)
+        stats = wrapped.stats
+        # One miss for the first probe of "a", three hits for the repeats.
+        assert stats._probe_misses.value == 1
+        assert stats._probe_hits.value == 3
+        assert stats._probe_hit_ratio.value == pytest.approx(0.75)
+
+    def test_match_batch_traced(self):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        wrapped = InstrumentedMatcher(FXTMMatcher(), tracer=tracer)
+        wrapped.add_subscription(Subscription("s1", [Constraint("a", Interval(0, 10))]))
+        wrapped.match_batch([Event({"a": 5})], 1)
+        assert tracer.last_trace.name == "match_batch"
+        assert tracer.last_trace.attributes["batch"] == 1
+
     def test_serves_by_sid(self):
         wrapped = self.build()
         for _ in range(3):

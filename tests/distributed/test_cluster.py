@@ -133,3 +133,116 @@ class TestLatencyModel:
             LatencyModel(base_seconds=-1)
         with pytest.raises(ValueError):
             LatencyModel(jitter_fraction=1.5)
+
+
+class TestBatchedDistributedMatch:
+    def test_equals_centralized_per_event(self, subs, events):
+        central = FXTMMatcher(prorate=True)
+        for sub in subs:
+            central.add_subscription(sub)
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=5
+        )
+        system.add_subscriptions(subs)
+        outcome = system.match_batch(events, 10)
+        assert [[r.sid for r in results] for results in outcome.results] == [
+            [r.sid for r in central.match(event, 10)] for event in events
+        ]
+
+    def test_equals_sequence_of_distributed_matches(self, subs, events):
+        batch_system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=4
+        )
+        seq_system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=4
+        )
+        batch_system.add_subscriptions(subs)
+        seq_system.add_subscriptions(subs)
+        batched = batch_system.match_batch(events, 6).results
+        assert batched == [seq_system.match(event, 6).results for event in events]
+
+    def test_outcome_fields(self, subs, events):
+        system = DistributedTopKSystem(lambda: FXTMMatcher(prorate=True), node_count=6)
+        system.add_subscriptions(subs)
+        outcome = system.match_batch(events, 5)
+        assert outcome.events == len(events)
+        assert len(outcome.local_seconds) == 6
+        assert all(t > 0 for t in outcome.local_seconds)
+        assert outcome.total_seconds > 0
+        assert outcome.aggregation_seconds > 0
+        assert not outcome.degraded
+        assert outcome.coverage == 1.0
+
+    def test_batch_amortizes_network_hops(self, subs, events):
+        """One batch pays each overlay hop once, not once per event."""
+        model = dict(base_seconds=1e-3, jitter_fraction=0.0)
+        batch_system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=3,
+            latency=LatencyModel(**model),
+        )
+        seq_system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=3,
+            latency=LatencyModel(**model),
+        )
+        batch_system.add_subscriptions(subs)
+        seq_system.add_subscriptions(subs)
+        batch_total = batch_system.match_batch(events, 5).total_seconds
+        sequential_total = sum(
+            seq_system.match(event, 5).total_seconds for event in events
+        )
+        # 8 events' worth of per-hop base latency collapses to ~1 event's.
+        assert batch_total < sequential_total / 2
+
+    def test_degraded_batch_under_leaf_crash(self, subs, events):
+        from repro.distributed.faults import FaultPlan
+
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=4,
+            faults=FaultPlan(crashed=frozenset({1}), seed=7),
+        )
+        system.add_subscriptions(subs)
+        outcome = system.match_batch(events, 5)
+        assert outcome.degraded
+        assert outcome.coverage < 1.0
+        assert 1 in set(outcome.failed_leaves) | set(outcome.quarantined_leaves)
+        assert len(outcome.results) == len(events)
+        # The crashed leaf's partition is missing from every event.
+        lost = {sub.sid for index, sub in enumerate(subs) if index % 4 == 1}
+        for results in outcome.results:
+            assert not ({r.sid for r in results} & lost)
+
+    def test_batch_events_metric(self, subs, events):
+        from repro.obs import MetricsRegistry, parse_prom_text
+
+        registry = MetricsRegistry()
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=3, registry=registry
+        )
+        system.add_subscriptions(subs)
+        system.match_batch(events, 5)
+        families = parse_prom_text(registry.to_prom_text())
+        samples = families["repro_distributed_batch_events_total"]["samples"]
+        assert samples[0][2] == len(events)
+
+    def test_batch_traced(self, subs, events):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=3, tracer=tracer
+        )
+        system.add_subscriptions(subs)
+        system.match_batch(events, 5)
+        root = tracer.last_trace
+        assert root.name == "distributed.match_batch"
+        assert root.attributes["batch"] == len(events)
+
+    def test_empty_batch(self, subs):
+        system = DistributedTopKSystem(lambda: FXTMMatcher(prorate=True), node_count=3)
+        system.add_subscriptions(subs)
+        outcome = system.match_batch([], 5)
+        assert outcome.results == []
+        assert outcome.events == 0

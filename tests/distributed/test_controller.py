@@ -132,3 +132,38 @@ class TestErrorPaths:
         assert not response.degraded
         assert response.coverage == 1.0
         assert response.outcome is None
+
+
+class TestBatchRequests:
+    def test_batch_results_match_sequential_requests(self, controller):
+        list(controller.run(STREAM[:3]))
+        response = controller.submit(
+            "BATCH 3 age: [20 .. 22], state: Indiana ; age: [35 .. 40]"
+        )
+        assert response.ok
+        assert response.batch_outcome is not None
+        assert response.batch_outcome.events == 2
+        assert [[r.sid for r in results] for results in response.batch_results] == [
+            ["ad-1", "ad-3"],
+            ["ad-2"],
+        ]
+        assert not response.degraded
+        assert response.coverage == 1.0
+
+    def test_batch_degraded_under_crash(self):
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True),
+            node_count=3,
+            faults=FaultPlan(crashed=frozenset({0, 1, 2}), seed=3),
+        )
+        controller = DistributedController(system)
+        list(controller.run(STREAM[:3]))
+        response = controller.submit("BATCH 2 age: [20 .. 22]")
+        assert response.ok
+        assert response.degraded
+        assert controller.matches_degraded == 1
+
+    def test_batch_parse_error_reported(self, controller):
+        response = controller.submit("BATCH nope age: 20")
+        assert not response.ok
+        assert "BATCH" in response.error

@@ -41,6 +41,52 @@ class TestMergeTopK:
         merged = merge_topk([partial], 2)
         assert [r.sid for r in merged] == ["high", "mid"]
 
+    def test_duplicate_sids_keep_single_best_copy(self):
+        """Replicated placement: divergent duplicate scores keep the best.
+
+        A stale replica can report a lower score for the same sid; the
+        merge must collapse the duplicates to one entry — the highest —
+        and that entry must not crowd a distinct sid out of the top k.
+        """
+        left = [MatchResult("dup", 4.0), MatchResult("only-left", 3.0)]
+        right = [MatchResult("dup", 6.0), MatchResult("only-right", 1.0)]
+        merged = merge_topk([left, right], 3)
+        assert [(r.sid, r.score) for r in merged] == [
+            ("dup", 6.0),
+            ("only-left", 3.0),
+            ("only-right", 1.0),
+        ]
+
+    def test_duplicate_sids_order_independent(self):
+        left = [MatchResult("dup", 6.0)]
+        right = [MatchResult("dup", 4.0)]
+        assert merge_topk([left, right], 1) == merge_topk([right, left], 1)
+        assert merge_topk([left, right], 1)[0].score == 6.0
+
+    def test_dedupe_false_keeps_duplicates(self):
+        left = [MatchResult("dup", 4.0)]
+        right = [MatchResult("dup", 6.0)]
+        merged = merge_topk([left, right], 3, dedupe=False)
+        assert [(r.sid, r.score) for r in merged] == [("dup", 6.0), ("dup", 4.0)]
+
+    def test_dedupe_false_tie_ordering_deterministic(self):
+        """A tie-heavy cut at k keeps the earliest-seen equal scores.
+
+        The heap only evicts on a strictly greater score, so with every
+        score equal the first k results (in partial order, then arrival
+        order) survive — and the output ordering is the deterministic
+        sid tiebreak of sort_results, not heap-pop order.
+        """
+        partials = [
+            [MatchResult(f"p{p}-{i}", 2.0) for i in range(3)] for p in range(3)
+        ]
+        merged = merge_topk(partials, 4, dedupe=False)
+        expected = sort_results(
+            [MatchResult("p0-0", 2.0), MatchResult("p0-1", 2.0),
+             MatchResult("p0-2", 2.0), MatchResult("p1-0", 2.0)]
+        )
+        assert merged == expected
+
 
 @settings(max_examples=60, deadline=None)
 @given(

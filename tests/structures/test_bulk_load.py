@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.events import Event
 from repro.core.matcher import FXTMMatcher
 from repro.errors import InvalidIntervalError, MatcherStateError
 from repro.structures.interval_tree import IntervalTree
@@ -116,6 +117,47 @@ class TestMatcherBulkLoad:
             matcher.bulk_load(duplicated)
         assert len(matcher) == 0
         assert matcher._master_index == {}
+
+    def test_failure_rolls_back_schema_kinds(self):
+        """Kinds pinned by a failed bulk_load must not survive the rollback.
+
+        Regression test: the rollback emptied subscriptions, budgets, and
+        index structures but left ``x`` resolved as ranged, so a later
+        legitimate discrete use of ``x`` on the still-empty matcher raised
+        SchemaError.
+        """
+        from repro.core.subscriptions import Constraint, Subscription
+        from repro.core.attributes import Interval
+        from repro.errors import DuplicateSubscriptionError
+
+        matcher = FXTMMatcher()
+        doomed = [
+            Subscription("a", [Constraint("x", Interval(0, 1))]),
+            Subscription("a", [Constraint("y", "red")]),  # duplicate sid
+        ]
+        with pytest.raises(DuplicateSubscriptionError):
+            matcher.bulk_load(doomed)
+        assert matcher.schema.kind_of("x") is None
+        assert matcher.schema.kind_of("y") is None
+        # The proof: "x" is free to be discrete now.
+        matcher.add_subscription(Subscription("s", [Constraint("x", "blue")]))
+        assert matcher.match(Event({"x": "blue"}), k=1)[0].sid == "s"
+
+    def test_failure_keeps_preexisting_schema_kinds(self):
+        """Rollback restores the snapshot — including kinds pinned before."""
+        from repro.core.attributes import AttributeKind, Interval, Schema
+        from repro.core.subscriptions import Constraint, Subscription
+        from repro.errors import DuplicateSubscriptionError
+
+        schema = Schema({"age": AttributeKind.RANGE_DISCRETE})
+        matcher = FXTMMatcher(schema=schema)
+        doomed = [
+            Subscription("a", [Constraint("age", Interval(1, 2))]),
+            Subscription("a", [Constraint("age", Interval(3, 4))]),
+        ]
+        with pytest.raises(DuplicateSubscriptionError):
+            matcher.bulk_load(doomed)
+        assert matcher.schema.kind_of("age") is AttributeKind.RANGE_DISCRETE
 
     def test_budget_registration(self):
         from repro.core.budget import BudgetTracker, BudgetWindowSpec

@@ -219,3 +219,77 @@ def test_property_delete_then_query(raw, data):
     surviving = [e for e in entries if e not in doomed]
     assert sorted(tree.stab(0, 100)) == brute_force_stab(surviving, 0, 100)
     tree.check_invariants()
+
+
+class TestFlattenedStabView:
+    """The lazily built flat-array stab path stays equivalent to the tree.
+
+    ``stab`` answers from parallel sorted arrays rebuilt on a mutation
+    epoch; these tests interleave stabs with inserts/deletes/clears so a
+    stale or mis-built view would produce wrong answers.
+    """
+
+    def test_view_invalidated_by_insert(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "a", 1.0)
+        assert [sid for _, _, sid, _ in tree.stab(5, 5)] == ["a"]
+        tree.insert(3, 7, "b", 1.0)  # must invalidate the built view
+        assert [sid for _, _, sid, _ in tree.stab(5, 5)] == ["a", "b"]
+
+    def test_view_invalidated_by_delete(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "a", 1.0)
+        tree.insert(3, 7, "b", 1.0)
+        assert len(tree.stab(5, 5)) == 2
+        tree.delete(0, 10, "a")
+        assert [sid for _, _, sid, _ in tree.stab(5, 5)] == ["b"]
+
+    def test_view_invalidated_by_clear(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "a", 1.0)
+        assert tree.stab(5, 5)
+        tree.clear()
+        assert tree.stab(5, 5) == []
+        tree.insert(2, 4, "c", 0.5)
+        assert [sid for _, _, sid, _ in tree.stab(3, 3)] == ["c"]
+
+    def test_stab_output_is_key_sorted(self):
+        tree = IntervalTree()
+        rng = random.Random(7)
+        for sid in range(300):
+            low = rng.randint(0, 500)
+            tree.insert(low, low + rng.randint(0, 50), sid, 1.0)
+        hits = tree.stab(100, 400)
+        assert hits == sorted(hits)
+
+    def test_bulk_loaded_tree_stabs_through_flat_view(self):
+        entries = [(i, i + 5, f"s{i}", 0.1) for i in range(0, 200, 3)]
+        tree = IntervalTree.from_entries(entries)
+        assert sorted(tree.stab(50, 60)) == brute_force_stab(entries, 50, 60)
+
+    def test_fuzz_interleaved_mutations_match_brute_force(self):
+        """Randomized insert/delete/clear/stab schedule vs. brute force."""
+        rng = random.Random(0xF17)
+        tree = IntervalTree()
+        shadow = []
+        next_sid = 0
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.45 or not shadow:
+                low = rng.randint(0, 1000)
+                entry = (low, low + rng.randint(0, 120), next_sid, rng.uniform(-1, 1))
+                tree.insert(*entry)
+                shadow.append(entry)
+                next_sid += 1
+            elif op < 0.70:
+                victim = shadow.pop(rng.randrange(len(shadow)))
+                tree.delete(victim[0], victim[1], victim[2])
+            elif op < 0.705:
+                tree.clear()
+                shadow.clear()
+            else:
+                qlo = rng.randint(0, 1100)
+                qhi = qlo + rng.randint(0, 200)
+                assert tree.stab(qlo, qhi) == brute_force_stab(shadow, qlo, qhi)
+        tree.check_invariants()
+        assert sorted(tree.stab(0, 1200)) == brute_force_stab(shadow, 0, 1200)

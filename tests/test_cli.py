@@ -31,6 +31,19 @@ class TestServe:
         assert lines[3] == "ok CANCEL ad-2"
         assert lines[4] == "match []"
 
+    def test_batch_renders_one_line_per_event(self):
+        controller = LocalController(FXTMMatcher(prorate=True))
+        out = io.StringIO()
+        requests = [
+            "ADD ad-1 age in [18, 24] : 2.0",
+            "BATCH 5 age: [20 .. 30] ; age: [40 .. 50]",
+        ]
+        failures = serve(requests, controller, out)
+        lines = out.getvalue().splitlines()
+        assert failures == 0
+        assert lines[1].startswith("batch[0] [ad-1=")
+        assert lines[2] == "batch[1] []"
+
     def test_failures_counted_and_reported(self):
         controller = LocalController(FXTMMatcher())
         out = io.StringIO()
