@@ -34,6 +34,7 @@ from repro.core import (
     Constraint,
     DemandBasedPricer,
     Event,
+    ArrayTopKMatcher,
     FXTMMatcher,
     InstrumentedMatcher,
     Interval,
@@ -78,6 +79,7 @@ __all__ = [
     "Constraint",
     "DemandBasedPricer",
     "Event",
+    "ArrayTopKMatcher",
     "FXTMMatcher",
     "InstrumentedMatcher",
     "Interval",

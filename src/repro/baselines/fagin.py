@@ -169,7 +169,7 @@ class FaginMatcher(TopKMatcher):
         lists: List[_GradedList] = []
         grades_by_attr: List[Dict[Any, float]] = []
         for attribute, value in event.known_items():
-            override = event.weight_for(attribute) if use_event_weights else None
+            override = event.override_weight(attribute) if use_event_weights else None
             grades: Dict[Any, float] = {}
             tree = self._trees.get(attribute)
             if tree is not None:

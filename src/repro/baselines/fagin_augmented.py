@@ -122,7 +122,7 @@ class AugmentedFaginMatcher(FaginMatcher):
         per_attribute: List[Tuple[List[Tuple[float, Any]], Dict[Any, float]]] = []
         shift_total = 0.0
         for attribute, value in event.known_items():
-            override = event.weight_for(attribute) if use_event_weights else None
+            override = event.override_weight(attribute) if use_event_weights else None
             raw: Dict[Any, float] = {}
             tree = self._trees.get(attribute)
             if tree is not None:

@@ -31,6 +31,7 @@ from repro.core.attributes import Schema
 from repro.core.budget import BudgetTracker, LogicalClock
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
+from repro.core.array_matcher import ArrayTopKMatcher
 from repro.core.matcher import FXTMMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs.tracing import aggregate_phases
@@ -50,6 +51,7 @@ __all__ = [
 #: Algorithm name -> constructor, uniform across the whole harness.
 ALGORITHMS: Dict[str, Callable[..., TopKMatcher]] = {
     "fx-tm": FXTMMatcher,
+    "fx-tm-array": ArrayTopKMatcher,
     "be-star": BEStarTreeMatcher,
     "fagin": FaginMatcher,
     "fagin-augmented": AugmentedFaginMatcher,

@@ -73,10 +73,16 @@ def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--algorithm",
         default="fx-tm",
-        choices=["fx-tm", "be-star", "fagin", "fagin-augmented", "naive"],
+        choices=["fx-tm", "fx-tm-array", "be-star", "fagin", "fagin-augmented", "naive"],
         help="matching algorithm (default: fx-tm)",
     )
     parser.add_argument("--prorate", action="store_true", help="prorated interval scoring")
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "python", "numpy"],
+        help="array-engine backend, fx-tm-array only (default: auto)",
+    )
     parser.add_argument("--budget", action="store_true", help="budget window tracking")
     parser.add_argument("--load", metavar="SNAPSHOT", help="restore a snapshot first")
     parser.add_argument("--save", metavar="SNAPSHOT", help="save a snapshot at the end")
@@ -159,6 +165,8 @@ def _build_matcher(args: argparse.Namespace) -> Tuple[object, InstrumentedMatche
     from repro.bench.harness import ALGORITHMS
 
     kwargs = {"prorate": args.prorate}
+    if args.algorithm == "fx-tm-array":
+        kwargs["backend"] = args.backend
     if args.budget:
         kwargs["budget_tracker"] = BudgetTracker(clock=LogicalClock())
     matcher = ALGORITHMS[args.algorithm](**kwargs)

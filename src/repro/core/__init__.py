@@ -31,6 +31,7 @@ from repro.core.budget import (
 )
 from repro.core.events import Event
 from repro.core.interfaces import TopKMatcher
+from repro.core.array_matcher import ArrayTopKMatcher
 from repro.core.matcher import FXTMMatcher
 from repro.core.results import MatchResult
 from repro.core.scoring import MAX, MIN, SUM, Aggregation, prorate_fraction, score_subscription
@@ -39,6 +40,7 @@ from repro.core.subscriptions import Constraint, Subscription
 __all__ = [
     "UNKNOWN",
     "Aggregation",
+    "ArrayTopKMatcher",
     "AttributeKind",
     "BudgetTracker",
     "BudgetWindowSpec",

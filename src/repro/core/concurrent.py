@@ -206,7 +206,7 @@ class ParallelFXTMMatcher(FXTMMatcher):
         structure = self._master_index.get(attribute)
         if structure is None:
             return []
-        override = event.weight_for(attribute) if event.has_weights else None
+        override = event.override_weight(attribute) if event.has_weights else None
         out = []
         if isinstance(structure, _RangedAttributeIndex):
             interval = event.interval_of(attribute)

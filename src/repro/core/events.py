@@ -127,6 +127,29 @@ class Event:
             return None
         return self._weights.get(attribute)
 
+    def override_weight(self, attribute: str) -> Optional[float]:
+        """The *effective* override weight under Algorithm 2 line 33.
+
+        Event weights, when present, replace subscription weights
+        unconditionally: for an event that carries any weights at all,
+        an attribute the event does not weight contributes ``0.0`` — not
+        the subscription's weight.  Returns ``None`` only when the event
+        carries no weights whatsoever (subscription weights apply).
+
+        >>> e = Event({"age": Interval(18, 29), "state": "Indiana"},
+        ...           weights={"age": 2.0})
+        >>> e.override_weight("age")
+        2.0
+        >>> e.override_weight("state")
+        0.0
+        >>> Event({"age": 21}).override_weight("age") is None
+        True
+        """
+        if not self._weights:
+            return None
+        weight = self._weights.get(attribute)
+        return 0.0 if weight is None else weight
+
     @property
     def size(self) -> int:
         """The paper's ``M`` for this event: its number of attributes."""

@@ -304,7 +304,7 @@ class FXTMMatcher(TopKMatcher):
             structure = self._master_index.get(attribute)
             if structure is None:
                 continue
-            override = event.weight_for(attribute) if use_event_weights else None
+            override = event.override_weight(attribute) if use_event_weights else None
             if isinstance(structure, _RangedAttributeIndex):
                 interval = event.interval_of(attribute)
                 qlo, qhi = interval.low, interval.high
@@ -351,7 +351,7 @@ class FXTMMatcher(TopKMatcher):
                 lookup.annotate(hit=structure is not None)
             if structure is None:
                 continue
-            override = event.weight_for(attribute) if use_event_weights else None
+            override = event.override_weight(attribute) if use_event_weights else None
             if isinstance(structure, _RangedAttributeIndex):
                 interval = event.interval_of(attribute)
                 qlo, qhi = interval.low, interval.high
@@ -408,7 +408,7 @@ class FXTMMatcher(TopKMatcher):
                 # No subscription constrains this attribute; partial
                 # matching means it simply cannot affect any score.
                 continue
-            override = event.weight_for(attribute) if use_event_weights else None
+            override = event.override_weight(attribute) if use_event_weights else None
             if isinstance(structure, _RangedAttributeIndex):
                 interval = event.interval_of(attribute)
                 matches = structure.tree.stab(interval.low, interval.high)
@@ -432,7 +432,7 @@ class FXTMMatcher(TopKMatcher):
                 lookup.annotate(hit=structure is not None)
             if structure is None:
                 continue
-            override = event.weight_for(attribute) if use_event_weights else None
+            override = event.override_weight(attribute) if use_event_weights else None
             if isinstance(structure, _RangedAttributeIndex):
                 interval = event.interval_of(attribute)
                 with tracer.span(

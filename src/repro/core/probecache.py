@@ -48,12 +48,13 @@ class ProbeCache:
     reference* — callers must not mutate them.
     """
 
-    __slots__ = ("_ranged", "_discrete", "_scored", "hits", "misses")
+    __slots__ = ("_ranged", "_discrete", "_scored", "_candidates", "hits", "misses")
 
     def __init__(self) -> None:
         self._ranged: Dict[Tuple[str, Any, Any], List[IntervalEntry]] = {}
         self._discrete: Dict[Tuple[str, Any], List[Tuple[Any, float]]] = {}
         self._scored: Dict[Tuple[str, Any, Any], List[Tuple[Any, float]]] = {}
+        self._candidates: Dict[Tuple[str, Any, Any], List[int]] = {}
         #: Probes answered from the cache.
         self.hits = 0
         #: Probes that had to touch the index (and were then stored).
@@ -96,6 +97,28 @@ class ProbeCache:
     ) -> None:
         """Store a bucket lookup (an absent bucket is stored as ``[]``)."""
         self._discrete[(attribute, value)] = pairs
+
+    def get_candidates(self, attribute: str, qlo: Any, qhi: Any) -> Optional[List[int]]:
+        """The memoised candidate *indices* of an array-engine stab, or None.
+
+        The structure-of-arrays engine's analogue of :meth:`get_ranged`:
+        the cached value is the list of positions overlapping the query
+        in that attribute's parallel arrays.  Counts toward ``hits`` /
+        ``misses`` exactly as :meth:`get_ranged` does — each stab key is
+        one index probe, whichever representation answers it.
+        """
+        found = self._candidates.get((attribute, qlo, qhi))
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put_candidates(
+        self, attribute: str, qlo: Any, qhi: Any, found: List[int]
+    ) -> None:
+        """Store an array-engine stab (empty lists included)."""
+        self._candidates[(attribute, qlo, qhi)] = found
 
     def get_scored(
         self, attribute: str, qlo: Any, qhi: Any

@@ -218,7 +218,10 @@ class MatcherStats:
                 self._empty.inc()
             for result in results:
                 self.serves_by_sid[result.sid] = self.serves_by_sid.get(result.sid, 0) + 1
-        if cache is not None and cache.probes:
+        if cache is not None:
+            # Set the gauge unconditionally: a zero-probe batch (idle
+            # matcher, empty event list) must report 0.0, not the stale
+            # ratio of whichever batch last happened to probe.
             self._probe_hits.inc(cache.hits)
             self._probe_misses.inc(cache.misses)
             self._probe_hit_ratio.set(cache.hit_ratio)

@@ -3,10 +3,18 @@
 * :mod:`repro.structures.rbtree` — red-black ordered map (CLRS ch. 13).
 * :mod:`repro.structures.treeset` — tree sets and the bounded top-k set.
 * :mod:`repro.structures.interval_tree` — augmented AVL interval tree.
+* :mod:`repro.structures.soa` — structure-of-arrays probe substrates
+  for the array-native engine (docs/array_engine.md).
 """
 
 from repro.structures.interval_tree import IntervalEntry, IntervalTree
 from repro.structures.rbtree import RedBlackTree
+from repro.structures.soa import (
+    SoADiscreteBucket,
+    SoADiscreteIndex,
+    SoARangedIndex,
+    numpy_available,
+)
 from repro.structures.treeset import BoundedTopK, IdTreeSet, ScoredTreeSet
 
 __all__ = [
@@ -16,4 +24,8 @@ __all__ = [
     "IntervalTree",
     "RedBlackTree",
     "ScoredTreeSet",
+    "SoADiscreteBucket",
+    "SoADiscreteIndex",
+    "SoARangedIndex",
+    "numpy_available",
 ]

@@ -34,6 +34,15 @@ is built lazily on first stab and invalidated by a mutation epoch that
 every :meth:`insert` / :meth:`delete` / :meth:`clear` advances — the AVL
 tree stays the mutable source of truth, the array is a cache of it.
 
+The view is published as a single ``(epoch, ordered, block_max)`` tuple
+written in one assignment, so a concurrent reader can never pair a
+stale array with a fresh epoch stamp: whichever tuple it loads carries
+the epoch it was built at, and the staleness check compares that
+embedded epoch.  (Publishing the arrays and the epoch as two separate
+fields had a read-side race: a reader that loaded the old arrays, lost
+the CPU while another reader rebuilt and stamped the new epoch, then
+resumed its staleness check would trust the stale arrays.)
+
 The view stores *references to the existing tree nodes*, never copies of
 their payloads, so its retained cost is one pointer slot per entry plus
 the skip table.  That keeps FX-TM's storage within the paper's Figure
@@ -143,17 +152,16 @@ class IntervalTree:
     ['s2']
     """
 
-    __slots__ = ("_root", "_size", "_epoch", "_flat_epoch", "_flat")
+    __slots__ = ("_root", "_size", "_epoch", "_flat")
 
     def __init__(self) -> None:
         self._root: Optional[_Node] = None
         self._size = 0
         #: Mutation counter; advancing it invalidates the flattened view.
         self._epoch = 0
-        #: Epoch the flattened view was built at (-1: never built).
-        self._flat_epoch = -1
-        #: Flattened stab view: (key-sorted node references, block max_high).
-        self._flat: Optional[Tuple[List[_Node], List[float]]] = None
+        #: Flattened stab view, published atomically as one tuple:
+        #: (build epoch, key-sorted node references, block max_high).
+        self._flat: Optional[Tuple[int, List[_Node], List[float]]] = None
 
     @classmethod
     def from_entries(cls, entries: List[IntervalEntry]) -> "IntervalTree":
@@ -282,12 +290,11 @@ class IntervalTree:
         self._size = 0
         self._epoch += 1
         self._flat = None
-        self._flat_epoch = -1
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _build_flat(self) -> Tuple[List[_Node], List[float]]:
+    def _build_flat(self) -> Tuple[int, List[_Node], List[float]]:
         """(Re)build the flattened stab view from the tree; ``O(n)``.
 
         An in-order walk yields the nodes already in ``(low, high, sid)``
@@ -295,9 +302,16 @@ class IntervalTree:
         skip table), not copies of their payloads.
 
         Safe under concurrent read-side stabs (ThreadSafeMatcher holds
-        mutations out while readers run): racing rebuilds of the same
-        epoch are idempotent and each reader uses its own reference.
+        mutations out while readers run): the finished view is published
+        in a single assignment with its build epoch *inside* the tuple,
+        so the write is all-or-nothing per epoch — racing rebuilds of
+        the same epoch are idempotent and each reader answers from
+        whichever complete tuple it loaded.
         """
+        # Sample the epoch *before* walking: if a mutation could ever
+        # interleave with the walk, the published view would self-report
+        # stale (and be rebuilt) instead of masquerading as fresh.
+        epoch = self._epoch
         ordered: List[_Node] = []
         stack: List[_Node] = []
         node = self._root
@@ -312,9 +326,8 @@ class IntervalTree:
             max(entry.high for entry in ordered[start : start + _FLAT_BLOCK])
             for start in range(0, len(ordered), _FLAT_BLOCK)
         ]
-        flat = (ordered, block_max)
+        flat = (epoch, ordered, block_max)
         self._flat = flat
-        self._flat_epoch = self._epoch
         return flat
 
     def ensure_flat(self) -> None:
@@ -324,9 +337,8 @@ class IntervalTree:
         deployment) calls this after loading so the one-time array build
         is charged to load time rather than to the first stab.
         """
-        if self._root is not None and (
-            self._flat is None or self._flat_epoch != self._epoch
-        ):
+        flat = self._flat
+        if self._root is not None and (flat is None or flat[0] != self._epoch):
             self._build_flat()
 
     def stab(self, qlo: float, qhi: float) -> List[IntervalEntry]:
@@ -347,10 +359,13 @@ class IntervalTree:
         out: List[IntervalEntry] = []
         if self._root is None:
             return out
+        # Load the published view ONCE; its embedded epoch travels with
+        # the arrays, so a stale tuple can never pass the check below on
+        # the strength of a concurrent rebuild's fresh stamp.
         flat = self._flat
-        if flat is None or self._flat_epoch != self._epoch:
+        if flat is None or flat[0] != self._epoch:
             flat = self._build_flat()
-        ordered, block_max = flat
+        _build_epoch, ordered, block_max = flat
         cutoff = bisect_right(ordered, qhi, key=_node_low)
         for start in range(0, cutoff, _FLAT_BLOCK):
             if block_max[start // _FLAT_BLOCK] < qlo:

@@ -102,3 +102,26 @@ def test_budgeted_matcher_degrades_to_exclusive_matching():
     assert reads == 0
     assert writes == 20
     detector.assert_clean()
+
+
+def test_flat_stab_rebuild_is_clean_under_read_lock():
+    # The lazy flat-view rebuild in IntervalTree.stab runs under the
+    # wrapper's *read* lock. Writers churn subscriptions (advancing tree
+    # epochs) so that, after each mutation, the racing readers' first
+    # stabs rebuild the view concurrently. The atomically published
+    # (epoch, ordered, block_max) tuple must keep every reader
+    # consistent; the detector confirms the lock discipline held while
+    # the rebuilds happened on the read side.
+    rng = random.Random("flat-stab-stress")
+    matcher = ThreadSafeMatcher(FXTMMatcher())
+    for sub in random_subscriptions(rng, 300):
+        matcher.add_subscription(sub)
+    detector = RaceDetector()
+    instrument_matcher(matcher, detector, name="flatstab")
+
+    _stress(matcher, detector)
+
+    detector.assert_clean(max_writer_wait_seconds=STARVATION_BOUND_SECONDS)
+    reads, _writes = detector.acquisitions["flatstab"]
+    assert reads >= READERS * MATCHES_PER_READER
+    assert detector.max_concurrent_readers["flatstab"] > 1

@@ -20,6 +20,7 @@ from repro.core.budget import BudgetTracker, BudgetWindowSpec, LogicalClock
 from repro.core.events import Event
 from repro.core.matcher import FXTMMatcher
 from repro.core.probecache import ProbeCache
+from repro.core.results import MatchResult
 from repro.core.subscriptions import Constraint, Subscription
 from repro.obs.tracing import Tracer
 
@@ -83,6 +84,57 @@ class TestMatchBatchEqualsSequential:
         assert first[0].score == 1.0
         assert second[0].score == 3.0
         assert cache.hits == 1  # same probe, different fold
+
+    def test_partial_overrides_bypass_scored_folds_and_match_oracle(self):
+        """Shared stab key, per-event overrides, unweighted attributes.
+
+        Regression on two counts.  First, Algorithm 2 line 33: event
+        weights, when present, replace subscription weights
+        *unconditionally* — on a weighted event, an attribute the event
+        does not weight contributes 0.0, not the subscription's weight
+        (the matcher used to fall back to the subscription weight).
+        Second, the probe cache's memoised scored folds bake in
+        subscription weights, so every attribute of a weighted event
+        must bypass them; three events sharing one stab key but carrying
+        different override maps must each fold their own weights.
+        """
+        subs = [
+            Subscription(
+                "s1", [Constraint("a", Interval(0, 10), 2.0), Constraint("b", "x", 3.0)]
+            ),
+            Subscription("s2", [Constraint("a", Interval(0, 10), 4.0)]),
+        ]
+        matcher, _ = build_pair(subs)
+        oracle = NaiveMatcher()
+        for sub in subs:
+            oracle.add_subscription(sub)
+        events = [
+            Event({"a": 5, "b": "x"}),                       # subscription weights
+            Event({"a": 5, "b": "x"}, weights={"a": 10.0}),  # b overridden to 0.0
+            Event({"a": 5, "b": "x"}, weights={"b": 1.0}),   # a overridden to 0.0
+        ]
+        cache = ProbeCache()
+        batches = matcher.match_batch(events, 2, probe_cache=cache)
+        assert batches == [oracle.match(event, 2) for event in events]
+        assert batches == [matcher.match(event, 2) for event in events]
+        assert batches[1] == [
+            MatchResult("s1", 10.0),  # 10.0 (a) + 0.0 (unweighted b)
+            MatchResult("s2", 10.0),  # a overridden for s2 too
+        ]
+        assert batches[2] == [MatchResult("s1", 1.0)]  # s2 zeroed out entirely
+        # All three events share both probe keys: 2 misses, then hits.
+        assert (cache.misses, cache.hits) == (2, 4)
+
+    def test_weighted_event_zeroes_unweighted_attribute(self):
+        """Single-match regression for the unconditional-replacement rule."""
+        matcher = FXTMMatcher()
+        matcher.add_subscription(
+            Subscription(
+                "s1", [Constraint("a", Interval(0, 10), 2.0), Constraint("b", "x", 3.0)]
+            )
+        )
+        results = matcher.match(Event({"a": 5, "b": "x"}, weights={"a": 5.0}), 1)
+        assert results == [MatchResult("s1", 5.0)]  # not 5.0 + 3.0
 
     def test_budget_settles_per_event(self):
         """Pacing dynamics across the batch match the sequential story."""

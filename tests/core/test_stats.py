@@ -136,6 +136,31 @@ class TestInstrumentedMatcher:
         assert stats._probe_hits.value == 3
         assert stats._probe_hit_ratio.value == pytest.approx(0.75)
 
+    def test_probe_cache_gauge_resets_on_idle_batch(self):
+        # Regression: the hit-ratio gauge documents "the last batch", so
+        # a zero-probe batch (here: events touching no indexed
+        # attribute) must drive it back to 0.0.  record_batch used to
+        # skip the gauge entirely when cache.probes == 0, leaving the
+        # previous batch's ratio exposed on an idle matcher.
+        wrapped = self.build()
+        wrapped.match_batch([Event({"a": 5})] * 4, 1)
+        assert wrapped.stats._probe_hit_ratio.value == pytest.approx(0.75)
+        wrapped.match_batch([Event({"zzz": 1})], 1)  # probes nothing
+        assert wrapped.stats._probe_hit_ratio.value == 0.0
+        # Cumulative counters are unaffected by the idle batch.
+        assert wrapped.stats._probe_misses.value == 1
+        assert wrapped.stats._probe_hits.value == 3
+
+    def test_probe_cache_hit_ratio_defined_on_idle_cache(self):
+        from repro.core.probecache import ProbeCache
+
+        # The gauge path divides hits by probes; an idle matcher's cache
+        # has zero of both and must report 0.0, not raise.
+        assert ProbeCache().hit_ratio == 0.0
+        stats = MatcherStats()
+        stats.record_batch(0.0, [], ProbeCache())
+        assert stats._probe_hit_ratio.value == 0.0
+
     def test_match_batch_traced(self):
         from repro.obs.tracing import Tracer
 

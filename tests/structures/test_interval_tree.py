@@ -293,3 +293,86 @@ class TestFlattenedStabView:
                 assert tree.stab(qlo, qhi) == brute_force_stab(shadow, qlo, qhi)
         tree.check_invariants()
         assert sorted(tree.stab(0, 1200)) == brute_force_stab(shadow, 0, 1200)
+
+
+class TestFlatViewPublication:
+    """The lazy flat-stab view must be published atomically.
+
+    Regression tests for a torn-read race: the view used to live in two
+    fields (``_flat`` arrays + a separate ``_flat_epoch`` stamp), so a
+    reader under :class:`~repro.core.concurrent.ThreadSafeMatcher`'s
+    *read* lock could pair stale arrays with a fresh epoch stamp written
+    by a concurrent reader mid-rebuild.  The view is now a single
+    ``(epoch, ordered, block_max)`` tuple, with the epoch sampled before
+    the tree walk, assigned in one statement — a retained reference is
+    always internally consistent and self-identifies as stale.
+    """
+
+    def test_published_view_carries_its_build_epoch(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "a", 1.0)
+        tree.stab(5, 5)  # triggers the lazy rebuild
+        view = tree._flat
+        assert view is not None
+        epoch, ordered, block_max = view  # atomically published as one tuple
+        assert epoch == tree._epoch
+        assert [node.sid for node in ordered] == ["a"]
+        assert len(block_max) >= 1
+
+    def test_retained_view_self_identifies_as_stale(self):
+        tree = IntervalTree()
+        tree.insert(0, 10, "a", 1.0)
+        tree.stab(5, 5)
+        view = tree._flat
+        tree.insert(3, 7, "b", 1.0)  # advances the epoch, view now stale
+        # The retained tuple is untouched (never mutated in place) and
+        # its embedded epoch no longer matches the tree's.
+        assert view is not None and view[0] != tree._epoch
+        assert [node.sid for node in view[1]] == ["a"]
+        # The next stab republishes a fresh, consistent tuple.
+        assert [sid for _, _, sid, _ in tree.stab(5, 5)] == ["a", "b"]
+        assert tree._flat is not view
+        assert tree._flat[0] == tree._epoch
+
+    def test_concurrent_first_stabs_rebuild_consistently(self):
+        """Many threads race the lazy rebuild after each mutation.
+
+        Every stab must see the post-mutation truth: a torn view (stale
+        arrays with a fresh epoch stamp) would return results missing
+        the newest entry.
+        """
+        import threading
+
+        tree = IntervalTree()
+        entries = []
+        rng = random.Random(0xACE5)
+        workers = 8
+        rounds = 40
+        barrier = threading.Barrier(workers + 1)
+        errors = []
+
+        def stabber():
+            for _ in range(rounds):
+                barrier.wait()  # mutation for this round is complete
+                try:
+                    expected = brute_force_stab(entries, 0, 2000)
+                    got = tree.stab(0, 2000)  # races the other rebuilds
+                    if sorted(got) != expected:
+                        errors.append((sorted(got), expected))
+                except Exception as error:  # noqa: BLE001 — surfaced below
+                    errors.append(error)
+                barrier.wait()  # round done; mutator may proceed
+
+        threads = [threading.Thread(target=stabber) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for index in range(rounds):
+            low = rng.randint(0, 1000)
+            entry = (low, low + rng.randint(0, 100), index, 1.0)
+            tree.insert(*entry)
+            entries.append(entry)
+            barrier.wait()  # release the stabbers onto the fresh epoch
+            barrier.wait()  # wait for all stabs before mutating again
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
