@@ -6,16 +6,27 @@ same matcher wrapped in :class:`repro.core.stats.InstrumentedMatcher`
 opt-in debugging tool and is allowed to cost more), then asserts the
 relative overhead stays under ``--budget`` (default 15%).
 
-Both measurements drive the *same* inner matcher, so index state and
-caches are identical; runs are interleaved A/B over ``--repeats``
-rounds and the per-variant *minimum* mean is compared, which discards
-scheduler noise rather than averaging it in.
+The sampling profiler (docs/profiling.md) gets two gates of its own:
+
+* **disabled** — an unstarted :class:`SamplingProfiler` merely existing
+  in the process must cost nothing: the matchers contain no profiler
+  hooks, so the bare path re-measured with the object allocated must
+  stay within ``--disabled-budget`` (default 10% — the claim is
+  structural, the budget is purely a scheduler-noise allowance);
+* **enabled** — with the profiler's background thread sampling at its
+  default 5 ms interval, the instrumented matcher must stay within
+  ``--profiler-budget`` (default 15%) of the bare matcher.
+
+All measurements drive the *same* inner matcher, so index state and
+caches are identical; runs are interleaved over ``--repeats`` rounds and
+the per-variant *minimum* mean is compared, which discards scheduler
+noise rather than averaging it in.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_observability_overhead.py
     PYTHONPATH=src python benchmarks/check_observability_overhead.py \
-        --budget 0.15 --n 2000 --events 40 --repeats 5
+        --budget 0.15 --profiler-budget 0.15 --n 2000 --events 40 --repeats 5
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ import sys
 
 from repro.bench.harness import load_subscriptions, make_matcher, measure_matching
 from repro.core.stats import InstrumentedMatcher
+from repro.obs.profile import SamplingProfiler
 from repro.workloads.generator import MicroWorkload, MicroWorkloadConfig
 
 
@@ -34,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--budget", type=float, default=0.15,
         help="maximum allowed relative overhead (default: 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--profiler-budget", type=float, default=0.15,
+        help="maximum overhead with the profiler running (default: 0.15)",
+    )
+    parser.add_argument(
+        "--disabled-budget", type=float, default=0.10,
+        help="noise allowance for the unstarted-profiler check (default: 0.10)",
     )
     parser.add_argument(
         "--n", type=int, default=2000,
@@ -53,8 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _report(label: str, baseline: float, variant: float, budget: float) -> bool:
+    """Print one gate's numbers; returns whether it passed."""
+    overhead = (variant - baseline) / baseline if baseline > 0 else 0.0
+    print(
+        f"{label:<22} {variant:.4f} ms/match "
+        f"overhead {overhead * 100:+.2f}% (budget {budget * 100:.0f}%)"
+    )
+    return overhead <= budget
+
+
 def main(argv: "list[str] | None" = None) -> int:
-    """Measure instrumented-vs-bare overhead; exit 1 over budget."""
+    """Measure instrumented/profiler overhead; exit 1 over any budget."""
     args = build_parser().parse_args(argv)
     workload = MicroWorkload(MicroWorkloadConfig(n=args.n))
     events = workload.events(args.events)
@@ -62,6 +92,8 @@ def main(argv: "list[str] | None" = None) -> int:
     matcher = make_matcher("fx-tm", prorate=True)
     load_subscriptions(matcher, workload.subscriptions())
     instrumented = InstrumentedMatcher(matcher)
+    # Unstarted: no thread, no hooks anywhere — existence must be free.
+    profiler = SamplingProfiler()
 
     # One throwaway round per variant warms caches before any round counts.
     measure_matching(matcher, events, args.k)
@@ -69,20 +101,39 @@ def main(argv: "list[str] | None" = None) -> int:
 
     bare_means = []
     instrumented_means = []
+    disabled_means = []
+    profiled_means = []
     for _ in range(args.repeats):
         bare_means.append(measure_matching(matcher, events, args.k, warmup=0).mean_ms)
         instrumented_means.append(
             measure_matching(instrumented, events, args.k, warmup=0).mean_ms
         )
+        # Same bare path with the unstarted profiler object in scope.
+        assert not profiler.running
+        disabled_means.append(
+            measure_matching(matcher, events, args.k, warmup=0).mean_ms
+        )
+        profiler.start()
+        profiled_means.append(
+            measure_matching(instrumented, events, args.k, warmup=0).mean_ms
+        )
+        profiler.stop()
 
     bare = min(bare_means)
-    wrapped = min(instrumented_means)
-    overhead = (wrapped - bare) / bare if bare > 0 else 0.0
-    print(f"bare:         {bare:.4f} ms/match (best of {args.repeats})")
-    print(f"instrumented: {wrapped:.4f} ms/match (best of {args.repeats})")
-    print(f"overhead:     {overhead * 100:.2f}%  (budget {args.budget * 100:.0f}%)")
-    if overhead > args.budget:
-        print("FAIL: instrumentation overhead exceeds budget", file=sys.stderr)
+    print(f"bare:                  {bare:.4f} ms/match (best of {args.repeats})")
+    passed = _report("instrumented:", bare, min(instrumented_means), args.budget)
+    passed &= _report(
+        "profiler disabled:", bare, min(disabled_means), args.disabled_budget
+    )
+    passed &= _report(
+        "profiler running:", bare, min(profiled_means), args.profiler_budget
+    )
+    print(
+        f"profiler collected {profiler.total_samples} samples "
+        f"over {profiler.ticks} ticks while running"
+    )
+    if not passed:
+        print("FAIL: observability overhead exceeds budget", file=sys.stderr)
         return 1
     print("OK")
     return 0

@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli metrics [options] [REQUEST_FILE ...]
     python -m repro.cli trace [options] [REQUEST_FILE ...]
     python -m repro.cli analyze [options] [PATH ...]
+    python -m repro.cli serve-metrics [options] [REQUEST_FILE ...]
+    python -m repro.cli exemplars [options] [REQUEST_FILE ...]
 
 ``serve`` (the default when no subcommand is named) reads controller
 requests (``ADD`` / ``CANCEL`` / ``MATCH`` / ``BATCH`` / ``METRICS`` /
@@ -24,6 +26,16 @@ match's trace tree (flame-style text by default, ``--format json`` for
 the structured tree).  ``analyze`` runs fxlint, the project's static
 checker, over the given paths (see docs/static_analysis.md); it is the
 same entry point as ``python -m repro.analysis``.
+
+``serve-metrics`` replays the stream with the full workload-introspection
+stack attached (metrics + per-attribute heat + tail exemplars, and the
+sampling profiler with ``--profile``), then serves it over HTTP —
+``/metrics``, ``/profile``, ``/heat``, ``/exemplars``, ``/healthz`` (see
+docs/profiling.md).  ``--once`` skips the socket and prints a single
+JSON scrape of every attached surface, which is how the CI endpoint
+smoke job drives it.  ``exemplars`` replays the stream with a tail-based
+:class:`~repro.obs.exemplars.ExemplarStore` capturing every
+above-quantile-latency match trace, then prints the store.
 
 Shared options:
 
@@ -60,7 +72,7 @@ from repro.obs.tracing import Tracer
 __all__ = ["build_parser", "serve", "main"]
 
 #: Subcommands recognised by :func:`main`; anything else is ``serve``.
-_SUBCOMMANDS = ("serve", "metrics", "trace", "analyze")
+_SUBCOMMANDS = ("serve", "metrics", "trace", "analyze", "serve-metrics", "exemplars")
 
 
 def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
@@ -124,6 +136,56 @@ def _trace_parser() -> argparse.ArgumentParser:
         default="text",
         choices=["text", "json"],
         help="trace rendering (default: flame-style text)",
+    )
+    return parser
+
+
+def _serve_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli serve-metrics",
+        description="Replay requests, then serve the observability surface over HTTP.",
+    )
+    _add_shared_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default: 0, ephemeral)"
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one JSON scrape of every surface and exit (no socket)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sampling profiler while serving (exposed at /profile)",
+    )
+    return parser
+
+
+def _exemplars_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli exemplars",
+        description="Replay requests capturing slow-match exemplars, then print them.",
+    )
+    _add_shared_arguments(parser)
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="exemplar rendering (default: text)",
+    )
+    parser.add_argument(
+        "--quantile",
+        type=float,
+        default=0.95,
+        help="latency quantile above which a match is captured (default: 0.95)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=32,
+        help="exemplar ring-buffer capacity (default: 32)",
     )
     return parser
 
@@ -193,6 +255,17 @@ def _finish(args: argparse.Namespace, matcher) -> None:
         print(f"saved {count} subscriptions to {args.save}", file=sys.stderr)
 
 
+def _replay_silently(args: argparse.Namespace, controller: LocalController) -> int:
+    """Replay the stream discarding responses; request errors go to stderr."""
+    discard = io.StringIO()
+    failures = _replay(args, controller, discard)
+    if failures:
+        for line in discard.getvalue().splitlines():
+            if line.startswith("error "):
+                print(line, file=sys.stderr)
+    return failures
+
+
 def _main_serve(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
     matcher, instrumented = _build_matcher(args)
@@ -216,12 +289,7 @@ def _main_metrics(argv: List[str]) -> int:
     args = _metrics_parser().parse_args(argv)
     matcher, instrumented = _build_matcher(args)
     controller = LocalController(instrumented)
-    discard = io.StringIO()
-    failures = _replay(args, controller, discard)
-    if failures:
-        for line in discard.getvalue().splitlines():
-            if line.startswith("error "):
-                print(line, file=sys.stderr)
+    failures = _replay_silently(args, controller)
     _finish(args, matcher)
     registry = instrumented.registry
     if args.format == "prom":
@@ -238,12 +306,7 @@ def _main_trace(argv: List[str]) -> int:
     tracer = Tracer()
     instrumented.tracer = tracer
     controller = LocalController(instrumented, tracer=tracer)
-    discard = io.StringIO()
-    failures = _replay(args, controller, discard)
-    if failures:
-        for line in discard.getvalue().splitlines():
-            if line.startswith("error "):
-                print(line, file=sys.stderr)
+    failures = _replay_silently(args, controller)
     _finish(args, matcher)
     if tracer.last_trace is None:
         print("no traces recorded (the stream had no MATCH request)", file=sys.stderr)
@@ -256,6 +319,92 @@ def _main_trace(argv: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _main_serve_metrics(argv: List[str]) -> int:
+    """Replay, then expose the workload-introspection stack over HTTP.
+
+    The matcher runs with per-attribute heat accounting and a tail-based
+    exemplar store attached; ``--profile`` adds the sampling profiler.
+    With ``--once`` no socket is opened — a single JSON document holding
+    one scrape of every attached surface goes to stdout instead, so CI
+    can smoke-test the exposition without port management.
+    """
+    import threading
+
+    from repro.obs.exemplars import ExemplarStore
+    from repro.obs.heat import HeatMonitor
+    from repro.obs.profile import SamplingProfiler
+    from repro.obs.server import ObservabilityServer
+
+    args = _serve_metrics_parser().parse_args(argv)
+    matcher, instrumented = _build_matcher(args)
+    tracer = Tracer()
+    instrumented.tracer = tracer
+    heat = HeatMonitor(registry=instrumented.registry)
+    matcher.heat = heat
+    exemplars = ExemplarStore(min_samples=1)
+    instrumented.exemplars = exemplars
+    profiler = SamplingProfiler() if args.profile else None
+    if profiler is not None:
+        profiler.start()
+    controller = LocalController(instrumented, tracer=tracer)
+    failures = _replay_silently(args, controller)
+    _finish(args, matcher)
+    server = ObservabilityServer(
+        registry=instrumented.registry,
+        profiler=profiler,
+        heat=heat,
+        exemplars=exemplars,
+        host=args.host,
+        port=args.port,
+    )
+    if args.once:
+        if profiler is not None:
+            profiler.stop()
+        scrape = {}
+        for route in ("/healthz", "/metrics", "/profile", "/heat", "/exemplars"):
+            status, _, body = server.handle(route)
+            if status == 200:
+                scrape[route.lstrip("/")] = body
+        json.dump(scrape, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 1 if failures else 0
+    server.start()
+    print(f"serving observability endpoint at {server.url}", file=sys.stderr)
+    print(server.url, flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if profiler is not None:
+            profiler.stop()
+    return 0
+
+
+def _main_exemplars(argv: List[str]) -> int:
+    """Replay with tail-exemplar capture, then print the store."""
+    from repro.obs.exemplars import ExemplarStore
+
+    args = _exemplars_parser().parse_args(argv)
+    matcher, instrumented = _build_matcher(args)
+    tracer = Tracer()
+    instrumented.tracer = tracer
+    instrumented.exemplars = ExemplarStore(
+        capacity=args.capacity, quantile=args.quantile, min_samples=1
+    )
+    controller = LocalController(instrumented, tracer=tracer)
+    failures = _replay_silently(args, controller)
+    _finish(args, matcher)
+    if args.format == "json":
+        json.dump(instrumented.exemplars.snapshot(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(instrumented.exemplars.render())
+        sys.stdout.write("\n")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Dispatch to a subcommand; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -265,6 +414,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _main_metrics(rest)
         if command == "trace":
             return _main_trace(rest)
+        if command == "serve-metrics":
+            return _main_serve_metrics(rest)
+        if command == "exemplars":
+            return _main_exemplars(rest)
         if command == "analyze":
             from repro.analysis.cli import main as fxlint_main
 

@@ -207,7 +207,10 @@ class ArrayTopKMatcher(TopKMatcher):
     # Algorithm 2: weighted partial matching
     # ------------------------------------------------------------------
     def _match_topk(self, event: Event, k: int) -> List[MatchResult]:
-        order = self._fold_event(event)
+        if self.heat is None:
+            order = self._fold_event(event)
+        else:
+            order = self._fold_event_heat(event, self.heat)
         return self._select_topk(order, k)
 
     def _next_gen(self) -> int:
@@ -243,6 +246,60 @@ class ArrayTopKMatcher(TopKMatcher):
                 bucket = structure.buckets.get(value)
                 if bucket is not None and len(bucket):
                     self._fold_pairs(zip(bucket.slots, bucket.weights), override, order, gen)
+        return order
+
+    def _fold_event_heat(self, event: Event, heat: Any) -> List[int]:
+        """The heat-accounting twin of :meth:`_fold_event`.
+
+        Ranged probes take :meth:`SoARangedIndex.candidates_heat` (the
+        scalar block-skip scan — that is the path the skip-table
+        counters describe) and fold through the cached-path machinery
+        (:meth:`_scored_candidates` / :meth:`_fold_candidates_override`),
+        which the differential suite pins as bitwise-identical to the
+        scan-and-fold.  The plain path keeps zero accounting.
+        """
+        gen = self._next_gen()
+        order: List[int] = []
+        use_event_weights = event.has_weights
+        for attribute, value in event.known_items():
+            structure = self._master_index.get(attribute)
+            if structure is None:
+                continue
+            override = event.override_weight(attribute) if use_event_weights else None
+            if isinstance(structure, SoARangedIndex):
+                interval = event.interval_of(attribute)
+                qlo, qhi = interval.low, interval.high
+                candidates, scanned, skipped, blocks = structure.candidates_heat(
+                    qlo, qhi
+                )
+                heat.record_probe(
+                    attribute,
+                    "ranged",
+                    candidates=len(candidates),
+                    scanned=scanned,
+                    blocks_skipped=skipped,
+                    blocks_total=blocks,
+                )
+                heat.record_region(attribute, qlo, qhi)
+                if not candidates:
+                    continue
+                if override is None:
+                    scored = self._scored_candidates(
+                        structure, candidates, attribute, qlo, qhi
+                    )
+                    self._fold_pairs(scored, None, order, gen, precomputed=True)
+                else:
+                    self._fold_candidates_override(
+                        structure, candidates, attribute, qlo, qhi, override, order, gen
+                    )
+            else:
+                bucket = structure.buckets.get(value)
+                count = len(bucket) if bucket is not None else 0
+                heat.record_probe(attribute, "discrete", candidates=count)
+                if bucket is not None and count:
+                    self._fold_pairs(
+                        zip(bucket.slots, bucket.weights), override, order, gen
+                    )
         return order
 
     def _proration_constant(self, attribute: str) -> int:
@@ -472,8 +529,12 @@ class ArrayTopKMatcher(TopKMatcher):
             raise ValueError(f"k must be >= 1, got {k}")
         cache = probe_cache if probe_cache is not None else ProbeCache()
         out: List[List[MatchResult]] = []
+        heat = self.heat
         for event in events:
-            order = self._fold_event_cached(event, cache)
+            if heat is None:
+                order = self._fold_event_cached(event, cache)
+            else:
+                order = self._fold_event_cached_heat(event, cache, heat)
             results = self._select_topk(order, k)
             self._settle(results)
             out.append(results)
@@ -516,6 +577,70 @@ class ArrayTopKMatcher(TopKMatcher):
                     bucket = structure.buckets.get(value)
                     pairs = _bucket_pairs(bucket) if bucket is not None else []
                     cache.put_discrete(attribute, value, pairs)
+                if pairs:
+                    self._fold_pairs(pairs, override, order, gen)
+        return order
+
+    def _fold_event_cached_heat(
+        self, event: Event, cache: ProbeCache, heat: Any
+    ) -> List[int]:
+        """The heat-accounting twin of :meth:`_fold_event_cached`.
+
+        Cache hits are recorded as hits (no physical probe); misses
+        record the miss plus the probe with its scan statistics.
+        """
+        gen = self._next_gen()
+        order: List[int] = []
+        use_event_weights = event.has_weights
+        for attribute, value in event.known_items():
+            structure = self._master_index.get(attribute)
+            if structure is None:
+                continue
+            override = event.override_weight(attribute) if use_event_weights else None
+            if isinstance(structure, SoARangedIndex):
+                interval = event.interval_of(attribute)
+                qlo, qhi = interval.low, interval.high
+                heat.record_region(attribute, qlo, qhi)
+                candidates = cache.get_candidates(attribute, qlo, qhi)
+                if candidates is None:
+                    heat.record_cache(attribute, "ranged", hit=False)
+                    probed = structure.candidates_heat(qlo, qhi)
+                    candidates, scanned, skipped, blocks = probed
+                    heat.record_probe(
+                        attribute,
+                        "ranged",
+                        candidates=len(candidates),
+                        scanned=scanned,
+                        blocks_skipped=skipped,
+                        blocks_total=blocks,
+                    )
+                    cache.put_candidates(attribute, qlo, qhi, candidates)
+                else:
+                    heat.record_cache(attribute, "ranged", hit=True)
+                if not candidates:
+                    continue
+                if override is None:
+                    scored = cache.get_scored(attribute, qlo, qhi)
+                    if scored is None:
+                        scored = self._scored_candidates(
+                            structure, candidates, attribute, qlo, qhi
+                        )
+                        cache.put_scored(attribute, qlo, qhi, scored)
+                    self._fold_pairs(scored, None, order, gen, precomputed=True)
+                else:
+                    self._fold_candidates_override(
+                        structure, candidates, attribute, qlo, qhi, override, order, gen
+                    )
+            else:
+                pairs = cache.get_discrete(attribute, value)
+                if pairs is None:
+                    heat.record_cache(attribute, "discrete", hit=False)
+                    bucket = structure.buckets.get(value)
+                    pairs = _bucket_pairs(bucket) if bucket is not None else []
+                    heat.record_probe(attribute, "discrete", candidates=len(pairs))
+                    cache.put_discrete(attribute, value, pairs)
+                else:
+                    heat.record_cache(attribute, "discrete", hit=True)
                 if pairs:
                     self._fold_pairs(pairs, override, order, gen)
         return order

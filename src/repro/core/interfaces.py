@@ -49,6 +49,10 @@ class TopKMatcher(abc.ABC):
       keeps the hot path entirely untraced.  Concrete algorithms that
       support tracing consult :attr:`tracer` per match, so it may also be
       attached or detached after construction.
+    * ``heat`` — a :class:`repro.obs.heat.HeatMonitor` accumulating
+      per-attribute probe/scan/cache heat (docs/profiling.md); ``None``
+      (the default) keeps the hot path free of accounting.  Like the
+      tracer, it is consulted per match and may be attached later.
     """
 
     #: Human-readable algorithm name, overridden by subclasses.
@@ -62,6 +66,7 @@ class TopKMatcher(abc.ABC):
         budget_tracker: Optional[BudgetTracker] = None,
         include_nonpositive: bool = False,
         tracer: Optional[Any] = None,
+        heat: Optional[Any] = None,
     ) -> None:
         self.schema = schema if schema is not None else Schema()
         self.prorate = prorate
@@ -69,6 +74,7 @@ class TopKMatcher(abc.ABC):
         self.budget_tracker = budget_tracker
         self.include_nonpositive = include_nonpositive
         self.tracer = tracer
+        self.heat = heat
         self._subscriptions: Dict[Any, Subscription] = {}
 
     # ------------------------------------------------------------------

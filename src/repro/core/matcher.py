@@ -236,7 +236,12 @@ class FXTMMatcher(TopKMatcher):
     def _match_topk(self, event: Event, k: int) -> List[MatchResult]:
         tracer = self.tracer
         if tracer is None:
-            scoremap = self._build_scoremap(event)
+            if self.heat is None:
+                scoremap = self._build_scoremap(event)
+            else:
+                # Heat-only twin: scan statistics come from the heat
+                # probes (stab_heat), so the plain path stays untouched.
+                scoremap = self._build_scoremap_heat(event, self.heat)
             return self._select_topk(scoremap, k)
         # Traced path: identical computation, decomposed into the
         # pipeline's span hierarchy (docs/observability.md): master-index
@@ -275,8 +280,12 @@ class FXTMMatcher(TopKMatcher):
         out: List[List[MatchResult]] = []
         tracer = self.tracer
         if tracer is None:
+            heat = self.heat
             for event in events:
-                scoremap = self._build_scoremap_cached(event, cache)
+                if heat is None:
+                    scoremap = self._build_scoremap_cached(event, cache)
+                else:
+                    scoremap = self._build_scoremap_cached_heat(event, cache, heat)
                 results = self._select_topk(scoremap, k)
                 self._settle(results)
                 out.append(results)
@@ -341,9 +350,10 @@ class FXTMMatcher(TopKMatcher):
         Cache outcomes surface as zero-duration ``probe_cache.hit`` /
         ``probe_cache.miss`` spans — the probe they summarise either
         never happened (hit) or is the enclosed ``attribute.probe`` span
-        (miss).
+        (miss).  An attached heat monitor receives the same outcomes.
         """
         use_event_weights = event.has_weights
+        heat = self.heat
         scoremap: Dict[Any, float] = {}
         for attribute, value in event.known_items():
             with tracer.span("master_index.lookup", attribute=attribute) as lookup:
@@ -355,6 +365,8 @@ class FXTMMatcher(TopKMatcher):
             if isinstance(structure, _RangedAttributeIndex):
                 interval = event.interval_of(attribute)
                 qlo, qhi = interval.low, interval.high
+                if heat is not None:
+                    heat.record_region(attribute, qlo, qhi)
                 matches = cache.get_ranged(attribute, qlo, qhi)
                 if matches is None:
                     tracer.record("probe_cache.miss", 0.0, attribute=attribute)
@@ -363,9 +375,16 @@ class FXTMMatcher(TopKMatcher):
                     ) as probe:
                         matches = structure.tree.stab(qlo, qhi)
                         probe.annotate(candidates=len(matches))
+                    if heat is not None:
+                        heat.record_cache(attribute, "ranged", hit=False)
+                        heat.record_probe(
+                            attribute, "ranged", candidates=len(matches)
+                        )
                     cache.put_ranged(attribute, qlo, qhi, matches)
                 else:
                     tracer.record("probe_cache.hit", 0.0, attribute=attribute)
+                    if heat is not None:
+                        heat.record_cache(attribute, "ranged", hit=True)
                 with tracer.span("candidates.score", attribute=attribute):
                     if override is None:
                         scored = cache.get_scored(attribute, qlo, qhi)
@@ -389,12 +408,116 @@ class FXTMMatcher(TopKMatcher):
                         bucket = structure.buckets.get(value)
                         pairs = bucket.get_all() if bucket is not None else []
                         probe.annotate(candidates=len(pairs))
+                    if heat is not None:
+                        heat.record_cache(attribute, "discrete", hit=False)
+                        heat.record_probe(
+                            attribute, "discrete", candidates=len(pairs)
+                        )
                     cache.put_discrete(attribute, value, pairs)
                 else:
                     tracer.record("probe_cache.hit", 0.0, attribute=attribute)
+                    if heat is not None:
+                        heat.record_cache(attribute, "discrete", hit=True)
                 if pairs:
                     with tracer.span("candidates.score", attribute=attribute):
                         self._fold_discrete(scoremap, pairs, override)
+        return scoremap
+
+    def _build_scoremap_heat(self, event: Event, heat: Any) -> Dict[Any, float]:
+        """The heat-accounting twin of :meth:`_build_scoremap`.
+
+        Identical folds; ranged probes go through
+        :meth:`IntervalTree.stab_heat` so scan lengths and skip-table
+        efficiency reach the monitor alongside probe/candidate counts.
+        """
+        use_event_weights = event.has_weights
+        scoremap: Dict[Any, float] = {}
+        for attribute, value in event.known_items():
+            structure = self._master_index.get(attribute)
+            if structure is None:
+                continue
+            override = event.override_weight(attribute) if use_event_weights else None
+            if isinstance(structure, _RangedAttributeIndex):
+                interval = event.interval_of(attribute)
+                qlo, qhi = interval.low, interval.high
+                matches, scanned, skipped, blocks = structure.tree.stab_heat(qlo, qhi)
+                heat.record_probe(
+                    attribute,
+                    "ranged",
+                    candidates=len(matches),
+                    scanned=scanned,
+                    blocks_skipped=skipped,
+                    blocks_total=blocks,
+                )
+                heat.record_region(attribute, qlo, qhi)
+                self._fold_ranged(scoremap, matches, attribute, qlo, qhi, override)
+            else:
+                bucket = structure.buckets.get(value)
+                pairs = bucket.get_all() if bucket is not None else []
+                heat.record_probe(attribute, "discrete", candidates=len(pairs))
+                if pairs:
+                    self._fold_discrete(scoremap, pairs, override)
+        return scoremap
+
+    def _build_scoremap_cached_heat(
+        self, event: Event, cache: ProbeCache, heat: Any
+    ) -> Dict[Any, float]:
+        """The heat-accounting twin of :meth:`_build_scoremap_cached`.
+
+        A cache hit is recorded as such (the structure was *not*
+        probed); a miss records both the miss and the physical probe
+        with its scan statistics, so per-attribute hit ratios and probe
+        counts stay consistent with what actually ran.
+        """
+        use_event_weights = event.has_weights
+        scoremap: Dict[Any, float] = {}
+        for attribute, value in event.known_items():
+            structure = self._master_index.get(attribute)
+            if structure is None:
+                continue
+            override = event.override_weight(attribute) if use_event_weights else None
+            if isinstance(structure, _RangedAttributeIndex):
+                interval = event.interval_of(attribute)
+                qlo, qhi = interval.low, interval.high
+                heat.record_region(attribute, qlo, qhi)
+                matches = cache.get_ranged(attribute, qlo, qhi)
+                if matches is None:
+                    heat.record_cache(attribute, "ranged", hit=False)
+                    stabbed = structure.tree.stab_heat(qlo, qhi)
+                    matches, scanned, skipped, blocks = stabbed
+                    heat.record_probe(
+                        attribute,
+                        "ranged",
+                        candidates=len(matches),
+                        scanned=scanned,
+                        blocks_skipped=skipped,
+                        blocks_total=blocks,
+                    )
+                    cache.put_ranged(attribute, qlo, qhi, matches)
+                else:
+                    heat.record_cache(attribute, "ranged", hit=True)
+                if override is None:
+                    scored = cache.get_scored(attribute, qlo, qhi)
+                    if scored is None:
+                        scored = self._scored_ranged(matches, attribute, qlo, qhi)
+                        cache.put_scored(attribute, qlo, qhi, scored)
+                    self._fold_scored(scoremap, scored)
+                else:
+                    self._fold_ranged(
+                        scoremap, matches, attribute, qlo, qhi, override
+                    )
+            else:
+                pairs = cache.get_discrete(attribute, value)
+                if pairs is None:
+                    heat.record_cache(attribute, "discrete", hit=False)
+                    bucket = structure.buckets.get(value)
+                    pairs = bucket.get_all() if bucket is not None else []
+                    heat.record_probe(attribute, "discrete", candidates=len(pairs))
+                    cache.put_discrete(attribute, value, pairs)
+                else:
+                    heat.record_cache(attribute, "discrete", hit=True)
+                if pairs:
+                    self._fold_discrete(scoremap, pairs, override)
         return scoremap
 
     def _build_scoremap(self, event: Event) -> Dict[Any, float]:
@@ -423,8 +546,14 @@ class FXTMMatcher(TopKMatcher):
         return scoremap
 
     def _build_scoremap_traced(self, event: Event, tracer: Any) -> Dict[Any, float]:
-        """The traced twin of :meth:`_build_scoremap` (same folds)."""
+        """The traced twin of :meth:`_build_scoremap` (same folds).
+
+        When a heat monitor is also attached its probe/region counters
+        are fed here too (scan statistics are a heat-only feature — the
+        traced probe uses the plain stab).
+        """
         use_event_weights = event.has_weights
+        heat = self.heat
         scoremap: Dict[Any, float] = {}
         for attribute, value in event.known_items():
             with tracer.span("master_index.lookup", attribute=attribute) as lookup:
@@ -440,6 +569,9 @@ class FXTMMatcher(TopKMatcher):
                 ) as probe:
                     matches = structure.tree.stab(interval.low, interval.high)
                     probe.annotate(candidates=len(matches))
+                if heat is not None:
+                    heat.record_probe(attribute, "ranged", candidates=len(matches))
+                    heat.record_region(attribute, interval.low, interval.high)
                 with tracer.span("candidates.score", attribute=attribute):
                     self._fold_ranged(
                         scoremap, matches, attribute, interval.low, interval.high, override
@@ -451,6 +583,8 @@ class FXTMMatcher(TopKMatcher):
                     bucket = structure.buckets.get(value)
                     pairs = bucket.get_all() if bucket is not None else []
                     probe.annotate(candidates=len(pairs))
+                if heat is not None:
+                    heat.record_probe(attribute, "discrete", candidates=len(pairs))
                 if not pairs:
                     continue
                 with tracer.span("candidates.score", attribute=attribute):

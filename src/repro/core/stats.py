@@ -120,13 +120,22 @@ class MatcherStats:
     in parallel as the histogram-free fallback.  The pre-registry
     attribute surface (``matches``, ``adds``, ``cancels``, ...) is
     preserved as properties over the registry counters.
+
+    Every matcher metric carries ``algorithm`` / ``backend`` labels so a
+    shared registry distinguishes ``fx-tm`` from ``fx-tm-array`` (and the
+    array engine's python backend from its numpy one) in one scrape.
+    The recorders write through children bound once here, so labeling
+    adds no per-match lookup.
     """
 
     __slots__ = (
         "registry",
+        "algorithm",
+        "backend",
         "match_seconds",
         "results_returned",
         "serves_by_sid",
+        "_labels",
         "_matches",
         "_ops",
         "_empty",
@@ -139,52 +148,69 @@ class MatcherStats:
         "_probe_hit_ratio",
     )
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        algorithm: str = "unknown",
+        backend: str = "python",
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.algorithm = algorithm
+        self.backend = backend
+        base = ("algorithm", "backend")
+        labels = {"algorithm": algorithm, "backend": backend}
+        self._labels = labels
         self._matches = self.registry.counter(
-            "repro_matches_total", "MATCH requests served by this matcher"
-        )
+            "repro_matches_total", "MATCH requests served by this matcher", base
+        ).labels(**labels)
         self._ops = self.registry.counter(
             "repro_subscription_ops_total",
             "subscription mutations by operation",
-            labels=("op",),
+            labels=("op",) + base,
         )
         self._empty = self.registry.counter(
-            "repro_empty_matches_total", "matches that returned no results"
-        )
+            "repro_empty_matches_total", "matches that returned no results", base
+        ).labels(**labels)
         self._latency = self.registry.histogram(
-            "repro_match_seconds", "wall seconds per match call"
-        )
+            "repro_match_seconds", "wall seconds per match call", base
+        ).labels(**labels)
         self._results = self.registry.histogram(
             "repro_match_results",
             "results returned per match",
+            labels=base,
             buckets=_RESULT_BUCKETS,
-        )
+        ).labels(**labels)
         self._batch_events = self.registry.counter(
-            "repro_batch_events_total", "events served through match_batch"
-        )
+            "repro_batch_events_total", "events served through match_batch", base
+        ).labels(**labels)
         self._batch_seconds = self.registry.histogram(
-            "repro_batch_seconds", "wall seconds per match_batch call"
-        )
+            "repro_batch_seconds", "wall seconds per match_batch call", base
+        ).labels(**labels)
         self._probe_hits = self.registry.counter(
-            "repro_probe_cache_hits_total", "batch probe-cache lookups answered"
-        )
+            "repro_probe_cache_hits_total",
+            "batch probe-cache lookups answered",
+            base,
+        ).labels(**labels)
         self._probe_misses = self.registry.counter(
-            "repro_probe_cache_misses_total", "batch probe-cache lookups that probed"
-        )
+            "repro_probe_cache_misses_total",
+            "batch probe-cache lookups that probed",
+            base,
+        ).labels(**labels)
         self._probe_hit_ratio = self.registry.gauge(
-            "repro_probe_cache_hit_ratio", "probe-cache hit ratio of the last batch"
-        )
+            "repro_probe_cache_hit_ratio",
+            "probe-cache hit ratio of the last batch",
+            base,
+        ).labels(**labels)
         self.match_seconds = RunningStats()
         self.results_returned = RunningStats()
         self.serves_by_sid: Dict[Any, int] = {}
 
     # -- recorders --------------------------------------------------------
     def record_add(self) -> None:
-        self._ops.labels(op="add").inc()
+        self._ops.labels(op="add", **self._labels).inc()
 
     def record_cancel(self) -> None:
-        self._ops.labels(op="cancel").inc()
+        self._ops.labels(op="cancel", **self._labels).inc()
 
     def record_match(self, elapsed_seconds: float, results: List[MatchResult]) -> None:
         self._matches.inc()
@@ -238,11 +264,11 @@ class MatcherStats:
 
     @property
     def adds(self) -> int:
-        return int(self._ops.labels(op="add").value)
+        return int(self._ops.labels(op="add", **self._labels).value)
 
     @property
     def cancels(self) -> int:
-        return int(self._ops.labels(op="cancel").value)
+        return int(self._ops.labels(op="cancel", **self._labels).value)
 
     @property
     def empty_matches(self) -> int:
@@ -251,7 +277,7 @@ class MatcherStats:
     @property
     def latency_histogram(self) -> Any:
         """The bucketed match-latency histogram (seconds)."""
-        return self._latency.labels()
+        return self._latency
 
     def top_served(self, limit: int = 10) -> List[Tuple[Any, int]]:
         """The most-served subscriptions as ``(sid, count)``, best first."""
@@ -289,7 +315,14 @@ class InstrumentedMatcher:
     across matchers (e.g. for one scrape endpoint per process); by default
     the wrapper gets its own.  ``tracer`` additionally wraps every match
     in a ``match`` span (and FX-TM emits its pipeline spans beneath it —
-    the tracer is attached to the inner matcher too).
+    the tracer is attached to the inner matcher too).  ``exemplars``
+    attaches an :class:`~repro.obs.exemplars.ExemplarStore`: every match
+    latency is observed, and (when a tracer is attached) slow matches
+    retain their trace trees.
+
+    Metrics are labeled with the inner matcher's ``name`` and (for the
+    array engine) resolved ``backend``, so one registry can host several
+    engines distinguishably.
 
     >>> from repro import FXTMMatcher
     >>> wrapped = InstrumentedMatcher(FXTMMatcher())
@@ -301,9 +334,15 @@ class InstrumentedMatcher:
         inner: TopKMatcher,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Any] = None,
+        exemplars: Optional[Any] = None,
     ) -> None:
         self.inner = inner
-        self.stats = MatcherStats(registry)
+        self.stats = MatcherStats(
+            registry,
+            algorithm=getattr(inner, "name", "unknown"),
+            backend=getattr(inner, "backend", "python"),
+        )
+        self.exemplars = exemplars
         if tracer is not None:
             self.inner.tracer = tracer
 
@@ -336,7 +375,11 @@ class InstrumentedMatcher:
         else:
             with tracer.span("match", algorithm=self.inner.name, k=k):
                 results = self.inner.match(event, k)
-        self.stats.record_match(time.perf_counter() - started, results)
+        elapsed = time.perf_counter() - started
+        self.stats.record_match(elapsed, results)
+        if self.exemplars is not None:
+            trace = tracer.last_trace if tracer is not None else None
+            self.exemplars.offer(trace, elapsed, k=k, results=len(results))
         return results
 
     def match_batch(self, events: List[Event], k: int) -> List[List[MatchResult]]:
@@ -357,7 +400,11 @@ class InstrumentedMatcher:
                 "match_batch", algorithm=self.inner.name, k=k, batch=len(events)
             ):
                 batches = self.inner.match_batch(events, k, probe_cache=cache)
-        self.stats.record_batch(time.perf_counter() - started, batches, cache)
+        elapsed = time.perf_counter() - started
+        self.stats.record_batch(elapsed, batches, cache)
+        if self.exemplars is not None:
+            trace = tracer.last_trace if tracer is not None else None
+            self.exemplars.offer(trace, elapsed, k=k, batch=len(events))
         return batches
 
     def get_subscription(self, sid: Any) -> Subscription:

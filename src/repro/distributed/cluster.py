@@ -274,6 +274,7 @@ class DistributedTopKSystem:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Any] = None,
         logger: Optional[Any] = None,
+        exemplars: Optional[Any] = None,
     ) -> None:
         if node_count < 1:
             raise OverlayError(f"node_count must be >= 1, got {node_count}")
@@ -294,6 +295,11 @@ class DistributedTopKSystem:
         #: Optional :class:`repro.obs.logging.StructuredLogger` for
         #: runtime events (crashes, recoveries, degraded matches).
         self.logger = logger.child(component="cluster") if logger is not None else None
+        #: Optional :class:`repro.obs.exemplars.ExemplarStore`: slow
+        #: matches (simulated total) and every degraded match retain
+        #: their ``distributed.match`` trace tree (tracer required for
+        #: the tree; latencies are observed regardless).
+        self.exemplars = exemplars
         self._metrics = _ClusterMetrics(self.registry)
         self.health.bind_observability(registry=self.registry, logger=logger)
         self.fault_injector = (
@@ -507,6 +513,14 @@ class DistributedTopKSystem:
                 simulated=True,
             )
             root_span.set_duration(total)
+        if self.exemplars is not None:
+            self.exemplars.offer(
+                root_span,
+                total,
+                degraded=outcome.degraded,
+                coverage=outcome.coverage,
+                simulated=True,
+            )
         self._record_match_metrics(outcome, counters)
         self.simulated_clock += total
         return outcome
@@ -634,6 +648,15 @@ class DistributedTopKSystem:
                 simulated=True,
             )
             root_span.set_duration(total)
+        if self.exemplars is not None:
+            self.exemplars.offer(
+                root_span,
+                total,
+                degraded=outcome.degraded,
+                coverage=outcome.coverage,
+                batch=len(events),
+                simulated=True,
+            )
         self._record_batch_metrics(outcome, counters)
         self.simulated_clock += total
         return outcome

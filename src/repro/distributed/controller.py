@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional
 
 from repro.core.controller import LocalController, Request, RequestKind
 from repro.core.parser import ParseError, parse_event, parse_subscription
@@ -158,3 +158,37 @@ class DistributedController:
             if not stripped or stripped.startswith("#"):
                 continue
             yield self.submit(stripped)
+
+    def observability_server(
+        self,
+        profiler: Optional[Any] = None,
+        heat: Optional[Any] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> Any:
+        """An (unstarted) HTTP endpoint exposing the whole cluster.
+
+        The root registry serves at ``/metrics``; every leaf whose
+        matcher is instrumented (wrapped in
+        :class:`~repro.core.stats.InstrumentedMatcher`) serves its own
+        registry at ``/metrics/leaf-<id>``, so per-leaf skew is
+        scrapeable alongside the cluster aggregate.  The system's
+        exemplar store (when attached) backs ``/exemplars``.  Call
+        ``start()`` on the result; ``stop()`` when done.
+        """
+        from repro.obs.server import ObservabilityServer
+
+        extra = {}
+        for node in self.system.nodes:
+            registry = getattr(node.matcher, "registry", None)
+            if registry is not None:
+                extra[f"leaf-{node.node_id}"] = registry
+        return ObservabilityServer(
+            registry=self.system.registry,
+            profiler=profiler,
+            heat=heat,
+            exemplars=getattr(self.system, "exemplars", None),
+            extra_registries=extra,
+            host=host,
+            port=port,
+        )

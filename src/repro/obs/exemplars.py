@@ -1,0 +1,224 @@
+"""Tail-based exemplar capture: keep the traces worth keeping.
+
+Aggregates (metrics, heat, sampled profiles) say *that* the tail is
+slow; an exemplar says *why this particular match* was slow — it is the
+full trace tree of one interesting match, frozen at capture time.  The
+:class:`ExemplarStore` applies tail-based sampling on top of the
+Tracer: a match's trace is retained only when
+
+* its latency sits at or above a configured quantile of everything
+  observed so far (``kind="latency"``), or
+* it was a degraded / partial-coverage distributed match
+  (``kind="degraded"`` — every one of those is kept; they are rare and
+  always diagnostic).
+
+Retention is a bounded ring: once ``capacity`` exemplars are held, the
+oldest is dropped (and counted) to admit the new one.  The store keeps
+its latency distribution in a :class:`~repro.obs.metrics.Histogram`
+reusing the registry's default buckets, so the quantile threshold
+sharpens as traffic accrues instead of being a magic number.
+
+The store never reads a clock — callers pass the latency they already
+measured (or simulated), so capture is deterministic under the
+simulated distributed clock and trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.obs.tracing import Span
+
+__all__ = ["Exemplar", "ExemplarStore"]
+
+
+class Exemplar:
+    """One retained trace: why it was kept, and the frozen span tree."""
+
+    __slots__ = ("kind", "latency_seconds", "trace", "attributes", "sequence")
+
+    def __init__(
+        self,
+        kind: str,
+        latency_seconds: float,
+        trace: Dict[str, Any],
+        attributes: Dict[str, Any],
+        sequence: int,
+    ) -> None:
+        #: ``"latency"`` (above-quantile) or ``"degraded"``.
+        self.kind = kind
+        self.latency_seconds = latency_seconds
+        #: The trace tree, frozen via ``Span.to_dict()`` at capture time.
+        self.trace = trace
+        #: Caller-supplied context (event summary, coverage, ...).
+        self.attributes = attributes
+        #: Monotonically increasing capture ordinal (oldest = smallest).
+        self.sequence = sequence
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-ready document for the ``/exemplars`` endpoint."""
+        return {
+            "kind": self.kind,
+            "latency_seconds": self.latency_seconds,
+            "sequence": self.sequence,
+            "attributes": dict(self.attributes),
+            "trace": self.trace,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Exemplar(kind={self.kind!r}, latency={self.latency_seconds:.6f}, "
+            f"seq={self.sequence})"
+        )
+
+
+class ExemplarStore:
+    """Bounded tail-based exemplar retention over trace trees.
+
+    ``quantile`` sets the latency tail captured (0.95 keeps roughly the
+    slowest 5%); ``min_samples`` observations must accrue before the
+    latency rule activates, so cold starts don't capture everything.
+    Degraded matches bypass both gates.
+
+    >>> store = ExemplarStore(capacity=4, quantile=0.5, min_samples=2)
+    >>> span = Span("match", start=0.0)
+    >>> span.end = 0.001
+    >>> store.offer(span, 0.001)  # below min_samples: observed, not kept
+    False
+    >>> store.offer(span, 0.5)    # now at/above the median
+    True
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        quantile: float = 0.95,
+        min_samples: int = 16,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < quantile < 1.0:
+            raise ObservabilityError(
+                f"quantile must be in (0, 1), got {quantile}"
+            )
+        if min_samples < 1:
+            raise ObservabilityError(f"min_samples must be >= 1, got {min_samples}")
+        self.capacity = capacity
+        self.quantile = quantile
+        self.min_samples = min_samples
+        self._latency = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        self._exemplars: List[Exemplar] = []
+        #: Exemplars evicted by the ring bound (observable, satellite 2's twin).
+        self.dropped = 0
+        #: Offers that were observed but not retained.
+        self.rejected = 0
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @property
+    def observed(self) -> int:
+        """Matches observed so far (captured or not)."""
+        return self._latency.count
+
+    def threshold(self) -> Optional[float]:
+        """The current latency capture threshold, or ``None`` if inactive.
+
+        ``None`` until ``min_samples`` observations accrue; afterwards
+        the histogram's upper-bound estimate of ``quantile``.
+        """
+        if self._latency.count < self.min_samples:
+            return None
+        return self._latency.percentile(self.quantile * 100.0)
+
+    def offer(
+        self,
+        trace: Optional[Span],
+        latency_seconds: float,
+        degraded: bool = False,
+        **attributes: Any,
+    ) -> bool:
+        """Observe one match; retain its trace if it qualifies.
+
+        Always folds ``latency_seconds`` into the distribution first, so
+        the threshold reflects all traffic — then captures when
+        ``degraded`` or when the latency rule fires.  Returns whether
+        the trace was retained (always False for ``trace=None``).
+        """
+        self._latency.observe(latency_seconds)
+        threshold = self.threshold()
+        if trace is None:
+            return False
+        if degraded:
+            kind = "degraded"
+        elif threshold is not None and latency_seconds >= threshold:
+            kind = "latency"
+        else:
+            self.rejected += 1
+            return False
+        exemplar = Exemplar(
+            kind=kind,
+            latency_seconds=latency_seconds,
+            trace=trace.to_dict(),
+            attributes=attributes,
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        self._exemplars.append(exemplar)
+        while len(self._exemplars) > self.capacity:
+            self._exemplars.pop(0)
+            self.dropped += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def exemplars(self, kind: Optional[str] = None) -> List[Exemplar]:
+        """Retained exemplars, oldest first (optionally filtered by kind)."""
+        if kind is None:
+            return list(self._exemplars)
+        return [exemplar for exemplar in self._exemplars if exemplar.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._exemplars)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready summary (served by the ``/exemplars`` endpoint)."""
+        return {
+            "capacity": self.capacity,
+            "quantile": self.quantile,
+            "min_samples": self.min_samples,
+            "observed": self.observed,
+            "threshold_seconds": self.threshold(),
+            "retained": len(self._exemplars),
+            "dropped_total": self.dropped,
+            "rejected_total": self.rejected,
+            "exemplars": [exemplar.to_json() for exemplar in self._exemplars],
+        }
+
+    def render(self) -> str:
+        """A text listing of the retained exemplars, oldest first."""
+        if not self._exemplars:
+            return "(no exemplars captured)"
+        threshold = self.threshold()
+        shown = "inactive" if threshold is None else f"{threshold * 1e3:.3f}ms"
+        lines = [
+            f"exemplars: {len(self._exemplars)}/{self.capacity} retained, "
+            f"{self.observed} observed, threshold {shown}"
+        ]
+        for exemplar in self._exemplars:
+            root = exemplar.trace.get("name", "?")
+            lines.append(
+                f"  #{exemplar.sequence} [{exemplar.kind}] "
+                f"{exemplar.latency_seconds * 1e3:.3f}ms root={root}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExemplarStore(retained={len(self._exemplars)}, "
+            f"observed={self.observed}, capacity={self.capacity})"
+        )

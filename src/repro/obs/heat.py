@@ -1,0 +1,372 @@
+"""Per-attribute workload heat accounting and the WorkloadProfile.
+
+The paper's index is partitioned *by attribute*, so attribute skew is
+the load-balance signal: one hot attribute means one hot interval tree,
+one hot set of leaves, one hot region of the value domain.  A
+:class:`HeatMonitor` attaches to a matcher (``FXTMMatcher(heat=...)`` /
+``ArrayTopKMatcher(heat=...)``) and accumulates, per attribute:
+
+* **probe counts** — how often the attribute's structure was stabbed;
+* **candidate yield** — entries returned per probe;
+* **stab scan lengths** and **skip-table efficiency** — entries examined
+  vs. blocks skipped whole by the ``max_high`` skip table (ranged only);
+* **probe-cache hit ratio** — per-attribute hits/misses of the batch
+  probe cache;
+* a **bounded value-region histogram** — where in the value domain the
+  queries land, kept bounded by doubling the bin width (and merging
+  pairs of bins) whenever the region count would exceed the budget.
+
+:meth:`HeatMonitor.snapshot` freezes the accounting into a
+:class:`WorkloadProfile` that names the hottest attributes and regions —
+the rebalancing signal the ROADMAP's async-serving item needs.
+
+When constructed with a ``registry``, every ``record_*`` call also
+increments mirrored ``repro_heat_*`` counters (labeled by attribute) in
+the same call, so the profile and the scrape surface reconcile exactly.
+
+Everything here is counter arithmetic — no clocks, no randomness — so
+heat accounting is deterministic and simulation-safe by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RegionHistogram", "AttributeHeat", "WorkloadProfile", "HeatMonitor"]
+
+
+class RegionHistogram:
+    """A bounded histogram over a value domain discovered on the fly.
+
+    Bins are fixed-width and anchored at the first observed value; when
+    an observation would push the bin count past ``max_bins``, the bin
+    width doubles and adjacent bins merge until it fits again.  Memory
+    is therefore O(``max_bins``) regardless of the domain, and every
+    observation is counted exactly once at the current resolution.
+
+    >>> histogram = RegionHistogram(max_bins=4, initial_width=1.0)
+    >>> for value in (0.5, 0.6, 2.5, 9.5):
+    ...     histogram.observe(value)
+    >>> histogram.total
+    4
+    """
+
+    __slots__ = ("max_bins", "width", "origin", "counts", "total")
+
+    def __init__(self, max_bins: int = 32, initial_width: float = 1.0) -> None:
+        if max_bins < 2:
+            raise ObservabilityError(f"max_bins must be >= 2, got {max_bins}")
+        if initial_width <= 0:
+            raise ObservabilityError(
+                f"initial_width must be > 0, got {initial_width}"
+            )
+        self.max_bins = max_bins
+        #: Current bin width; doubles whenever the histogram rescales.
+        self.width = float(initial_width)
+        #: Value anchoring bin index 0 (the first observation).
+        self.origin: Optional[float] = None
+        #: ``bin index -> count`` at the current resolution.
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` observations of ``value`` into the histogram."""
+        if self.origin is None:
+            self.origin = float(value)
+        index = int((float(value) - self.origin) // self.width)
+        self.counts[index] = self.counts.get(index, 0) + count
+        self.total += count
+        while len(self.counts) > self.max_bins:
+            self._rescale()
+
+    def _rescale(self) -> None:
+        """Double the bin width, merging index pairs ``(2i, 2i+1) -> i``."""
+        merged: Dict[int, int] = {}
+        for index, count in self.counts.items():
+            # Floor division pairs 0,1 -> 0 and -2,-1 -> -1 consistently.
+            key = index // 2
+            merged[key] = merged.get(key, 0) + count
+        self.counts = merged
+        self.width *= 2.0
+
+    def regions(self, limit: Optional[int] = None) -> List[Tuple[float, float, int]]:
+        """``(low, high, count)`` regions, hottest first.
+
+        Ties break on the region's low bound so the ordering is stable.
+        """
+        if self.origin is None:
+            return []
+        origin = self.origin
+        width = self.width
+        ordered = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            ordered = ordered[:limit]
+        return [
+            (origin + index * width, origin + (index + 1) * width, count)
+            for index, count in ordered
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionHistogram(bins={len(self.counts)}, width={self.width}, "
+            f"total={self.total})"
+        )
+
+
+class AttributeHeat:
+    """One attribute's accumulated heat counters (see the module doc)."""
+
+    __slots__ = (
+        "attribute",
+        "kind",
+        "probes",
+        "candidates",
+        "scanned",
+        "blocks_skipped",
+        "blocks_total",
+        "cache_hits",
+        "cache_misses",
+        "regions",
+    )
+
+    def __init__(self, attribute: str, kind: str, max_regions: int = 32) -> None:
+        self.attribute = attribute
+        #: ``"ranged"`` or ``"discrete"`` (first probe wins).
+        self.kind = kind
+        self.probes = 0
+        self.candidates = 0
+        #: Entries examined by ranged scans (candidates + rejected).
+        self.scanned = 0
+        self.blocks_skipped = 0
+        self.blocks_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Query-region histogram (ranged attributes only).
+        self.regions = RegionHistogram(max_bins=max_regions)
+
+    # -- derived ratios ---------------------------------------------------
+    @property
+    def candidate_yield(self) -> float:
+        """Fraction of scanned entries that became candidates (1.0 when unscanned)."""
+        return self.candidates / self.scanned if self.scanned else 1.0
+
+    @property
+    def skip_efficiency(self) -> float:
+        """Fraction of skip-table blocks skipped whole (0.0 when none seen)."""
+        return self.blocks_skipped / self.blocks_total if self.blocks_total else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Probe-cache hit ratio for this attribute (0.0 when uncached)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_json(self, region_limit: int = 5) -> Dict[str, Any]:
+        """A JSON-ready summary of this attribute's heat."""
+        return {
+            "attribute": self.attribute,
+            "kind": self.kind,
+            "probes": self.probes,
+            "candidates": self.candidates,
+            "scanned": self.scanned,
+            "blocks_skipped": self.blocks_skipped,
+            "blocks_total": self.blocks_total,
+            "candidate_yield": self.candidate_yield,
+            "skip_efficiency": self.skip_efficiency,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "hot_regions": [
+                {"low": low, "high": high, "count": count}
+                for low, high, count in self.regions.regions(limit=region_limit)
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributeHeat({self.attribute!r}, probes={self.probes}, "
+            f"candidates={self.candidates})"
+        )
+
+
+class WorkloadProfile:
+    """A frozen heat snapshot: attributes ranked hottest first.
+
+    Heat rank is probe count, then candidate volume, then name — the
+    attribute probed most is the one whose structure (and leaves, once
+    sharded by attribute) carries the load.
+    """
+
+    __slots__ = ("attributes",)
+
+    def __init__(self, attributes: List[AttributeHeat]) -> None:
+        self.attributes = sorted(
+            attributes,
+            key=lambda heat: (-heat.probes, -heat.candidates, heat.attribute),
+        )
+
+    def hot_attributes(self, top_p: int = 3) -> List[str]:
+        """The ``top_p`` hottest attribute names, hottest first."""
+        return [heat.attribute for heat in self.attributes[:top_p]]
+
+    def get(self, attribute: str) -> Optional[AttributeHeat]:
+        """This attribute's heat, or ``None`` when never probed."""
+        for heat in self.attributes:
+            if heat.attribute == attribute:
+                return heat
+        return None
+
+    def to_json(self, region_limit: int = 5) -> Dict[str, Any]:
+        """A JSON-ready document (served by the ``/heat`` endpoint)."""
+        return {
+            "hot_attributes": self.hot_attributes(),
+            "attributes": [
+                heat.to_json(region_limit=region_limit) for heat in self.attributes
+            ],
+        }
+
+    def render(self) -> str:
+        """A text table of the ranked attributes."""
+        if not self.attributes:
+            return "(no heat recorded)"
+        lines = [
+            f"{'attribute':<20} {'kind':<9} {'probes':>8} {'cands':>8} "
+            f"{'yield':>6} {'skip':>6} {'cache':>6}"
+        ]
+        for heat in self.attributes:
+            lines.append(
+                f"{heat.attribute:<20} {heat.kind:<9} {heat.probes:>8} "
+                f"{heat.candidates:>8} {heat.candidate_yield:>6.2f} "
+                f"{heat.skip_efficiency:>6.2f} {heat.cache_hit_ratio:>6.2f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"WorkloadProfile(attributes={len(self.attributes)})"
+
+
+class HeatMonitor:
+    """Accumulates per-attribute heat; attach via ``matcher.heat``.
+
+    ``registry`` mirrors every counter into labeled ``repro_heat_*``
+    metric families *in the same call* that updates the in-memory
+    aggregates, so :meth:`snapshot` and the scrape surface agree by
+    construction (the acceptance criterion pins this equality).
+
+    >>> monitor = HeatMonitor()
+    >>> monitor.record_probe("price", "ranged", candidates=3, scanned=8,
+    ...                      blocks_skipped=1, blocks_total=2)
+    >>> monitor.snapshot().hot_attributes(1)
+    ['price']
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        max_regions: int = 32,
+    ) -> None:
+        if max_regions < 2:
+            raise ObservabilityError(f"max_regions must be >= 2, got {max_regions}")
+        self.registry = registry
+        self.max_regions = max_regions
+        self._heats: Dict[str, AttributeHeat] = {}
+        if registry is not None:
+            labels = ("attribute",)
+            self._m_probes = registry.counter(
+                "repro_heat_probes_total", "attribute structure probes", labels
+            )
+            self._m_candidates = registry.counter(
+                "repro_heat_candidates_total", "candidates yielded by probes", labels
+            )
+            self._m_scanned = registry.counter(
+                "repro_heat_scanned_total", "entries examined by ranged scans", labels
+            )
+            self._m_blocks_skipped = registry.counter(
+                "repro_heat_blocks_skipped_total",
+                "skip-table blocks skipped whole",
+                labels,
+            )
+            self._m_blocks_total = registry.counter(
+                "repro_heat_blocks_total", "skip-table blocks considered", labels
+            )
+            self._m_cache_hits = registry.counter(
+                "repro_heat_cache_hits_total", "probe-cache hits by attribute", labels
+            )
+            self._m_cache_misses = registry.counter(
+                "repro_heat_cache_misses_total",
+                "probe-cache misses by attribute",
+                labels,
+            )
+
+    def _heat(self, attribute: str, kind: str) -> AttributeHeat:
+        heat = self._heats.get(attribute)
+        if heat is None:
+            heat = AttributeHeat(attribute, kind, max_regions=self.max_regions)
+            self._heats[attribute] = heat
+        return heat
+
+    # ------------------------------------------------------------------
+    # Recording (called from the matchers' heat-aware paths)
+    # ------------------------------------------------------------------
+    def record_probe(
+        self,
+        attribute: str,
+        kind: str,
+        candidates: int,
+        scanned: int = 0,
+        blocks_skipped: int = 0,
+        blocks_total: int = 0,
+    ) -> None:
+        """Fold one structure probe into the attribute's heat."""
+        heat = self._heat(attribute, kind)
+        heat.probes += 1
+        heat.candidates += candidates
+        heat.scanned += scanned
+        heat.blocks_skipped += blocks_skipped
+        heat.blocks_total += blocks_total
+        if self.registry is not None:
+            self._m_probes.labels(attribute=attribute).inc()
+            if candidates:
+                self._m_candidates.labels(attribute=attribute).inc(candidates)
+            if scanned:
+                self._m_scanned.labels(attribute=attribute).inc(scanned)
+            if blocks_skipped:
+                self._m_blocks_skipped.labels(attribute=attribute).inc(blocks_skipped)
+            if blocks_total:
+                self._m_blocks_total.labels(attribute=attribute).inc(blocks_total)
+
+    def record_cache(self, attribute: str, kind: str, hit: bool) -> None:
+        """Fold one probe-cache lookup outcome for ``attribute``."""
+        heat = self._heat(attribute, kind)
+        if hit:
+            heat.cache_hits += 1
+        else:
+            heat.cache_misses += 1
+        if self.registry is not None:
+            family = self._m_cache_hits if hit else self._m_cache_misses
+            family.labels(attribute=attribute).inc()
+
+    def record_region(self, attribute: str, qlo: float, qhi: float) -> None:
+        """Fold one ranged query's midpoint into the region histogram."""
+        heat = self._heat(attribute, "ranged")
+        heat.regions.observe((float(qlo) + float(qhi)) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> WorkloadProfile:
+        """Freeze the accounting into a ranked :class:`WorkloadProfile`."""
+        return WorkloadProfile(list(self._heats.values()))
+
+    def reset(self) -> None:
+        """Drop every accumulated heat (registry mirrors keep counting)."""
+        self._heats = {}
+
+    def __len__(self) -> int:
+        return len(self._heats)
+
+    def __repr__(self) -> str:
+        return f"HeatMonitor(attributes={len(self._heats)})"

@@ -46,6 +46,7 @@ class StructuredLogger:
         max_records: int = 2048,
         _bound: Optional[Dict[str, Any]] = None,
         _records: Optional[List[Dict[str, Any]]] = None,
+        _dropped: Optional[List[int]] = None,
     ) -> None:
         if max_records < 1:
             raise ObservabilityError(f"max_records must be >= 1, got {max_records}")
@@ -55,6 +56,14 @@ class StructuredLogger:
         self._bound = dict(_bound) if _bound else {}
         #: Shared ring buffer of emitted records (oldest first).
         self.records: List[Dict[str, Any]] = _records if _records is not None else []
+        # One-cell holder so parent and children share the drop count
+        # exactly as they share the ring buffer itself.
+        self._dropped: List[int] = _dropped if _dropped is not None else [0]
+
+    @property
+    def dropped_events(self) -> int:
+        """Records evicted from the ring buffer since construction."""
+        return self._dropped[0]
 
     def child(self, **bound: Any) -> "StructuredLogger":
         """A logger sharing this buffer/stream with extra bound fields."""
@@ -66,6 +75,7 @@ class StructuredLogger:
             max_records=self.max_records,
             _bound=merged,
             _records=self.records,
+            _dropped=self._dropped,
         )
 
     # ------------------------------------------------------------------
@@ -82,7 +92,9 @@ class StructuredLogger:
         record.update(fields)
         self.records.append(record)
         if len(self.records) > self.max_records:
-            del self.records[: len(self.records) - self.max_records]
+            overflow = len(self.records) - self.max_records
+            del self.records[:overflow]
+            self._dropped[0] += overflow
         if self.stream is not None:
             self.stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         return record
@@ -116,6 +128,20 @@ class StructuredLogger:
                 continue
             matched.append(record)
         return matched
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready summary: buffer state plus the buffered records.
+
+        ``dropped_events_total`` makes the ring buffer's silent eviction
+        observable — a reader seeing ``buffered == max_records`` can
+        tell whether history was lost and how much.
+        """
+        return {
+            "max_records": self.max_records,
+            "buffered": len(self.records),
+            "dropped_events_total": self.dropped_events,
+            "records": [dict(record) for record in self.records],
+        }
 
     def __len__(self) -> int:
         return len(self.records)

@@ -426,7 +426,32 @@ _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
 def _unescape_label_value(value: str) -> str:
-    return value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    # A left-to-right scan, NOT chained str.replace calls: sequential
+    # replaces corrupt adjacent escapes (the 4-char sequence for an
+    # escaped backslash followed by "n" must not collapse into a
+    # newline).  Each backslash consumes exactly one escape here, in the
+    # same order _escape_label_value produced them.
+    out: List[str] = []
+    index = 0
+    length = len(value)
+    while index < length:
+        char = value[index]
+        if char == "\\" and index + 1 < length:
+            escaped = value[index + 1]
+            if escaped == "n":
+                out.append("\n")
+            elif escaped in ('"', "\\"):
+                out.append(escaped)
+            else:
+                # Unknown escape: pass both characters through verbatim
+                # (the exposition format reserves but does not define them).
+                out.append(char)
+                out.append(escaped)
+            index += 2
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
 
 
 def parse_prom_text(text: str) -> Dict[str, Dict[str, Any]]:

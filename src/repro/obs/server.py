@@ -1,0 +1,202 @@
+"""A stdlib HTTP exposition endpoint for the observability surface.
+
+One :class:`ObservabilityServer` glues the whole ``repro.obs`` stack to
+a scrapeable port with zero dependencies beyond :mod:`http.server`:
+
+========================  =====================================================
+route                     payload
+========================  =====================================================
+``/healthz``              liveness JSON (always 200 once serving)
+``/metrics``              the registry's Prometheus text (format 0.0.4)
+``/metrics/<name>``       a named extra registry (e.g. per-leaf registries)
+``/profile``              :meth:`SamplingProfiler.snapshot` JSON
+``/profile?format=flame`` the profiler's flame-style text
+``/heat``                 the :class:`WorkloadProfile` JSON document
+``/heat?format=text``     the profile's text table
+``/exemplars``            :meth:`ExemplarStore.snapshot` JSON
+``/exemplars?format=text``  the store's text listing
+========================  =====================================================
+
+Components are all optional — a route whose component was not attached
+answers 404 with a JSON error body, so a scraper can distinguish "not
+wired" from "broken".  The server binds ``port=0`` by default (an
+ephemeral port, reported via :attr:`ObservabilityServer.url`), serves
+from a daemon thread, and shuts down cleanly via :meth:`stop` — the
+pattern the CI endpoint smoke job drives end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ObservabilityError
+from repro.obs.exemplars import ExemplarStore
+from repro.obs.heat import HeatMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler
+
+__all__ = ["ObservabilityServer", "PROM_CONTENT_TYPE"]
+
+#: The exposition-format 0.0.4 content type Prometheus scrapers expect.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+_TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
+
+
+class ObservabilityServer:
+    """Serves the attached observability components over HTTP.
+
+    ``extra_registries`` maps names to additional registries (the
+    distributed controller passes per-leaf registries here), each served
+    at ``/metrics/<name>``.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        profiler: Optional[SamplingProfiler] = None,
+        heat: Optional[HeatMonitor] = None,
+        exemplars: Optional[ExemplarStore] = None,
+        extra_registries: Optional[Dict[str, MetricsRegistry]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.profiler = profiler
+        self.heat = heat
+        self.exemplars = exemplars
+        self.extra_registries = dict(extra_registries or {})
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the server thread is accepting requests."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._httpd is None:
+            raise ObservabilityError("server is not started")
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """The server's base URL, e.g. ``http://127.0.0.1:53211``."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        """Bind the socket and serve from a daemon thread (idempotent)."""
+        if self.running:
+            return self
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-observability-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, close the socket, and join the thread."""
+        httpd = self._httpd
+        thread = self._thread
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        if thread is not None:
+            thread.join()
+        self._httpd = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Routing (status, content type, body) — exercised directly by tests
+    # ------------------------------------------------------------------
+    def handle(self, path: str) -> Tuple[int, str, str]:
+        """Resolve one request path to ``(status, content_type, body)``."""
+        parsed = urlparse(path)
+        query = parse_qs(parsed.query)
+        fmt = query.get("format", [""])[0]
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/healthz":
+                return 200, _JSON_CONTENT_TYPE, json.dumps({"status": "ok"})
+            if route == "/metrics":
+                if self.registry is None:
+                    return self._missing("metrics registry")
+                return 200, PROM_CONTENT_TYPE, self.registry.to_prom_text()
+            if route.startswith("/metrics/"):
+                name = route[len("/metrics/") :]
+                extra = self.extra_registries.get(name)
+                if extra is None:
+                    return self._missing(f"registry {name!r}")
+                return 200, PROM_CONTENT_TYPE, extra.to_prom_text()
+            if route == "/profile":
+                if self.profiler is None:
+                    return self._missing("profiler")
+                if fmt == "flame":
+                    return 200, _TEXT_CONTENT_TYPE, self.profiler.render()
+                return 200, _JSON_CONTENT_TYPE, json.dumps(self.profiler.snapshot())
+            if route == "/heat":
+                if self.heat is None:
+                    return self._missing("heat monitor")
+                profile = self.heat.snapshot()
+                if fmt == "text":
+                    return 200, _TEXT_CONTENT_TYPE, profile.render()
+                return 200, _JSON_CONTENT_TYPE, json.dumps(profile.to_json())
+            if route == "/exemplars":
+                if self.exemplars is None:
+                    return self._missing("exemplar store")
+                if fmt == "text":
+                    return 200, _TEXT_CONTENT_TYPE, self.exemplars.render()
+                return 200, _JSON_CONTENT_TYPE, json.dumps(self.exemplars.snapshot())
+            return 404, _JSON_CONTENT_TYPE, json.dumps(
+                {"error": f"unknown route {route!r}"}
+            )
+        except Exception as error:  # pragma: no cover - defensive surface
+            return 500, _JSON_CONTENT_TYPE, json.dumps({"error": str(error)})
+
+    @staticmethod
+    def _missing(component: str) -> Tuple[int, str, str]:
+        return 404, _JSON_CONTENT_TYPE, json.dumps(
+            {"error": f"no {component} attached"}
+        )
+
+    def __repr__(self) -> str:
+        return f"ObservabilityServer(running={self.running})"
+
+
+def _make_handler(server: "ObservabilityServer") -> type:
+    """A request-handler class closed over ``server`` (stdlib idiom)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        """Routes GETs through :meth:`ObservabilityServer.handle`."""
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            status, content_type, body = server.handle(self.path)
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, format: str, *args: Any) -> None:
+            """Silence per-request stderr logging (scrape noise)."""
+
+    return Handler

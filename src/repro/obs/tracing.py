@@ -212,7 +212,14 @@ class Tracer:
 
 
 def aggregate_phases(traces: Iterable[Span]) -> Dict[str, Dict[str, float]]:
-    """Total seconds and span count per span name across trace trees.
+    """Per-name totals across trace trees: cumulative, self, and count.
+
+    ``seconds`` is cumulative (a span's whole duration, children
+    included); ``self_seconds`` subtracts the direct children's
+    durations, so a child's time is never double-counted in its parent —
+    summing ``self_seconds`` over all names reproduces each trace's
+    wall time exactly once.  Clamped at zero: with overridden durations
+    (simulated clocks) children can nominally exceed their parent.
 
     The benchmark harness uses this to attribute measured time to pipeline
     stages (probe vs. score vs. top-k selection) over a whole event batch.
@@ -220,8 +227,13 @@ def aggregate_phases(traces: Iterable[Span]) -> Dict[str, Dict[str, float]]:
     totals: Dict[str, Dict[str, float]] = {}
 
     def visit(span: Span) -> None:
-        entry = totals.setdefault(span.name, {"seconds": 0.0, "count": 0})
-        entry["seconds"] += span.duration
+        entry = totals.setdefault(
+            span.name, {"seconds": 0.0, "self_seconds": 0.0, "count": 0}
+        )
+        duration = span.duration
+        children_seconds = sum(child.duration for child in span.children)
+        entry["seconds"] += duration
+        entry["self_seconds"] += max(duration - children_seconds, 0.0)
         entry["count"] += 1
         for child in span.children:
             visit(child)

@@ -375,6 +375,42 @@ class IntervalTree:
                     out.append((node.low, node.high, node.sid, node.weight))
         return out
 
+    def stab_heat(
+        self, qlo: float, qhi: float
+    ) -> Tuple[List[IntervalEntry], int, int, int]:
+        """:meth:`stab` plus scan accounting for the heat monitor.
+
+        Returns ``(entries, scanned, blocks_skipped, blocks_total)``:
+        how many nodes the scan examined, how many skip-table blocks the
+        ``max_high`` table skipped whole, and how many blocks were in
+        range at all.  Kept as a separate method so the plain stab path
+        carries no accounting arithmetic.
+        """
+        if qlo > qhi:
+            raise InvalidIntervalError(qlo, qhi)
+        out: List[IntervalEntry] = []
+        if self._root is None:
+            return out, 0, 0, 0
+        flat = self._flat
+        if flat is None or flat[0] != self._epoch:
+            flat = self._build_flat()
+        _build_epoch, ordered, block_max = flat
+        cutoff = bisect_right(ordered, qhi, key=_node_low)
+        scanned = 0
+        blocks_skipped = 0
+        blocks_total = 0
+        for start in range(0, cutoff, _FLAT_BLOCK):
+            blocks_total += 1
+            if block_max[start // _FLAT_BLOCK] < qlo:
+                blocks_skipped += 1
+                continue
+            stop = min(start + _FLAT_BLOCK, cutoff)
+            scanned += stop - start
+            for node in ordered[start:stop]:
+                if node.high >= qlo:
+                    out.append((node.low, node.high, node.sid, node.weight))
+        return out, scanned, blocks_skipped, blocks_total
+
     def stab_point(self, value: float) -> List[IntervalEntry]:
         """Return all entries containing the point ``value``."""
         return self.stab(value, value)

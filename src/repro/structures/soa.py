@@ -236,6 +236,39 @@ class SoARangedIndex:
                     append(index)
         return out
 
+    def candidates_heat(
+        self, qlo: float, qhi: float
+    ) -> Tuple[List[int], int, int, int]:
+        """:meth:`candidates` plus scan accounting for the heat monitor.
+
+        Returns ``(indices, scanned, blocks_skipped, blocks_total)``.
+        Always takes the scalar block-skip path — the counters describe
+        skip-table behaviour, which the vectorised compare bypasses —
+        and the plain :meth:`candidates` path carries no accounting.
+        """
+        stop = bisect_right(self.los, qhi)
+        if not stop:
+            return [], 0, 0, 0
+        view = self.ensure_view(want_numpy=False)
+        his = self.his
+        block_max = view[2]
+        out: List[int] = []
+        append = out.append
+        scanned = 0
+        blocks_skipped = 0
+        blocks_total = 0
+        for start in range(0, stop, _BLOCK):
+            blocks_total += 1
+            if block_max[start // _BLOCK] < qlo:
+                blocks_skipped += 1
+                continue
+            block_stop = min(start + _BLOCK, stop)
+            scanned += block_stop - start
+            for index in range(start, block_stop):
+                if his[index] >= qlo:
+                    append(index)
+        return out, scanned, blocks_skipped, blocks_total
+
 
 class SoADiscreteBucket:
     """One discrete value's matching constraints, sorted by sid."""

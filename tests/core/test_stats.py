@@ -219,10 +219,40 @@ class TestInstrumentedMatcher:
         wrapped.match(Event({"a": 5}), 1)
         registry = wrapped.registry
         assert registry.counter("repro_matches_total").value == 1.0
-        assert registry.counter("repro_subscription_ops_total").labels(op="add").value == 2.0
-        latency = registry.get("repro_match_seconds").labels()
+        ops = registry.counter("repro_subscription_ops_total")
+        assert ops.labels(op="add", algorithm="fx-tm", backend="python").value == 2.0
+        latency = registry.get("repro_match_seconds").labels(
+            algorithm="fx-tm", backend="python"
+        )
         assert latency.count == 1
         assert "repro_matches_total" in registry.to_prom_text()
+
+    def test_metrics_labeled_with_algorithm_and_backend(self):
+        # Pins the label *set*: one shared registry distinguishes the
+        # reference engine from the array engine (and its backend).
+        from repro.core.array_matcher import ArrayTopKMatcher
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        reference = InstrumentedMatcher(FXTMMatcher(), registry=registry)
+        array = InstrumentedMatcher(
+            ArrayTopKMatcher(backend="python"), registry=registry
+        )
+        for wrapped in (reference, array):
+            wrapped.add_subscription(
+                Subscription(f"s-{wrapped.name}", [Constraint("a", Interval(0, 10))])
+            )
+            wrapped.match(Event({"a": 5}), 1)
+        family = registry.get("repro_matches_total")
+        assert family.label_names == ("algorithm", "backend")
+        label_sets = {tuple(sorted(labels.items())) for labels, _ in family.children()}
+        assert (("algorithm", "fx-tm"), ("backend", "python")) in label_sets
+        assert (("algorithm", "fx-tm-array"), ("backend", "python")) in label_sets
+        for labels, child in family.children():
+            assert child.value == 1.0
+        text = registry.to_prom_text()
+        assert 'repro_matches_total{algorithm="fx-tm",backend="python"} 1' in text
+        assert 'repro_matches_total{algorithm="fx-tm-array",backend="python"} 1' in text
 
     def test_shared_registry_across_matchers(self):
         from repro.obs.metrics import MetricsRegistry

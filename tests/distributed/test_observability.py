@@ -250,6 +250,102 @@ class TestControllerIntrospection:
         assert not response.ok
 
 
+class TestDistributedExemplars:
+    def build(self, replication_factor=1):
+        from repro.obs import ExemplarStore
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        exemplars = ExemplarStore(quantile=0.99, min_samples=1000)
+        system = DistributedTopKSystem(
+            lambda: make_matcher("fx-tm", prorate=True),
+            node_count=NODE_COUNT,
+            replication_factor=replication_factor,
+            faults=FaultPlan(crashed=frozenset({CRASHED_LEAF}), seed=11),
+            registry=registry,
+            tracer=tracer,
+            exemplars=exemplars,
+        )
+        system.add_subscriptions(subscriptions())
+        return system, exemplars
+
+    def test_every_degraded_match_is_captured(self):
+        system, exemplars = self.build(replication_factor=1)
+        outcome = system.match(Event({"price": 42}), k=5)
+        assert outcome.degraded
+        (exemplar,) = exemplars.exemplars(kind="degraded")
+        assert exemplar.trace["name"] == "distributed.match"
+        assert exemplar.attributes["coverage"] == outcome.coverage
+        assert exemplar.attributes["simulated"] is True
+        # The frozen trace still shows the failed leaf's retries.
+        assert exemplar.trace["attributes"]["failed_leaves"] == [CRASHED_LEAF]
+
+    def test_replicated_cluster_observes_without_capturing(self):
+        system, exemplars = self.build(replication_factor=2)
+        outcome = system.match(Event({"price": 42}), k=5)
+        assert not outcome.degraded
+        # Observed for the latency distribution, but the min_samples
+        # gate is far away and nothing was degraded: nothing retained.
+        assert exemplars.observed == 1
+        assert len(exemplars) == 0
+
+    def test_batch_degradation_captured_once_per_batch(self):
+        system, exemplars = self.build(replication_factor=1)
+        outcome = system.match_batch([Event({"price": v}) for v in (1, 2, 3)], k=5)
+        assert outcome.degraded
+        (exemplar,) = exemplars.exemplars(kind="degraded")
+        assert exemplar.attributes["batch"] == 3
+
+
+class TestControllerObservabilityServer:
+    def build_instrumented_system(self):
+        from repro.core.stats import InstrumentedMatcher
+
+        registry = MetricsRegistry()
+        system = DistributedTopKSystem(
+            lambda: InstrumentedMatcher(make_matcher("fx-tm", prorate=True)),
+            node_count=3,
+            replication_factor=1,
+            registry=registry,
+        )
+        system.add_subscriptions(subscriptions())
+        return system
+
+    def test_root_and_leaf_registries_scrapeable(self):
+        system = self.build_instrumented_system()
+        controller = DistributedController(system)
+        assert controller.submit("MATCH 5 price: 42").ok
+        server = controller.observability_server()
+        status, _, body = server.handle("/metrics")
+        assert status == 200
+        assert parse_prom_text(body)["repro_distributed_matches_total"][
+            "samples"
+        ][0][2] == 1.0
+        # Every instrumented leaf got its own named registry route.
+        assert sorted(server.extra_registries) == ["leaf-0", "leaf-1", "leaf-2"]
+        leaf_totals = 0.0
+        for name in server.extra_registries:
+            status, _, body = server.handle(f"/metrics/{name}")
+            assert status == 200
+            parsed = parse_prom_text(body)
+            if "repro_matches_total" in parsed:
+                leaf_totals += sum(
+                    value
+                    for sample_name, _, value in parsed["repro_matches_total"]["samples"]
+                    if sample_name == "repro_matches_total"
+                )
+        # The event fanned out to every live leaf.
+        assert leaf_totals == 3.0
+
+    def test_uninstrumented_leaves_yield_no_extra_registries(self):
+        system, registry, tracer, logger = build_system()
+        server = DistributedController(system).observability_server()
+        assert server.extra_registries == {}
+        # The system carries no exemplar store either: the route 404s.
+        status, _, _ = server.handle("/exemplars")
+        assert status == 404
+
+
 class TestFaultPlanReplayLogging:
     def test_match_begin_debug_event(self):
         system, registry, tracer, logger = build_system()
@@ -290,4 +386,7 @@ def test_local_controller_metrics_kind(fmt):
     if fmt == "json":
         assert json.loads(response.payload)["repro_matches_total"]["values"][0]["value"] == 1.0
     else:
-        assert "repro_matches_total 1" in response.payload
+        assert (
+            'repro_matches_total{algorithm="fx-tm",backend="python"} 1'
+            in response.payload
+        )

@@ -1,0 +1,134 @@
+"""Tail-based exemplar capture: gating, ring bounds, wiring."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exemplars import ExemplarStore
+from repro.obs.tracing import Span, Tracer
+
+
+def finished_span(name="match", seconds=0.001):
+    span = Span(name, start=0.0)
+    span.end = span.start
+    span.set_duration(seconds)
+    return span
+
+
+class TestLatencyGating:
+    def test_inactive_until_min_samples(self):
+        store = ExemplarStore(quantile=0.5, min_samples=3)
+        assert store.threshold() is None
+        assert store.offer(finished_span(), 1.0) is False
+        assert store.offer(finished_span(), 1.0) is False
+        # The third observation activates the threshold in the same offer.
+        assert store.offer(finished_span(), 1.0) is True
+        assert store.threshold() is not None
+        assert store.observed == 3
+
+    def test_fast_matches_rejected_slow_ones_kept(self):
+        store = ExemplarStore(capacity=64, quantile=0.9, min_samples=8)
+        # A spread of latencies: the p90 threshold sits near the top.
+        for index in range(1, 51):
+            store.offer(finished_span(), index * 0.001)
+        threshold = store.threshold()
+        assert threshold is not None
+        # Far below the threshold: observed but rejected.
+        assert store.offer(finished_span(), threshold / 10.0) is False
+        assert store.rejected > 0
+        # Far above: kept as a latency exemplar.
+        assert store.offer(finished_span(seconds=5.0), 5.0) is True
+        assert store.exemplars(kind="latency")[-1].latency_seconds == 5.0
+
+    def test_none_trace_observed_but_never_kept(self):
+        store = ExemplarStore(quantile=0.5, min_samples=1)
+        assert store.offer(None, 100.0) is False
+        assert store.observed == 1
+        assert len(store) == 0
+
+
+class TestDegradedCapture:
+    def test_degraded_bypasses_both_gates(self):
+        store = ExemplarStore(quantile=0.99, min_samples=1000)
+        kept = store.offer(finished_span(), 0.0001, degraded=True, coverage=0.5)
+        assert kept is True
+        (exemplar,) = store.exemplars(kind="degraded")
+        assert exemplar.attributes["coverage"] == 0.5
+
+
+class TestRingBound:
+    def test_oldest_evicted_and_counted(self):
+        store = ExemplarStore(capacity=2, quantile=0.5, min_samples=1)
+        for index in range(5):
+            store.offer(finished_span(), 1.0, index=index)
+        assert len(store) == 2
+        assert store.dropped == 3
+        # Oldest first; the survivors are the two most recent captures.
+        assert [e.attributes["index"] for e in store.exemplars()] == [3, 4]
+        assert [e.sequence for e in store.exemplars()] == [3, 4]
+
+
+class TestCapturedTrace:
+    def test_trace_frozen_at_capture_time(self):
+        tracer = Tracer()
+        with tracer.span("match", k=5):
+            tracer.record("attribute.probe", 0.2)
+        store = ExemplarStore(quantile=0.5, min_samples=1)
+        store.offer(tracer.last_trace, 1.0)
+        (exemplar,) = store.exemplars()
+        assert exemplar.trace["name"] == "match"
+        assert exemplar.trace["children"][0]["name"] == "attribute.probe"
+        # Mutating the live span later does not rewrite the exemplar.
+        tracer.last_trace.annotate(k=99)
+        assert exemplar.trace["attributes"]["k"] == 5
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        store = ExemplarStore(capacity=4, quantile=0.5, min_samples=1)
+        store.offer(finished_span(), 1.0)
+        document = store.snapshot()
+        assert document["capacity"] == 4
+        assert document["observed"] == 1
+        assert document["retained"] == 1
+        assert document["dropped_total"] == 0
+        assert document["exemplars"][0]["kind"] == "latency"
+        assert document["exemplars"][0]["trace"]["name"] == "match"
+
+    def test_render(self):
+        store = ExemplarStore(quantile=0.5, min_samples=1)
+        assert store.render() == "(no exemplars captured)"
+        store.offer(finished_span(), 1.0)
+        text = store.render()
+        assert "1/32 retained" in text
+        assert "root=match" in text
+
+    def test_validation(self):
+        with pytest.raises(ObservabilityError):
+            ExemplarStore(capacity=0)
+        with pytest.raises(ObservabilityError):
+            ExemplarStore(quantile=1.0)
+        with pytest.raises(ObservabilityError):
+            ExemplarStore(min_samples=0)
+
+
+class TestInstrumentedMatcherWiring:
+    def test_slow_match_retains_its_trace(self):
+        from repro import Constraint, Event, FXTMMatcher, Interval, Subscription
+        from repro.core.stats import InstrumentedMatcher
+
+        store = ExemplarStore(quantile=0.5, min_samples=1)
+        tracer = Tracer()
+        wrapped = InstrumentedMatcher(FXTMMatcher(), tracer=tracer, exemplars=store)
+        wrapped.add_subscription(
+            Subscription("s1", [Constraint("price", Interval(0, 100), 1.0)])
+        )
+        for _ in range(8):
+            wrapped.match(Event({"price": 42}), k=3)
+        assert store.observed == 8
+        # At quantile 0.5 some of the eight matches must have been kept,
+        # and each kept exemplar carries the traced match tree.
+        assert len(store) >= 1
+        for exemplar in store.exemplars():
+            assert exemplar.trace["name"] == "match"
+            assert exemplar.attributes["k"] == 3
+            assert exemplar.attributes["results"] == 1

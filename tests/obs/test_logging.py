@@ -84,6 +84,44 @@ class TestChildLoggers:
         assert logger.records_for()[0]["component"] == "override"
 
 
+class TestDroppedEvents:
+    def test_ring_overflow_counts_dropped(self):
+        logger = StructuredLogger(clock=fixed_clock, max_records=5)
+        for index in range(20):
+            logger.info("tick", index=index)
+        assert logger.dropped_events == 15
+        assert len(logger.records_for()) == 5
+
+    def test_no_overflow_no_drops(self):
+        logger = StructuredLogger(clock=fixed_clock, max_records=5)
+        logger.info("one")
+        assert logger.dropped_events == 0
+
+    def test_children_share_the_drop_counter(self):
+        logger = StructuredLogger(clock=fixed_clock, max_records=2)
+        child = logger.child(component="health")
+        for _ in range(4):
+            child.info("tick")
+        # Drops caused through the child are visible on the parent and
+        # vice versa — one ring, one counter.
+        assert logger.dropped_events == 2
+        assert child.dropped_events == 2
+        logger.info("more")
+        assert child.dropped_events == 3
+
+    def test_snapshot_surfaces_dropped_total(self):
+        logger = StructuredLogger(clock=fixed_clock, max_records=3)
+        for index in range(5):
+            logger.info("tick", index=index)
+        document = logger.snapshot()
+        assert document["max_records"] == 3
+        assert document["buffered"] == 3
+        assert document["dropped_events_total"] == 2
+        assert [record["index"] for record in document["records"]] == [2, 3, 4]
+        # The snapshot is JSON-ready.
+        json.loads(json.dumps(document))
+
+
 class TestRecordsFor:
     def test_filter_by_event_level_and_fields(self):
         logger = StructuredLogger(clock=fixed_clock)

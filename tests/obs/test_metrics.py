@@ -201,6 +201,24 @@ class TestPromExposition:
         assert labels["tag"] == 'quo"te\\slash'
         assert value == 1.0
 
+    def test_hostile_label_value_round_trips(self):
+        # Regression: unescaping with chained str.replace corrupted a
+        # literal backslash followed by "n" — the 4-char escaped form
+        # collapsed into a real newline.  The hostile value below mixes
+        # every escapable character with that adjacent-escape trap.
+        hostile = 'quo"te\\slash\nnewline\\nliteral\\\\double'
+        registry = MetricsRegistry()
+        family = registry.counter("hostile_total", "hostile", labels=("tag",))
+        family.labels(tag=hostile).inc()
+        text = registry.to_prom_text()
+        # The exposition itself stays one sample line (no raw newline).
+        sample_lines = [line for line in text.splitlines() if "hostile_total{" in line]
+        assert len(sample_lines) == 1
+        parsed = parse_prom_text(text)
+        (_, labels, value) = parsed["hostile_total"]["samples"][0]
+        assert labels["tag"] == hostile
+        assert value == 1.0
+
     def test_malformed_line_rejected(self):
         with pytest.raises(ObservabilityError):
             parse_prom_text("this is { not a metric\n")

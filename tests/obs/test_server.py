@@ -1,0 +1,159 @@
+"""The observability HTTP endpoint: routing, formats, live scrapes."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exemplars import ExemplarStore
+from repro.obs.heat import HeatMonitor
+from repro.obs.metrics import MetricsRegistry, parse_prom_text
+from repro.obs.profile import SamplingProfiler
+from repro.obs.server import PROM_CONTENT_TYPE, ObservabilityServer
+from repro.obs.tracing import Span
+
+
+def full_server():
+    registry = MetricsRegistry()
+    registry.counter("repro_matches_total", "matches").inc(3)
+    profiler = SamplingProfiler()
+    profiler.sample_once(
+        stacks=[[("repro/structures/interval_tree.py", "stab")]]
+    )
+    heat = HeatMonitor(registry=registry)
+    heat.record_probe("price", "ranged", candidates=2, scanned=5)
+    exemplars = ExemplarStore(quantile=0.5, min_samples=1)
+    span = Span("match", start=0.0)
+    span.end = 0.0
+    span.set_duration(1.0)
+    exemplars.offer(span, 1.0)
+    leaf = MetricsRegistry()
+    leaf.counter("repro_matches_total", "matches").inc(1)
+    return ObservabilityServer(
+        registry=registry,
+        profiler=profiler,
+        heat=heat,
+        exemplars=exemplars,
+        extra_registries={"leaf-0": leaf},
+    )
+
+
+class TestRouting:
+    def test_healthz(self):
+        status, content_type, body = ObservabilityServer().handle("/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_metrics_prom_text(self):
+        server = full_server()
+        status, content_type, body = server.handle("/metrics")
+        assert status == 200
+        assert content_type == PROM_CONTENT_TYPE
+        parsed = parse_prom_text(body)
+        assert parsed["repro_matches_total"]["samples"][0][2] == 3.0
+        assert "repro_heat_probes_total" in parsed
+
+    def test_named_extra_registry(self):
+        server = full_server()
+        status, _, body = server.handle("/metrics/leaf-0")
+        assert status == 200
+        assert parse_prom_text(body)["repro_matches_total"]["samples"][0][2] == 1.0
+        status, _, body = server.handle("/metrics/leaf-9")
+        assert status == 404
+        assert "leaf-9" in json.loads(body)["error"]
+
+    def test_profile_json_and_flame(self):
+        server = full_server()
+        status, _, body = server.handle("/profile")
+        assert status == 200
+        assert json.loads(body)["total_samples"] == 1
+        status, _, body = server.handle("/profile?format=flame")
+        assert status == 200
+        assert "attribute.probe" in body
+
+    def test_heat_json_and_text(self):
+        server = full_server()
+        status, _, body = server.handle("/heat")
+        assert status == 200
+        document = json.loads(body)
+        assert document["hot_attributes"] == ["price"]
+        status, _, body = server.handle("/heat?format=text")
+        assert status == 200
+        assert "price" in body
+
+    def test_exemplars_json_and_text(self):
+        server = full_server()
+        status, _, body = server.handle("/exemplars")
+        assert status == 200
+        assert json.loads(body)["retained"] == 1
+        status, _, body = server.handle("/exemplars?format=text")
+        assert status == 200
+        assert "retained" in body
+
+    def test_unknown_route_404(self):
+        status, _, body = full_server().handle("/nope")
+        assert status == 404
+        assert "unknown route" in json.loads(body)["error"]
+
+    def test_unattached_components_404_with_distinct_errors(self):
+        bare = ObservabilityServer()
+        for route, component in [
+            ("/metrics", "metrics registry"),
+            ("/profile", "profiler"),
+            ("/heat", "heat monitor"),
+            ("/exemplars", "exemplar store"),
+        ]:
+            status, _, body = bare.handle(route)
+            assert status == 404
+            assert component in json.loads(body)["error"]
+
+    def test_trailing_slash_normalized(self):
+        status, _, _ = full_server().handle("/healthz/")
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_port_before_start_raises(self):
+        with pytest.raises(ObservabilityError):
+            ObservabilityServer().port
+
+    def test_live_scrape_of_metrics_and_heat(self):
+        server = full_server()
+        server.start()
+        try:
+            assert server.running
+            base = server.url
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == PROM_CONTENT_TYPE
+                parsed = parse_prom_text(response.read().decode("utf-8"))
+            assert parsed["repro_matches_total"]["samples"][0][2] == 3.0
+            with urllib.request.urlopen(f"{base}/heat", timeout=5) as response:
+                document = json.loads(response.read().decode("utf-8"))
+            assert document["hot_attributes"] == ["price"]
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as response:
+                assert json.loads(response.read().decode("utf-8"))["status"] == "ok"
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_start_idempotent_stop_idempotent(self):
+        server = ObservabilityServer(registry=MetricsRegistry())
+        server.start()
+        port = server.port
+        assert server.start() is server
+        assert server.port == port
+        server.stop()
+        server.stop()
+
+    def test_scrape_404_routes_live(self):
+        server = ObservabilityServer(registry=MetricsRegistry())
+        server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/profile", timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()

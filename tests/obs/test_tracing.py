@@ -130,3 +130,52 @@ class TestAggregatePhases:
         assert totals["probe"]["seconds"] == pytest.approx(0.6)
         assert totals["select"]["seconds"] == pytest.approx(0.8)
         assert totals["match"]["count"] == 2
+
+    def test_self_time_excludes_children(self):
+        # A child's time must not be double-counted in its parent's
+        # self-time: match is 1.0s cumulative, but only 0.3s of it was
+        # spent outside probe (0.3s) and select (0.4s).
+        tracer = Tracer()
+        root = tracer.begin("match")
+        tracer.record("probe", 0.1)
+        tracer.record("probe", 0.2)
+        tracer.record("select", 0.4)
+        tracer.end()
+        root.set_duration(1.0)
+        totals = aggregate_phases(tracer.traces)
+        assert totals["match"]["seconds"] == pytest.approx(1.0)
+        assert totals["match"]["self_seconds"] == pytest.approx(0.3)
+        # Leaf spans have no children: self time equals cumulative time.
+        assert totals["probe"]["self_seconds"] == pytest.approx(0.3)
+        assert totals["select"]["self_seconds"] == pytest.approx(0.4)
+        # Summing self time over every name reproduces the trace's wall
+        # time exactly once.
+        total_self = sum(entry["self_seconds"] for entry in totals.values())
+        assert total_self == pytest.approx(1.0)
+
+    def test_self_time_only_subtracts_direct_children(self):
+        # Grandchildren subtract from their parent, not the grandparent.
+        tracer = Tracer()
+        root = tracer.begin("outer")
+        middle = tracer.begin("middle")
+        tracer.record("inner", 0.2)
+        tracer.end()
+        middle.set_duration(0.5)
+        tracer.end()
+        root.set_duration(1.0)
+        totals = aggregate_phases(tracer.traces)
+        assert totals["outer"]["self_seconds"] == pytest.approx(0.5)
+        assert totals["middle"]["self_seconds"] == pytest.approx(0.3)
+        assert totals["inner"]["self_seconds"] == pytest.approx(0.2)
+
+    def test_self_time_clamps_when_children_exceed_parent(self):
+        # Simulated-clock overrides can make children nominally longer
+        # than their parent; self time clamps at zero instead of going
+        # negative.
+        tracer = Tracer()
+        root = tracer.begin("outer")
+        tracer.record("inner", 2.0)
+        tracer.end()
+        root.set_duration(1.0)
+        totals = aggregate_phases(tracer.traces)
+        assert totals["outer"]["self_seconds"] == 0.0

@@ -98,7 +98,7 @@ class TestMain:
         )
         assert main(["serve", str(requests)]) == 0
         out = capsys.readouterr().out
-        assert "repro_matches_total 1" in out
+        assert 'repro_matches_total{algorithm="fx-tm",backend="python"} 1' in out
         # The TRACE response replays the spans of the preceding MATCH.
         assert "fxtm.match" in out
 
@@ -180,6 +180,81 @@ class TestTraceSubcommand:
         requests.write_text("ADD a x in [1, 2]\n")
         assert main(["trace", str(requests)]) == 1
         assert "no traces" in capsys.readouterr().err
+
+
+class TestServeMetricsSubcommand:
+    def test_once_scrape_is_parseable(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import parse_prom_text
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\nMATCH 1 x: 2\n")
+        assert main(["serve-metrics", "--once", str(requests)]) == 0
+        scrape = json.loads(capsys.readouterr().out)
+        assert scrape["healthz"] == '{"status": "ok"}'
+        parsed = parse_prom_text(scrape["metrics"])
+        assert "repro_matches_total" in parsed
+        assert "repro_heat_probes_total" in parsed
+        heat = json.loads(scrape["heat"])
+        assert heat["hot_attributes"] == ["x"]
+        assert heat["attributes"][0]["probes"] == 2
+        exemplars = json.loads(scrape["exemplars"])
+        assert exemplars["observed"] == 2
+
+    def test_once_with_profile_includes_profiler_surface(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["serve-metrics", "--once", "--profile", str(requests)]) == 0
+        scrape = json.loads(capsys.readouterr().out)
+        profile = json.loads(scrape["profile"])
+        assert profile["running"] is False  # stopped before the scrape
+        assert "phases" in profile
+
+    def test_once_without_profile_omits_profiler_surface(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\n")
+        assert main(["serve-metrics", "--once", str(requests)]) == 0
+        assert "profile" not in json.loads(capsys.readouterr().out)
+
+    def test_request_errors_fail_the_once_scrape(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("CANCEL ghost\n")
+        assert main(["serve-metrics", "--once", str(requests)]) == 1
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is still one clean document
+        assert "error" in captured.err
+
+
+class TestExemplarsSubcommand:
+    def test_text_listing(self, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\nMATCH 1 x: 1\n")
+        assert main(["exemplars", str(requests)]) == 0
+        out = capsys.readouterr().out
+        assert "observed" in out
+        assert "root=match" in out
+
+    def test_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text("ADD a x in [1, 2]\nMATCH 1 x: 1\nMATCH 1 x: 1\n")
+        assert main(
+            ["exemplars", "--format", "json", "--quantile", "0.5", str(requests)]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["observed"] == 2
+        assert document["quantile"] == 0.5
+        assert document["retained"] >= 1
+        # Captured exemplars carry the traced match tree.
+        assert document["exemplars"][0]["trace"]["name"] == "match"
 
 
 class TestModuleInvocation:
