@@ -17,7 +17,14 @@ Layout:
 * :mod:`repro.analysis.checker` — file walking and rule dispatch;
 * :mod:`repro.analysis.determinism` / :mod:`~repro.analysis.locks` /
   :mod:`~repro.analysis.hygiene` / :mod:`~repro.analysis.invariants` —
-  the built-in rule families (codes FX1xx–FX4xx);
+  the built-in per-file rule families (codes FX1xx–FX4xx);
+* :mod:`repro.analysis.projectindex` — the single-parse whole-project
+  index (string-literal call sites, class hierarchies, ``__all__``
+  exports, a lightweight call graph) behind ``--project`` mode;
+* :mod:`repro.analysis.obscontracts` / :mod:`~repro.analysis.crosslayer`
+  / :mod:`~repro.analysis.disthygiene` — the cross-module contract rule
+  families (FX5xx observability drift, FX6xx cross-layer API
+  consistency, FX7xx distributed error-path hygiene);
 * :mod:`repro.analysis.reporters` — human-readable and JSON output;
 * :mod:`repro.analysis.racedetect` — the *runtime* companion: an
   instrumented ``ReadWriteLock`` asserting reader/writer exclusion and
@@ -29,27 +36,36 @@ See docs/static_analysis.md for the rule catalogue and pragma syntax.
 
 from __future__ import annotations
 
-from repro.analysis.checker import check_file, check_paths, load_default_rules
+from repro.analysis.checker import (
+    check_file,
+    check_paths,
+    check_project,
+    load_default_rules,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.pragmas import PragmaSet
+from repro.analysis.projectindex import ProjectIndex
 from repro.analysis.racedetect import (
     InstrumentedRWLock,
     LockOrderCycleError,
     RaceDetector,
     instrument_matcher,
 )
-from repro.analysis.rules import Rule, all_rules, get_rule, register
+from repro.analysis.rules import ProjectRule, Rule, all_rules, get_rule, register
 
 __all__ = [
     "Finding",
     "InstrumentedRWLock",
     "LockOrderCycleError",
     "PragmaSet",
+    "ProjectIndex",
+    "ProjectRule",
     "RaceDetector",
     "Rule",
     "all_rules",
     "check_file",
     "check_paths",
+    "check_project",
     "get_rule",
     "instrument_matcher",
     "load_default_rules",

@@ -1,0 +1,214 @@
+"""FX7xx — distributed error-path hygiene rules (whole-project).
+
+The distributed overlay turns failures into data: health tracking,
+degradation accounting, and replay all depend on error paths leaving a
+trace.  Two contracts:
+
+* an ``except`` handler inside ``repro/distributed/`` that neither
+  re-raises nor emits a structured-log event swallows evidence — the
+  operator sees a degraded answer with no event explaining why (FX701);
+* a function that reaches a simulated network ``hop`` must have the
+  retry policy in scope (a ``policy``/``deadline`` parameter or a
+  ``self.retry`` read), and callers holding a policy must actually pass
+  it rather than silently letting a default re-resolve — checked
+  interprocedurally over the project call graph (FX702).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.projectindex import FunctionInfo, ProjectIndex
+from repro.analysis.rules import ProjectRule, register
+
+__all__ = ["SwallowedExceptionRule", "HopPolicyRule"]
+
+#: Path fragment scoping both rules to the distributed overlay.
+_DISTRIBUTED = "distributed/"
+
+#: Logger emit methods that count as structured evidence.
+_LOG_METHODS = frozenset(
+    {"log", "debug", "info", "warning", "error", "exception", "critical"}
+)
+
+
+def _in_distributed(path: str) -> bool:
+    return _DISTRIBUTED in path.replace("\\", "/")
+
+
+@register
+class SwallowedExceptionRule(ProjectRule):
+    """FX701: distributed except handlers that swallow silently."""
+
+    code = "FX701"
+    name = "swallowed-exception"
+    description = "distributed/ except handler without re-raise or structured log"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for path in sorted(index.modules):
+            if not _in_distributed(path):
+                continue
+            tree = index.modules[path].context.tree
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if self._reraises(node) or self._logs(node):
+                    continue
+                yield self.project_finding(
+                    path,
+                    node,
+                    "exception swallowed without a structured-log event; "
+                    "emit one (logger.warning(\"component.event\", ...)) or "
+                    "re-raise so the error path leaves evidence",
+                )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+    @staticmethod
+    def _logs(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in _LOG_METHODS:
+                continue
+            receiver: ast.AST = node.func.value
+            while isinstance(receiver, ast.Attribute):
+                if "log" in receiver.attr.lower():
+                    return True
+                receiver = receiver.value
+            if isinstance(receiver, ast.Name) and "log" in receiver.id.lower():
+                return True
+        return False
+
+
+@register
+class HopPolicyRule(ProjectRule):
+    """FX702: hops reachable without the retry policy in scope."""
+
+    code = "FX702"
+    name = "hop-policy-propagation"
+    description = "network hop without deadline/retry policy in scope or propagated"
+
+    #: Parameter names that put a policy in scope.
+    policy_params = ("policy", "deadline")
+    #: ``self.<attr>`` reads that put a policy in scope.
+    policy_attrs = ("retry", "policy", "deadline")
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for path in sorted(index.modules):
+            if not _in_distributed(path):
+                continue
+            info = index.modules[path]
+            for qualname in sorted(info.functions):
+                function = info.functions[qualname]
+                if function.node.name == "hop":
+                    continue
+                yield from self._check_direct(function)
+                yield from self._check_propagation(index, function)
+
+    # -- direct hop sites ------------------------------------------------
+    def _check_direct(self, function: FunctionInfo) -> Iterator[Finding]:
+        hop_sites = [
+            node
+            for dotted, node in function.call_sites
+            if dotted.rpartition(".")[2] == "hop" and "." in dotted
+        ]
+        if not hop_sites:
+            return
+        if self._has_policy_in_scope(function):
+            return
+        for node in hop_sites:
+            yield self.project_finding(
+                function.path,
+                node,
+                f"{function.qualname} performs a network hop with no retry "
+                "policy in scope (no policy/deadline parameter, no "
+                "self.retry read); timeouts cannot propagate to this hop",
+            )
+
+    def _has_policy_in_scope(self, function: FunctionInfo) -> bool:
+        params = set(function.param_names())
+        if params & set(self.policy_params):
+            return True
+        return function.references_self_attr(self.policy_attrs)
+
+    # -- interprocedural propagation ------------------------------------
+    def _check_propagation(
+        self, index: ProjectIndex, caller: FunctionInfo
+    ) -> Iterator[Finding]:
+        """Callers holding a policy must pass it to hop-reaching callees.
+
+        Only fires when the callee's ``policy`` parameter has a default —
+        omitting a defaultless parameter is already a runtime TypeError;
+        the silent drift is a default quietly re-resolving while the
+        caller held the real policy all along.
+        """
+        if not self._has_policy_in_scope(caller):
+            return
+        for dotted, call in caller.call_sites:
+            callee = index.resolve_function(caller, dotted)
+            if callee is None or not self._reaches_hop(index, callee):
+                continue
+            slot = self._defaulted_policy_param(callee)
+            if slot is None:
+                continue
+            name, position = slot
+            passes_keyword = any(kw.arg == name for kw in call.keywords)
+            has_splat = any(kw.arg is None for kw in call.keywords)
+            passes_positional = len(call.args) > position
+            if not (passes_keyword or passes_positional or has_splat):
+                yield self.project_finding(
+                    caller.path,
+                    call,
+                    f"{caller.qualname} holds a retry policy but calls "
+                    f"{callee.qualname} without passing {name!r}; the "
+                    "callee's default silently re-resolves the policy",
+                )
+
+    def _reaches_hop(
+        self,
+        index: ProjectIndex,
+        function: FunctionInfo,
+        _seen: Optional[Set[str]] = None,
+    ) -> bool:
+        seen = _seen if _seen is not None else set()
+        if function.qualname in seen:
+            return False
+        seen.add(function.qualname)
+        for dotted, _ in function.call_sites:
+            if dotted.rpartition(".")[2] == "hop" and "." in dotted:
+                return True
+            callee = index.resolve_function(function, dotted)
+            if callee is not None and self._reaches_hop(index, callee, seen):
+                return True
+        return False
+
+    def _defaulted_policy_param(
+        self, function: FunctionInfo
+    ) -> Optional[Tuple[str, int]]:
+        """The (name, positional index) of a defaulted policy parameter.
+
+        The index counts from the call site's perspective: ``self`` is
+        dropped for methods, so ``len(call.args) > index`` means the
+        argument was passed positionally.
+        """
+        args = function.node.args
+        positional = args.posonlyargs + args.args
+        defaults_from = len(positional) - len(args.defaults)
+        names = [a.arg for a in positional]
+        offset = 1 if names and names[0] in ("self", "cls") else 0
+        for position, arg in enumerate(positional):
+            if arg.arg in self.policy_params and position >= defaults_from:
+                return arg.arg, position - offset
+        kw_defaults: Dict[str, Optional[ast.expr]] = {
+            a.arg: d for a, d in zip(args.kwonlyargs, args.kw_defaults)
+        }
+        for name, default in kw_defaults.items():
+            if name in self.policy_params and default is not None:
+                # Keyword-only: never passable positionally.
+                return name, 10**6
+        return None

@@ -21,7 +21,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, List, Set, Tuple
 
 __all__ = ["PragmaSet", "parse_pragmas"]
 
@@ -33,17 +33,22 @@ _PRAGMA_RE = re.compile(
 class PragmaSet:
     """The suppression pragmas of one module."""
 
-    __slots__ = ("file_codes", "line_codes")
+    __slots__ = ("file_codes", "line_codes", "entries")
 
     def __init__(self) -> None:
         #: Codes disabled for the whole file ("all" disables everything).
         self.file_codes: Set[str] = set()
         #: Codes disabled per line number (1-based).
         self.line_codes: Dict[int, Set[str]] = {}
+        #: Every pragma mention as ``(kind, line, code)`` — source order,
+        #: so the FX002 unknown-code check can point at the exact pragma.
+        self.entries: List[Tuple[str, int, str]] = []
 
     def add(self, kind: str, line: int, codes: Iterable[str]) -> None:
         target = self.file_codes if kind == "disable-file" else self.line_codes.setdefault(line, set())
-        target.update(codes)
+        for code in codes:
+            target.add(code)
+            self.entries.append((kind, line, code))
 
     def suppresses(self, code: str, line: int) -> bool:
         """Whether a finding of ``code`` at ``line`` is pragma-suppressed."""
@@ -73,11 +78,13 @@ def parse_pragmas(source: str) -> PragmaSet:
             match = _PRAGMA_RE.search(token.string)
             if match is None:
                 continue
-            codes = {
-                part.strip().upper() if part.strip().lower() != "all" else "all"
-                for part in match.group("codes").split(",")
-                if part.strip()
-            }
+            codes = sorted(
+                {
+                    part.strip().upper() if part.strip().lower() != "all" else "all"
+                    for part in match.group("codes").split(",")
+                    if part.strip()
+                }
+            )
             pragmas.add(match.group("kind"), token.start[0], codes)
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass

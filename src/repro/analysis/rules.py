@@ -26,12 +26,24 @@ packages).
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Type, TypeVar
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type, TypeVar
 
 from repro.analysis.findings import Finding
 from repro.analysis.pragmas import PragmaSet
 
-__all__ = ["ModuleContext", "Rule", "RuleType", "all_rules", "get_rule", "register"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.projectindex import ProjectIndex
+
+__all__ = [
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "RuleType",
+    "UnknownPragmaCodeRule",
+    "all_rules",
+    "get_rule",
+    "register",
+]
 
 #: Path fragments (posix-style, relative) marking simulation-critical code:
 #: deterministic replay — fault plans, simulated latency, pinned trace
@@ -94,6 +106,40 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-project (cross-module) rules.
+
+    Project rules run only in ``--project`` mode: the checker parses
+    every module once, builds a
+    :class:`~repro.analysis.projectindex.ProjectIndex`, and hands it to
+    :meth:`check_project`.  Findings anchor in whichever module carries
+    the drift, so line pragmas and ``--select``/``--ignore`` work
+    unchanged.  The per-file :meth:`check` hook is a deliberate no-op —
+    registering a project rule never affects per-file runs.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Yield a finding per cross-module contract violation."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type checkers
+
+    def project_finding(
+        self, path: str, node: Optional[ast.AST], message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in the module at ``path``."""
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            message=message,
+            path=path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+        )
+
+
 RuleType = TypeVar("RuleType", bound=Type[Rule])
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -120,3 +166,34 @@ def all_rules() -> List[Rule]:
 def get_rule(code: str) -> Rule:
     """Look a rule up by code; raises KeyError for unknown codes."""
     return _REGISTRY[code]
+
+
+@register
+class UnknownPragmaCodeRule(Rule):
+    """FX002: a pragma names a code no registered rule owns.
+
+    A typo'd ``# fxlint: disable=FX1O1`` used to no-op silently — the
+    finding it meant to suppress kept firing *and* nobody learned why.
+    Warning here makes pragmas self-verifying.  Lives in the framework
+    family (FX0xx) next to FX001 because it guards the framework's own
+    surface, not a code invariant.
+    """
+
+    code = "FX002"
+    name = "unknown-pragma-code"
+    description = "fxlint pragma names a code no registered rule owns"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        known = set(_REGISTRY) | {"FX001"}
+        for kind, line, code in module.pragmas.entries:
+            if code != "all" and code not in known:
+                yield Finding(
+                    code=self.code,
+                    rule=self.name,
+                    message=(
+                        f"pragma {kind}={code} matches no registered rule code "
+                        "(typo? the suppression is a no-op)"
+                    ),
+                    path=module.path,
+                    line=line,
+                )

@@ -27,6 +27,7 @@ from repro.bench.scale import events_per_point, scaled
 from repro.baselines.betree import BEStarTreeMatcher
 from repro.core.events import Event
 from repro.core.matcher import FXTMMatcher, _DiscreteAttributeIndex, _RangedAttributeIndex
+from repro.core.probecache import ProbeCache
 from repro.core.results import MatchResult, sort_results
 from repro.core.subscriptions import Constraint
 from repro.workloads.defaults import GENERATED_N
@@ -110,6 +111,25 @@ class FXTMFullSortMatcher(FXTMMatcher):
         # the bounded tree set: ask for everything, sort, cut.
         full = super()._match_topk(event, len(self.subscriptions) or 1)
         return sort_results(full)[:k]
+
+    def match_batch(
+        self,
+        events: Sequence[Event],
+        k: int,
+        probe_cache: Optional[ProbeCache] = None,
+    ) -> List[List[MatchResult]]:
+        """Per-event loop so batches measure the full-sort phase (FX602).
+
+        FX-TM's inherited batch path selects with BoundedTopK via
+        ``_select_topk`` — exactly the machinery this ablation exists to
+        remove — so inheriting it would make batched measurements of the
+        variant silently measure the stock algorithm.  ``probe_cache`` is
+        accepted for signature compatibility but unused: the per-event
+        path probes the index directly.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return [self.match(event, k) for event in events]
 
 
 def _sweep(

@@ -218,8 +218,14 @@ def serve(
             out.write(response.payload)
             if not response.payload.endswith("\n"):
                 out.write("\n")
-        else:
+        elif request.kind in (RequestKind.ADD, RequestKind.CANCEL):
             out.write(f"ok {request.kind.value.upper()} {request.sid}\n")
+        else:
+            # Exhaustive over RequestKind (FX601): a member added to the
+            # protocol without a branch here fails loudly instead of
+            # echoing a bogus "ok".
+            failures += 1
+            out.write(f"error unhandled request kind {request.kind.value}\n")
     return failures
 
 

@@ -229,6 +229,22 @@ class ParallelFXTMMatcher(FXTMMatcher):
                     out.append((sid, override if override is not None else weight))
         return out
 
+    def match_batch(
+        self,
+        events: Sequence[Event],
+        k: int,
+        probe_cache: Optional[ProbeCache] = None,
+    ) -> List[List[MatchResult]]:
+        """Batches deliberately take FX-TM's serial cached path (FX602).
+
+        The per-batch probe cache already collapses repeated stabs across
+        events, which is what the pool-based fan-out would spend its
+        workers recomputing — plus per-event submit/join overhead.  The
+        results are exact either way; this override exists to make the
+        choice explicit rather than an accident of inheritance.
+        """
+        return super().match_batch(events, k, probe_cache=probe_cache)
+
     def _match_topk(self, event: Event, k: int) -> List[MatchResult]:
         known = list(event.known_items())
         futures = [

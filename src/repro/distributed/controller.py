@@ -64,8 +64,19 @@ class DistributedController:
     is identical; only the execution substrate differs.
     """
 
-    def __init__(self, system: DistributedTopKSystem) -> None:
+    def __init__(
+        self,
+        system: DistributedTopKSystem,
+        logger: Optional[Any] = None,
+    ) -> None:
         self.system = system
+        #: Structured logger for rejected requests; defaults to the
+        #: cluster's own logger so error-path events land in the same
+        #: ring buffer operators already scrape (docs/observability.md).
+        source = logger if logger is not None else system.logger
+        self.logger = (
+            source.child(component="controller") if source is not None else None
+        )
         self.requests_processed = 0
         self.requests_failed = 0
         #: MATCH requests answered from a partial (degraded) cluster.
@@ -77,6 +88,8 @@ class DistributedController:
             request = LocalController.parse_request(line)
         except ParseError as error:
             self.requests_failed += 1
+            if self.logger is not None:
+                self.logger.warning("controller.parse_error", error=str(error))
             return DistributedResponse(
                 ok=False, request=Request(RequestKind.MATCH), error=str(error)
             )
@@ -149,6 +162,12 @@ class DistributedController:
             )
         except ReproError as error:
             self.requests_failed += 1
+            if self.logger is not None:
+                self.logger.error(
+                    "controller.request_failed",
+                    kind=request.kind.value,
+                    error=str(error),
+                )
             return DistributedResponse(ok=False, request=request, error=str(error))
 
     def run(self, lines: Iterable[str]) -> Iterator[DistributedResponse]:

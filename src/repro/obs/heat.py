@@ -300,6 +300,11 @@ class HeatMonitor:
                 "probe-cache misses by attribute",
                 labels,
             )
+            self._m_region_observations = registry.counter(
+                "repro_heat_region_observations_total",
+                "ranged-query midpoints folded into region histograms",
+                labels,
+            )
 
     def _heat(self, attribute: str, kind: str) -> AttributeHeat:
         heat = self._heats.get(attribute)
@@ -353,6 +358,8 @@ class HeatMonitor:
         """Fold one ranged query's midpoint into the region histogram."""
         heat = self._heat(attribute, "ranged")
         heat.regions.observe((float(qlo) + float(qhi)) / 2.0)
+        if self.registry is not None:
+            self._m_region_observations.labels(attribute=attribute).inc()
 
     # ------------------------------------------------------------------
     # Export

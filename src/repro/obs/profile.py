@@ -73,6 +73,13 @@ PHASE_OF_FRAME: Dict[Tuple[str, str], str] = {
     ("array_matcher", "_fold_event_cached"): "master_index.lookup",
     ("array_matcher", "_fold_event_heat"): "master_index.lookup",
     ("array_matcher", "_fold_event_cached_heat"): "master_index.lookup",
+    # Whole-match roots (repro/core/matcher.py + stats.py).  Innermost
+    # frames above win, so these only label samples taken in the match
+    # loop's own bookkeeping rather than inside a pipeline phase.
+    ("matcher", "_match_topk"): "fxtm.match",
+    ("matcher", "match_batch"): "fxtm.match_batch",
+    ("stats", "match"): "match",
+    ("stats", "match_batch"): "match_batch",
     # Distributed overlay (repro/distributed/).
     ("cluster", "_attempt_leaf"): "leaf.dispatch",
     ("cluster", "_attempt_leaf_batch"): "leaf.dispatch",

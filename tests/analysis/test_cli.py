@@ -77,3 +77,105 @@ def test_json_report_to_file(tmp_path):
     assert report["finding_count"] == len(report["findings"]) > 0
     # The human summary still lands on stdout for CI logs.
     assert "fxlint:" in output
+
+
+def write_project(tmp_path):
+    """A tiny project tree with one span-vocabulary drift (FX501)."""
+    package = tmp_path / "proj" / "repro"
+    (package / "obs").mkdir(parents=True)
+    (package / "core").mkdir(parents=True)
+    (package / "obs" / "profile.py").write_text(
+        'PHASE_OF_FRAME = {("matcher", "probe"): "attribute.probe"}\n'
+    )
+    (package / "core" / "matcher.py").write_text(
+        "class M:\n"
+        '    """A matcher emitting a span outside the profiler vocabulary."""\n'
+        "\n"
+        "    def match(self, event: object) -> list:\n"
+        '        """Match one event."""\n'
+        '        with self.tracer.span("mystery.phase"):\n'
+        "            return []\n"
+    )
+    return str(tmp_path / "proj")
+
+
+class TestProjectMode:
+    def test_project_mode_runs_contract_rules(self, tmp_path):
+        root = write_project(tmp_path)
+        code, output = run("--project", root)
+        assert code == EXIT_FINDINGS
+        assert "FX501" in output and "mystery.phase" in output
+        # Plain file mode never runs project rules.
+        code, output = run(root)
+        assert code == EXIT_CLEAN
+
+    def test_project_json_report_declares_mode(self, tmp_path):
+        root = write_project(tmp_path)
+        report_path = tmp_path / "report.json"
+        code, _ = run(
+            "--project", "--format", "json", "--output", str(report_path), root
+        )
+        assert code == EXIT_FINDINGS
+        report = json.loads(report_path.read_text())
+        assert report["mode"] == "project"
+        assert report["counts_by_code"] == {"FX501": 1}
+
+    def test_select_and_pragmas_apply_to_project_rules(self, tmp_path):
+        root = write_project(tmp_path)
+        code, _ = run("--project", "--select", "FX502", root)
+        assert code == EXIT_CLEAN
+        matcher = Path(root) / "repro" / "core" / "matcher.py"
+        matcher.write_text(
+            matcher.read_text().replace(
+                '.span("mystery.phase"):',
+                '.span("mystery.phase"):  # fxlint: disable=FX501',
+            )
+        )
+        code, _ = run("--project", root)
+        assert code == EXIT_CLEAN
+
+
+class TestBaselineRatchet:
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        root = write_project(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        code, _ = run(
+            "--project", "--format", "json", "--output", str(baseline_path), root
+        )
+        assert code == EXIT_FINDINGS
+        # Ratcheted rerun: same findings, so the exit code drops to 0.
+        code, output = run("--project", "--baseline", str(baseline_path), root)
+        assert code == EXIT_CLEAN
+        assert "1 baseline finding suppressed" in output
+
+    def test_new_finding_still_fails_under_baseline(self, tmp_path):
+        root = write_project(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        run("--project", "--format", "json", "--output", str(baseline_path), root)
+        matcher = Path(root) / "repro" / "core" / "matcher.py"
+        matcher.write_text(
+            matcher.read_text()
+            + "\n"
+            + "class N:\n"
+            '    """A second matcher with its own unknown span."""\n'
+            "\n"
+            "    def match(self, event: object) -> list:\n"
+            '        """Match one event."""\n'
+            '        with self.tracer.span("another.unknown"):\n'
+            "            return []\n"
+        )
+        code, output = run("--project", "--baseline", str(baseline_path), root)
+        assert code == EXIT_FINDINGS
+        assert "another.unknown" in output
+        assert "mystery.phase" not in output
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        root = write_project(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, _ = run("--project", "--baseline", str(bad), root)
+        assert code == EXIT_ERROR
+        code, _ = run(
+            "--project", "--baseline", str(tmp_path / "missing.json"), root
+        )
+        assert code == EXIT_ERROR

@@ -1,0 +1,610 @@
+"""FX5xx/FX6xx/FX7xx cross-module contract rules over synthetic trees.
+
+Each rule gets a pre-fix tree (reproducing the drift the rule was built
+to catch on the real codebase) and a fixed tree that must come back
+clean, so the rules themselves are regression-tested in both directions.
+"""
+
+import textwrap
+
+from repro.analysis.checker import check_project
+from repro.analysis.crosslayer import (
+    BatchOverrideRule,
+    ReexportDriftRule,
+    RequestKindCoverageRule,
+)
+from repro.analysis.disthygiene import HopPolicyRule, SwallowedExceptionRule
+from repro.analysis.obscontracts import (
+    HeatMirrorRule,
+    LogEventAssertedRule,
+    MetricLabelRule,
+    SpanVocabularyRule,
+)
+
+
+def analyze(tmp_path, rule, files, tests=None):
+    """Run one project rule over a synthetic ``repro`` tree."""
+    for relative, source in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source).lstrip("\n"))
+    tests_root = None
+    if tests is not None:
+        tests_root = tmp_path / "reference"
+        tests_root.mkdir(exist_ok=True)
+        for name, source in tests.items():
+            (tests_root / name).write_text(textwrap.dedent(source))
+    findings, _, _ = check_project(
+        [str(tmp_path / "repro")],
+        rules=[rule],
+        tests_root=str(tests_root) if tests_root else None,
+    )
+    return findings
+
+
+PROFILE = """
+PHASE_OF_FRAME = {
+    ("matcher", "probe"): "attribute.probe",
+    ("matcher", "select"): "topk.select",
+}
+"""
+
+
+class TestFX501SpanVocabulary:
+    def test_unknown_span_name_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            SpanVocabularyRule(),
+            {
+                "repro/obs/profile.py": PROFILE,
+                "repro/core/matcher.py": """
+                class M:
+                    def match(self, event):
+                        with self.tracer.span("mystery.phase"):
+                            return []
+                """,
+            },
+        )
+        (finding,) = findings
+        assert finding.code == "FX501"
+        assert "mystery.phase" in finding.message
+        assert finding.path == str(tmp_path / "repro/core/matcher.py")
+
+    def test_known_span_and_non_tracer_receiver_clean(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            SpanVocabularyRule(),
+            {
+                "repro/obs/profile.py": PROFILE,
+                "repro/core/matcher.py": """
+                class M:
+                    def match(self, event):
+                        with self.tracer.span("attribute.probe"):
+                            pass
+                        self.cache.span("not.a.trace.span")
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_silent_without_phase_table(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            SpanVocabularyRule(),
+            {
+                "repro/core/matcher.py": """
+                class M:
+                    def match(self):
+                        with self.tracer.span("anything"):
+                            pass
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestFX502HeatMirror:
+    def test_recorder_without_mirror_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            HeatMirrorRule(),
+            {
+                "repro/obs/heat.py": """
+                class HeatMonitor:
+                    def __init__(self, registry=None):
+                        if registry is not None:
+                            self._m_probes = registry.counter(
+                                "repro_heat_probes_total", "d", ("attribute",)
+                            )
+
+                    def record_probe(self, attribute):
+                        self.probes = attribute
+                        self._m_probes.labels(attribute=attribute).inc()
+
+                    def record_region(self, attribute):
+                        self.regions = attribute
+                """,
+            },
+        )
+        (finding,) = findings
+        assert finding.code == "FX502"
+        assert "record_region" in finding.message
+
+    def test_wrong_namespace_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            HeatMirrorRule(),
+            {
+                "repro/obs/heat.py": """
+                class HeatMonitor:
+                    def __init__(self, registry):
+                        self._m_probes = registry.counter("probes_total", "d")
+
+                    def record_probe(self):
+                        self._m_probes.inc()
+                """,
+            },
+        )
+        (finding,) = findings
+        assert "repro_heat_" in finding.message
+
+    def test_unmirrored_monitor_is_vacuous(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            HeatMirrorRule(),
+            {
+                "repro/obs/heat.py": """
+                class HeatMonitor:
+                    def __init__(self):
+                        self.heats = {}
+
+                    def record_probe(self, attribute):
+                        self.heats[attribute] = 1
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestFX503MetricLabels:
+    def test_unknown_and_missing_labels_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            MetricLabelRule(),
+            {
+                "repro/obs/metrics_use.py": """
+                def build(registry):
+                    counter = registry.counter(
+                        "repro_probes_total", "probes", ("attribute",)
+                    )
+                    counter.labels(attribute="price").inc()
+                    counter.labels(shard="a").inc()
+                    counter.labels().inc()
+                """,
+            },
+        )
+        assert [f.code for f in findings] == ["FX503", "FX503"]
+        assert "shard" in findings[0].message
+        assert "without declared label" in findings[1].message
+
+    def test_folded_tuple_concatenation(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            MetricLabelRule(),
+            {
+                "repro/obs/metrics_use.py": """
+                BASE = ("algorithm",)
+
+                def build(registry):
+                    counter = registry.counter(
+                        "repro_ops_total", "ops", labels=BASE + ("op",)
+                    )
+                    counter.labels(algorithm="fx", op="add").inc()
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_cross_module_declaration_conflict(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            MetricLabelRule(),
+            {
+                "repro/a.py": """
+                def build(registry):
+                    c = registry.counter("repro_x_total", "d", ("attribute",))
+                """,
+                "repro/b.py": """
+                def build(registry):
+                    c = registry.counter("repro_x_total", "d", ("shard",))
+                """,
+            },
+        )
+        (finding,) = findings
+        assert "two shapes" in finding.message
+
+    def test_splat_emit_unverifiable_but_unknown_still_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            MetricLabelRule(),
+            {
+                "repro/obs/metrics_use.py": """
+                def build(registry, extra):
+                    c = registry.counter("repro_y_total", "d", ("attribute",))
+                    c.labels(**extra).inc()
+                    c.labels(bogus="x", **extra).inc()
+                """,
+            },
+        )
+        (finding,) = findings
+        assert "bogus" in finding.message
+
+
+class TestFX504LogEventAsserted:
+    FILES = {
+        "repro/distributed/health.py": """
+        class T:
+            def beat(self):
+                self.logger.info("leaf.alive", leaf=1)
+                self.logger.info("plain message with spaces")
+        """,
+    }
+
+    def test_unasserted_event_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            LogEventAssertedRule(),
+            self.FILES,
+            tests={"test_other.py": "def test():\n    assert 'leaf.dead'\n"},
+        )
+        (finding,) = findings
+        assert finding.code == "FX504"
+        assert "leaf.alive" in finding.message
+
+    def test_asserted_event_clean(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            LogEventAssertedRule(),
+            self.FILES,
+            tests={"test_health.py": "def test(lg):\n    lg.records_for(event='leaf.alive')\n"},
+        )
+        assert findings == []
+
+    def test_silent_without_reference_tree(self, tmp_path):
+        findings = analyze(tmp_path, LogEventAssertedRule(), self.FILES)
+        assert findings == []
+
+
+ENUM = """
+import enum
+
+class RequestKind(enum.Enum):
+    ADD = "add"
+    CANCEL = "cancel"
+    MATCH = "match"
+"""
+
+
+class TestFX601RequestKindCoverage:
+    def test_partial_surface_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            RequestKindCoverageRule(),
+            {
+                "repro/core/kinds.py": ENUM,
+                "repro/cli.py": """
+                from repro.core.kinds import RequestKind
+
+                def serve(request):
+                    if request.kind is RequestKind.ADD:
+                        return "add"
+                    if request.kind is RequestKind.MATCH:
+                        return "match"
+                """,
+            },
+        )
+        (finding,) = findings
+        assert finding.code == "FX601"
+        assert "RequestKind.CANCEL" in finding.message
+
+    def test_full_surface_clean(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            RequestKindCoverageRule(),
+            {
+                "repro/core/kinds.py": ENUM,
+                "repro/cli.py": """
+                from repro.core.kinds import RequestKind
+
+                def serve(request):
+                    if request.kind is RequestKind.ADD:
+                        return "add"
+                    if request.kind is RequestKind.CANCEL:
+                        return "cancel"
+                    if request.kind is RequestKind.MATCH:
+                        return "match"
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_single_member_reference_is_not_a_surface(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            RequestKindCoverageRule(),
+            {
+                "repro/core/kinds.py": ENUM,
+                "repro/maker.py": """
+                from repro.core.kinds import RequestKind
+
+                def make_add():
+                    return RequestKind.ADD
+                """,
+            },
+        )
+        assert findings == []
+
+
+MATCHER_BASE = {
+    "repro/core/interfaces.py": """
+    class TopKMatcher:
+        def match(self, event, k):
+            raise NotImplementedError
+
+        def match_batch(self, events, k):
+            return [self.match(e, k) for e in events]
+    """,
+    "repro/core/matcher.py": """
+    from repro.core.interfaces import TopKMatcher
+
+    class FXTMMatcher(TopKMatcher):
+        def _match_topk(self, event, k):
+            return []
+
+        def match_batch(self, events, k):
+            return []
+    """,
+}
+
+
+class TestFX602BatchOverride:
+    def test_silent_inheritance_flagged(self, tmp_path):
+        files = dict(MATCHER_BASE)
+        files["repro/core/variant.py"] = """
+        from repro.core.matcher import FXTMMatcher
+
+        class Variant(FXTMMatcher):
+            def _match_topk(self, event, k):
+                return []
+        """
+        findings = analyze(tmp_path, BatchOverrideRule(), files)
+        (finding,) = findings
+        assert finding.code == "FX602"
+        assert "FXTMMatcher.match_batch" in finding.message
+
+    def test_explicit_override_clean(self, tmp_path):
+        files = dict(MATCHER_BASE)
+        files["repro/core/variant.py"] = """
+        from repro.core.matcher import FXTMMatcher
+
+        class Variant(FXTMMatcher):
+            def _match_topk(self, event, k):
+                return []
+
+            def match_batch(self, events, k):
+                return super().match_batch(events, k)
+        """
+        findings = analyze(tmp_path, BatchOverrideRule(), files)
+        assert findings == []
+
+    def test_inheriting_only_the_root_fallback_is_fine(self, tmp_path):
+        files = dict(MATCHER_BASE)
+        files["repro/core/direct.py"] = """
+        from repro.core.interfaces import TopKMatcher
+
+        class Direct(TopKMatcher):
+            def match(self, event, k):
+                return []
+        """
+        findings = analyze(tmp_path, BatchOverrideRule(), files)
+        assert findings == []
+
+
+class TestFX603ReexportDrift:
+    def test_both_drift_directions_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            ReexportDriftRule(),
+            {
+                "repro/util/__init__.py": """
+                from repro.util.mod import helper, thing
+
+                __all__ = ["thing"]
+                """,
+                "repro/util/mod.py": """
+                __all__ = ["thing"]
+
+                def thing():
+                    return 1
+
+                def helper():
+                    return 2
+                """,
+            },
+        )
+        assert [f.code for f in findings] == ["FX603", "FX603"]
+        messages = " | ".join(f.message for f in findings)
+        assert "__all__ does not declare it" in messages
+        assert "leaves it out of __all__" in messages
+
+    def test_consistent_surfaces_clean(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            ReexportDriftRule(),
+            {
+                "repro/util/__init__.py": """
+                from repro.util.mod import helper, thing
+
+                __all__ = ["helper", "thing"]
+                """,
+                "repro/util/mod.py": """
+                __all__ = ["helper", "thing"]
+
+                def thing():
+                    return 1
+
+                def helper():
+                    return 2
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_transit_imports_not_misattributed(self, tmp_path):
+        # mod imports `thing` itself (not defining it); the package
+        # re-export must not be blamed on mod's __all__.
+        findings = analyze(
+            tmp_path,
+            ReexportDriftRule(),
+            {
+                "repro/util/__init__.py": """
+                from repro.util.mod import thing
+
+                __all__ = ["thing"]
+                """,
+                "repro/util/mod.py": """
+                from repro.util.base import thing
+
+                __all__ = ["other"]
+
+                def other():
+                    return 1
+                """,
+                "repro/util/base.py": """
+                __all__ = ["thing"]
+
+                def thing():
+                    return 2
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestFX701SwallowedException:
+    def test_silent_handler_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            SwallowedExceptionRule(),
+            {
+                "repro/distributed/worker.py": """
+                def attempt(task, logger):
+                    try:
+                        task()
+                    except ValueError:
+                        pass
+                    try:
+                        task()
+                    except KeyError as error:
+                        logger.warning("worker.failed", error=str(error))
+                    try:
+                        task()
+                    except TypeError:
+                        raise
+                """,
+            },
+        )
+        (finding,) = findings
+        assert finding.code == "FX701"
+        assert finding.line == 4  # the silent handler, not the other two
+
+    def test_outside_distributed_not_checked(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            SwallowedExceptionRule(),
+            {
+                "repro/core/safe.py": """
+                def attempt(task):
+                    try:
+                        task()
+                    except ValueError:
+                        pass
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestFX702HopPolicy:
+    def test_hop_without_policy_in_scope_flagged(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            HopPolicyRule(),
+            {
+                "repro/distributed/net.py": """
+                from repro.distributed import latency
+
+                class Link:
+                    def send(self, payload):
+                        latency.hop(payload)
+
+                    def send_with_policy(self, payload, policy):
+                        latency.hop(payload)
+
+                    def send_with_retry(self, payload):
+                        self.retry.attempts
+                        latency.hop(payload)
+                """,
+            },
+        )
+        (finding,) = findings
+        assert finding.code == "FX702"
+        assert "Link.send" in finding.message
+
+    def test_policy_holder_must_propagate(self, tmp_path):
+        findings = analyze(
+            tmp_path,
+            HopPolicyRule(),
+            {
+                "repro/distributed/chain.py": """
+                from repro.distributed import latency
+
+                class Cluster:
+                    def attempt(self, leaf, policy=None):
+                        latency.hop(leaf)
+
+                    def drop(self, leaf, policy):
+                        return self.attempt(leaf)
+
+                    def forward(self, leaf, policy):
+                        return self.attempt(leaf, policy=policy)
+
+                    def forward_positional(self, leaf, policy):
+                        return self.attempt(leaf, policy)
+                """,
+            },
+        )
+        (finding,) = findings
+        assert "Cluster.drop" in finding.message
+        assert "policy" in finding.message
+
+    def test_defaultless_callee_not_flagged(self, tmp_path):
+        # Omitting a defaultless parameter is a TypeError at runtime —
+        # not silent drift, so the rule stays quiet.
+        findings = analyze(
+            tmp_path,
+            HopPolicyRule(),
+            {
+                "repro/distributed/chain.py": """
+                from repro.distributed import latency
+
+                class Cluster:
+                    def attempt(self, leaf, policy):
+                        latency.hop(leaf)
+
+                    def drop(self, leaf, policy):
+                        return self.attempt(leaf)
+                """,
+            },
+        )
+        assert findings == []

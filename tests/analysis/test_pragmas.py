@@ -57,3 +57,87 @@ def test_parse_pragmas_multiple_codes():
     assert pragmas.suppresses("FX102", 1)
     assert not pragmas.suppresses("FX103", 1)
     assert not pragmas.suppresses("FX101", 2)
+
+
+def test_pragma_on_multiline_statement_first_line(tmp_path):
+    # The contract: the pragma goes on the line the finding anchors at —
+    # the first line of a multi-line statement.
+    findings = _check(
+        tmp_path,
+        "import random\n"
+        "noise = random.random(  # fxlint: disable=FX102\n"
+        ")\n",
+    )
+    assert findings == []
+
+
+def test_pragma_on_multiline_closing_line_does_not_suppress(tmp_path):
+    # Documented non-behaviour: a pragma on the closing paren is on the
+    # wrong line and the finding still fires.
+    findings = _check(
+        tmp_path,
+        "import random\n"
+        "noise = random.random(\n"
+        ")  # fxlint: disable=FX102\n",
+    )
+    assert [finding.code for finding in findings] == ["FX102"]
+
+
+def test_file_pragma_after_docstring(tmp_path):
+    findings = _check(
+        tmp_path,
+        '"""Module docstring."""\n'
+        "# fxlint: disable-file=FX102\n"
+        "import random\n"
+        f"{BAD_LINE}\n",
+    )
+    assert findings == []
+
+
+def test_pragma_inside_string_literal_ignored(tmp_path):
+    findings = _check(
+        tmp_path,
+        "import random\n"
+        'doc = "# fxlint: disable=FX102"\n'
+        f"{BAD_LINE}\n",
+    )
+    assert [finding.code for finding in findings] == ["FX102"]
+
+
+def test_unknown_pragma_code_warns_fx002(tmp_path):
+    findings = _check(tmp_path, "x = 1  # fxlint: disable=FX999\n")
+    (finding,) = findings
+    assert finding.code == "FX002"
+    assert "FX999" in finding.message
+    assert finding.line == 1
+
+
+def test_unknown_code_in_file_pragma_warns_too(tmp_path):
+    findings = _check(tmp_path, "# fxlint: disable-file=FX998\nx = 1\n")
+    assert [finding.code for finding in findings] == ["FX002"]
+
+
+def test_known_codes_and_wildcard_do_not_warn(tmp_path):
+    findings = _check(
+        tmp_path,
+        "x = 1  # fxlint: disable=FX101\n"
+        "y = 2  # fxlint: disable=all\n",
+    )
+    assert findings == []
+
+
+def test_fx002_is_itself_suppressible(tmp_path):
+    findings = _check(tmp_path, "x = 1  # fxlint: disable=FX999, FX002\n")
+    assert findings == []
+
+
+def test_entries_record_every_pragma_mention():
+    pragmas = parse_pragmas(
+        "# fxlint: disable-file=FX301\n"
+        "x = 1  # fxlint: disable=FX101, FX102\n"
+    )
+    assert pragmas.entries == [
+        ("disable-file", 1, "FX301"),
+        ("disable", 2, "FX101"),
+        ("disable", 2, "FX102"),
+    ]

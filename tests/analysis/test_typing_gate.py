@@ -1,4 +1,5 @@
-"""The strict-typing gate over repro.core / repro.structures.
+"""The strict-typing gate over repro.core / repro.structures /
+repro.obs / repro.analysis.
 
 The mypy run itself only executes where mypy is installed (CI's
 static-analysis job); the marker/config checks run everywhere.
@@ -22,7 +23,15 @@ def test_mypy_config_present():
     assert "[tool.mypy]" in pyproject
 
 
-def test_mypy_strict_core_and_structures():
+def test_strict_gate_covers_obs_and_analysis():
+    # The ignore_errors escape hatch must not quietly reappear for the
+    # packages the strict gate now covers.
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert '"repro.obs.*"' not in pyproject
+    assert '"repro.analysis.*"' not in pyproject
+
+
+def test_mypy_strict_gate():
     pytest.importorskip("mypy")
     result = subprocess.run(
         [
@@ -32,6 +41,8 @@ def test_mypy_strict_core_and_structures():
             "--strict",
             "src/repro/core",
             "src/repro/structures",
+            "src/repro/obs",
+            "src/repro/analysis",
         ],
         cwd=REPO,
         capture_output=True,

@@ -42,3 +42,41 @@ def test_linear_index_supports_cancel():
 
 def test_names_distinguish_variants():
     assert FXTMLinearIndexMatcher.name != FXTMFullSortMatcher.name != FXTMMatcher.name
+
+
+def test_full_sort_batches_route_through_full_sort_path():
+    """match_batch must measure the ablation, not the stock cached path.
+
+    Pre-fix, FXTMFullSortMatcher inherited FXTMMatcher.match_batch, whose
+    BoundedTopK selection bypasses the full-sort _match_topk entirely —
+    batched measurements silently measured the stock algorithm.
+    """
+    assert "match_batch" in FXTMFullSortMatcher.__dict__
+    rng = random.Random(103)
+    subs = random_subscriptions(rng, 120)
+    variant = FXTMFullSortMatcher(prorate=True)
+    for sub in subs:
+        variant.add_subscription(sub)
+    events = [random_event(rng) for _ in range(6)]
+
+    calls = []
+    original = FXTMFullSortMatcher._match_topk
+
+    def counting(self, event, k):
+        calls.append(k)
+        return original(self, event, k)
+
+    FXTMFullSortMatcher._match_topk = counting
+    try:
+        batches = variant.match_batch(events, 4)
+    finally:
+        FXTMFullSortMatcher._match_topk = original
+    assert len(calls) == len(events)
+    assert batches == [variant.match(event, 4) for event in events]
+
+
+def test_full_sort_match_batch_contract():
+    variant = FXTMFullSortMatcher()
+    with pytest.raises(ValueError):
+        variant.match_batch([], 0)
+    assert variant.match_batch([], 3) == []

@@ -248,3 +248,21 @@ class TestParallelFXTM:
         parallel.close()
         with pytest.raises(RuntimeError):
             parallel.match(Event({"a": 5}), 1)
+
+
+class TestParallelBatchDelegation:
+    def test_match_batch_is_an_explicit_override(self):
+        # The delegation to FX-TM's serial cached batch path is a
+        # deliberate choice (FX602), not an accident of inheritance.
+        assert "match_batch" in ParallelFXTMMatcher.__dict__
+
+    def test_match_batch_equals_serial_fxtm(self):
+        rng = random.Random(9)
+        subs = random_subscriptions(rng, 200, with_sets=True)
+        serial = FXTMMatcher(prorate=True)
+        with ParallelFXTMMatcher(max_workers=4, prorate=True) as parallel:
+            for sub in subs:
+                serial.add_subscription(sub)
+                parallel.add_subscription(sub)
+            events = [random_event(rng) for _ in range(8)]
+            assert parallel.match_batch(events, 5) == serial.match_batch(events, 5)

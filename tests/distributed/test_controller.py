@@ -167,3 +167,48 @@ class TestBatchRequests:
         response = controller.submit("BATCH nope age: 20")
         assert not response.ok
         assert "BATCH" in response.error
+
+
+class TestErrorPathLogging:
+    def build(self):
+        from repro.obs.logging import StructuredLogger
+
+        logger = StructuredLogger(clock=lambda: 1.0)
+        system = DistributedTopKSystem(
+            lambda: FXTMMatcher(prorate=True), node_count=2, logger=logger
+        )
+        return DistributedController(system), logger
+
+    def test_parse_error_logs_structured_event(self):
+        controller, logger = self.build()
+        response = controller.submit("FROBNICATE nonsense")
+        assert not response.ok
+        (record,) = logger.records_for(event="controller.parse_error")
+        assert record["level"] == "warning"
+        assert record["component"] == "controller"
+        assert "FROBNICATE" in record["error"]
+
+    def test_request_failure_logs_structured_event(self):
+        controller, logger = self.build()
+        response = controller.submit("CANCEL no-such-sid")
+        assert not response.ok
+        (record,) = logger.records_for(event="controller.request_failed")
+        assert record["level"] == "error"
+        assert record["kind"] == "cancel"
+        assert "no-such-sid" in record["error"]
+
+    def test_explicit_logger_overrides_system_logger(self):
+        from repro.obs.logging import StructuredLogger
+
+        explicit = StructuredLogger(clock=lambda: 1.0)
+        system = DistributedTopKSystem(lambda: FXTMMatcher(), node_count=2)
+        controller = DistributedController(system, logger=explicit)
+        controller.submit("FROBNICATE")
+        assert explicit.records_for(event="controller.parse_error")
+
+    def test_no_logger_stays_silent(self):
+        system = DistributedTopKSystem(lambda: FXTMMatcher(), node_count=2)
+        controller = DistributedController(system)
+        assert controller.logger is None
+        response = controller.submit("FROBNICATE")
+        assert not response.ok

@@ -92,3 +92,18 @@ class TestReadmission:
         assert tracker.is_quarantined(1)
         tracker.readmit(1, now=1.0)
         assert not tracker.is_quarantined(1)
+
+
+class TestRecoveryLogging:
+    def test_suspect_leaf_recovery_logs_leaf_alive(self):
+        from repro.obs.logging import StructuredLogger
+
+        logger = StructuredLogger(clock=lambda: 1.0)
+        tracker = HealthTracker(node_count=1, suspicion_threshold=3)
+        tracker.bind_observability(logger=logger)
+        tracker.record_timeout(0, now=0.1)
+        assert tracker.state_of(0) is LeafState.SUSPECT
+        tracker.record_success(0, now=0.2)
+        (alive,) = logger.records_for(event="leaf.alive")
+        assert alive["leaf"] == 0
+        assert alive["level"] == "info"

@@ -278,3 +278,27 @@ class TestTracedHeatCombination:
         assert profile.get("price").probes == 1
         assert profile.get("age").probes == 1
         assert matcher.tracer.last_trace.find("attribute.probe")
+
+
+class TestRegionMirror:
+    """record_region mirrors into the registry like every other recorder
+    (FX502): snapshot and scrape surfaces must reconcile."""
+
+    def test_record_region_mirrors_into_registry(self):
+        registry = MetricsRegistry()
+        monitor = HeatMonitor(registry=registry)
+        monitor.record_region("price", 10.0, 20.0)
+        monitor.record_region("price", 30.0, 40.0)
+        monitor.record_region("age", 18.0, 24.0)
+        family = registry.get("repro_heat_region_observations_total")
+        assert family.labels(attribute="price").value == 2.0
+        assert family.labels(attribute="age").value == 1.0
+        # The registry count equals the in-memory histogram total exactly.
+        profile = monitor.snapshot()
+        assert profile.get("price").regions.total == 2
+        assert profile.get("age").regions.total == 1
+
+    def test_unmirrored_monitor_still_records_regions(self):
+        monitor = HeatMonitor()
+        monitor.record_region("price", 10.0, 20.0)
+        assert monitor.snapshot().get("price").regions.total == 1

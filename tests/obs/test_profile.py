@@ -157,3 +157,30 @@ class TestExport:
 
     def test_render_empty(self):
         assert SamplingProfiler().render() == "(no samples collected)"
+
+
+class TestMatchRootAttribution:
+    """The span vocabulary covers the whole-match root spans (FX501)."""
+
+    def test_match_root_spans_are_attributable(self):
+        assert PHASE_OF_FRAME[("matcher", "_match_topk")] == "fxtm.match"
+        assert PHASE_OF_FRAME[("matcher", "match_batch")] == "fxtm.match_batch"
+        assert PHASE_OF_FRAME[("stats", "match")] == "match"
+        assert PHASE_OF_FRAME[("stats", "match_batch")] == "match_batch"
+
+    def test_root_frames_do_not_shadow_inner_phases(self):
+        profiler = SamplingProfiler()
+        stack = [
+            ("/x/repro/structures/interval_tree.py", "stab"),
+            ("/x/repro/core/matcher.py", "_match_topk"),
+            ("/x/repro/core/stats.py", "match"),
+        ]
+        profiler.sample_once(stacks=[stack])
+        # Innermost frame still wins: the sample is a probe.
+        assert profiler.phase_samples == {"attribute.probe": 1}
+
+    def test_sample_in_match_loop_attributes_to_root(self):
+        profiler = SamplingProfiler()
+        stack = [("/x/repro/core/matcher.py", "_match_topk")]
+        profiler.sample_once(stacks=[stack])
+        assert profiler.phase_samples == {"fxtm.match": 1}

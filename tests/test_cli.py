@@ -51,6 +51,21 @@ class TestServe:
         assert failures == 2
         assert out.getvalue().count("error") == 2
 
+    def test_unhandled_request_kind_fails_loudly(self):
+        # serve()'s dispatch is exhaustive over RequestKind (FX601): a
+        # protocol verb without a branch is an error, not a bogus "ok".
+        from types import SimpleNamespace
+
+        future_kind = SimpleNamespace(value="future")
+        response = SimpleNamespace(
+            ok=True, request=SimpleNamespace(kind=future_kind, sid=None)
+        )
+        stub = SimpleNamespace(run=lambda lines: [response])
+        out = io.StringIO()
+        failures = serve([], stub, out)
+        assert failures == 1
+        assert out.getvalue() == "error unhandled request kind future\n"
+
 
 class TestMain:
     def test_stdin_replay(self, monkeypatch, capsys):
